@@ -1,0 +1,83 @@
+// Figures regenerates the paper's evaluation figures as text tables and
+// gnuplot-style .dat files.
+//
+// Usage:
+//
+//	figures [-fig fig3|fig8|fig9|fig2|ablations|all] [-out DIR]
+//
+// Every run is a deterministic simulation of the paper's testbed; see
+// EXPERIMENTS.md for the paper-vs-measured record.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/figures"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "which figure to regenerate (fig2, fig3, fig8, fig9, ablations, all)")
+	out := flag.String("out", "", "directory for .dat files (no files if empty)")
+	flag.Parse()
+
+	emit := func(t *figures.Table) {
+		t.WriteTo(os.Stdout)
+		fmt.Println()
+		if *out != "" {
+			path := filepath.Join(*out, t.Name+".dat")
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			t.WriteDat(f)
+			f.Close()
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+	}
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	want := func(name string) bool { return *fig == "all" || *fig == name }
+	switch {
+	case *fig == "fig2":
+		fmt.Print(figures.Fig2Decision())
+		return
+	case *fig == "ablations":
+		emit(figures.AblationFixedRatio())
+		emit(figures.AblationOffloadCost())
+		return
+	}
+	ran := false
+	if want("fig3") {
+		emit(figures.Fig3())
+		ran = true
+	}
+	if want("fig8") {
+		emit(figures.Fig8())
+		ran = true
+	}
+	if want("fig9") {
+		emit(figures.Fig9())
+		ran = true
+	}
+	if *fig == "all" {
+		fmt.Print(figures.Fig2Decision())
+		fmt.Println()
+		emit(figures.AblationFixedRatio())
+		emit(figures.AblationOffloadCost())
+		ran = true
+	}
+	if !ran {
+		fmt.Fprintf(os.Stderr, "unknown figure %q\n", *fig)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,76 @@
+// Nmping is a ping-pong benchmark over the multirail engine: it prints
+// one-way latency and bandwidth for a size sweep under a chosen strategy.
+//
+// Usage:
+//
+//	nmping [-strategy hetero|iso|single] [-min 4] [-max 8388608]
+//	       [-iters 3] [-live] [-sampling FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/stats"
+	"repro/internal/workload"
+	"repro/multirail"
+)
+
+func main() {
+	strategyName := flag.String("strategy", "hetero", "hetero, iso or single")
+	minSize := flag.Int("min", 4, "smallest size")
+	maxSize := flag.Int("max", 8<<20, "largest size")
+	iters := flag.Int("iters", 3, "iterations per size")
+	live := flag.Bool("live", false, "wall-clock execution")
+	samplingFile := flag.String("sampling", "", "load sampling from file (see cmd/nmsample)")
+	traceOne := flag.Bool("trace", false, "dump the engine timeline of one max-size transfer")
+	flag.Parse()
+
+	cfg := multirail.Config{Live: *live}
+	var collector *multirail.TraceCollector
+	if *traceOne {
+		collector = multirail.NewTraceCollector()
+		cfg.Tracer = collector
+	}
+	switch *strategyName {
+	case "hetero":
+		cfg.Splitter = multirail.HeteroSplit()
+	case "iso":
+		cfg.Splitter = multirail.IsoSplit()
+	case "single":
+		cfg.Splitter = multirail.SingleRail()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown strategy %q\n", *strategyName)
+		os.Exit(2)
+	}
+	if *samplingFile != "" {
+		f, err := os.Open(*samplingFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		cfg.SamplingFrom = f
+	}
+	c, err := multirail.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer c.Close()
+
+	fmt.Printf("# strategy=%s rails=%d live=%v\n", *strategyName, c.Rails(), *live)
+	if *traceOne {
+		workload.MedianOneWay(c, *maxSize, 1)
+		fmt.Printf("# timeline of one %s transfer:\n", stats.SizeLabel(*maxSize))
+		collector.Dump(os.Stdout)
+		return
+	}
+	fmt.Printf("%-10s %14s %14s\n", "size", "one-way µs", "MB/s")
+	for n := *minSize; n <= *maxSize; n *= 2 {
+		oneway := workload.MedianOneWay(c, n, *iters)
+		fmt.Printf("%-10s %14.2f %14.0f\n",
+			stats.SizeLabel(n), oneway.Seconds()*1e6, workload.Bandwidth(n, oneway))
+	}
+}

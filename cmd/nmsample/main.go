@@ -1,0 +1,83 @@
+// Nmsample runs the start-up network sampling (paper §III-C) on the
+// built-in rail profiles and prints or saves the resulting tables in the
+// nmad-go sampling format, which multirail.Config.SamplingFrom and
+// cmd/nmping can reload.
+//
+// Usage:
+//
+//	nmsample [-rails myri,qsnet,ib,gige] [-min 4] [-max 8388608] [-o FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/model"
+	"repro/internal/sampling"
+	"repro/internal/stats"
+)
+
+func railByName(name string) (*model.Profile, error) {
+	switch strings.ToLower(strings.TrimSpace(name)) {
+	case "myri", "myri-10g", "mx":
+		return model.Myri10G(), nil
+	case "qsnet", "qsnetii", "quadrics", "elan":
+		return model.QsNetII(), nil
+	case "ib", "infiniband", "verbs":
+		return model.IBVerbs(), nil
+	case "gige", "tcp", "ethernet":
+		return model.GigE(), nil
+	default:
+		return nil, fmt.Errorf("unknown rail %q (try myri, qsnet, ib, gige)", name)
+	}
+}
+
+func main() {
+	rails := flag.String("rails", "myri,qsnet", "comma-separated rail list")
+	minSize := flag.Int("min", 4, "smallest sampled size")
+	maxSize := flag.Int("max", 8<<20, "largest sampled size")
+	out := flag.String("o", "", "write the sampling file here")
+	flag.Parse()
+
+	var profiles []*model.Profile
+	for _, name := range strings.Split(*rails, ",") {
+		p, err := railByName(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		profiles = append(profiles, p)
+	}
+	profs, err := sampling.SampleProfiles(profiles, sampling.Config{MinSize: *minSize, MaxSize: *maxSize})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, p := range profs {
+		fmt.Printf("# %s\n", p)
+		fmt.Printf("%-10s %14s %14s\n", "size", "eager µs", "rendezvous µs")
+		for _, s := range p.Rdv.Samples() {
+			eager := "-"
+			if p.Eager != nil && (p.EagerMax == 0 || s.Size <= p.EagerMax) {
+				eager = fmt.Sprintf("%.2f", p.Eager.Estimate(s.Size).Seconds()*1e6)
+			}
+			fmt.Printf("%-10s %14s %14.2f\n", stats.SizeLabel(s.Size), eager, s.T.Seconds()*1e6)
+		}
+		fmt.Println()
+	}
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := sampling.Save(f, profs); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		f.Close()
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+	}
+}

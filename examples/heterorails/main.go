@@ -1,0 +1,57 @@
+// Heterorails walks through the sampling subsystem and the
+// prediction-driven NIC selection of the paper's Fig 2: it samples the
+// rails, prints the interpolated estimators, then shows how the split
+// decision changes as one NIC's busy horizon grows.
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/figures"
+	"repro/internal/model"
+	"repro/internal/sampling"
+	"repro/internal/stats"
+	"repro/internal/strategy"
+)
+
+func main() {
+	fmt.Println("== Network sampling (paper §III-C) ==")
+	profs, err := sampling.SampleProfiles(model.PaperTestbed(),
+		sampling.Config{MinSize: 4, MaxSize: 8 << 20})
+	if err != nil {
+		panic(err)
+	}
+	for _, p := range profs {
+		fmt.Printf("%s\n", p)
+	}
+
+	fmt.Println("\nInterpolated one-way estimates (µs):")
+	fmt.Printf("%-10s %12s %12s\n", "size", profs[0].Name, profs[1].Name)
+	for _, n := range []int{4, 1000, 4096, 30000, 1 << 20, 5 << 20} {
+		fmt.Printf("%-10s %12.1f %12.1f\n", stats.SizeLabel(n),
+			profs[0].Estimate(n).Seconds()*1e6, profs[1].Estimate(n).Seconds()*1e6)
+	}
+
+	fmt.Println("\n== Equal-completion split of 4 MB (paper Fig 1c) ==")
+	rails := []strategy.RailView{
+		{Index: 0, Est: profs[0], EagerMax: profs[0].EagerMax},
+		{Index: 1, Est: profs[1], EagerMax: profs[1].EagerMax},
+	}
+	for _, c := range (strategy.HeteroSplit{}).Split(4<<20, 0, rails) {
+		est := rails[c.Rail].Est.Estimate(c.Size)
+		fmt.Printf("  rail %d (%s): %7d KB, predicted %7.0f µs\n",
+			c.Rail, profs[c.Rail].Name, c.Size/1000, est.Seconds()*1e6)
+	}
+	fmt.Println("  (paper: 2437 KB in 1999 µs over Myri-10G, 1757 KB in 2001 µs over Quadrics)")
+
+	fmt.Println("\n== NIC selection under busy horizons (paper Fig 2) ==")
+	fmt.Print(figures.Fig2Decision())
+
+	fmt.Println("\n== The two-rail ratio dichotomy (paper §II-B) ==")
+	for _, n := range []int{64 << 10, 1 << 20, 8 << 20} {
+		r := strategy.SplitRatioDichotomy(n, 0, rails[0], rails[1], 50)
+		fmt.Printf("  %-6s ratio to %s: %.4f\n", stats.SizeLabel(n), profs[0].Name, r)
+	}
+	_ = time.Microsecond
+}

@@ -1,0 +1,60 @@
+// Pingpong prints latency and bandwidth tables across splitting
+// strategies and message sizes — the workload behind the paper's Fig 8.
+//
+// Usage:
+//
+//	go run ./examples/pingpong [-min 4096] [-max 8388608] [-iters 3] [-live]
+//
+// -live runs on the wall clock with real goroutines instead of the
+// deterministic simulator (numbers then include host scheduling noise).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/stats"
+	"repro/internal/workload"
+	"repro/multirail"
+)
+
+func main() {
+	minSize := flag.Int("min", 32<<10, "smallest message size")
+	maxSize := flag.Int("max", 8<<20, "largest message size")
+	iters := flag.Int("iters", 3, "iterations per point")
+	live := flag.Bool("live", false, "wall-clock execution instead of simulation")
+	flag.Parse()
+
+	type variant struct {
+		name string
+		cfg  multirail.Config
+	}
+	variants := []variant{
+		{"Myri-10G", multirail.Config{Rails: []*multirail.Profile{multirail.Myri10G()}}},
+		{"Quadrics", multirail.Config{Rails: []*multirail.Profile{multirail.QsNetII()}}},
+		{"Iso-split", multirail.Config{Splitter: multirail.IsoSplit()}},
+		{"Hetero-split", multirail.Config{Splitter: multirail.HeteroSplit()}},
+	}
+	fmt.Printf("%-10s", "size")
+	for _, v := range variants {
+		fmt.Printf(" %14s", v.name)
+	}
+	fmt.Println("   (one-way µs | MB/s)")
+	for n := *minSize; n <= *maxSize; n *= 2 {
+		fmt.Printf("%-10s", stats.SizeLabel(n))
+		for _, v := range variants {
+			cfg := v.cfg
+			cfg.Live = *live
+			c, err := multirail.New(cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			oneway := workload.MedianOneWay(c, n, *iters)
+			fmt.Printf(" %7.1f|%6.0f", oneway.Seconds()*1e6, workload.Bandwidth(n, oneway))
+			c.Close()
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,235 @@
+// Package core implements the paper's primary contribution: the
+// NewMadeleine-style multirail communication engine.
+//
+// Architecture (paper Fig 5/6): the application layer enqueues packets
+// into a submit list and returns immediately; the optimizer–scheduler —
+// this package — is activated at the paper's three critical moments
+// (a NIC becomes idle / a rendezvous arrives / an eager packet is about
+// to be emitted) and decides, from the sampled performance profiles and
+// the NICs' and cores' activity, the best combination of transfers; the
+// transfer layer is the fabric (internal/simnet) driven directly or
+// through offloaded tasklets (internal/marcel). Event detection is
+// delegated to the progression engine (internal/pioman).
+//
+// Protocols:
+//
+//   - Eager: payloads up to the sampled rendezvous threshold are sent
+//     immediately. Pending packets to the same destination are
+//     aggregated into one container on the fastest available rail
+//     (the paper's finding that aggregation beats greedy multirail
+//     dispatch for eager packets, Fig 3); a single medium-sized packet
+//     may instead be split and submitted in parallel from several idle
+//     cores, paying the 3 µs offload cost (Fig 7 / equation (1)).
+//   - Rendezvous: larger messages handshake (RTS/CTS), then the split
+//     strategy distributes chunks over the rails so all DMAs finish
+//     together (Fig 1c/2/8).
+//
+// Matching is by (source, tag) in completion order; concurrent messages
+// on one (source, tag) pair may overtake each other — use distinct tags
+// for concurrent flows, as the examples do.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/marcel"
+	"repro/internal/pioman"
+	"repro/internal/rt"
+	"repro/internal/sampling"
+	"repro/internal/simnet"
+	"repro/internal/strategy"
+	"repro/internal/trace"
+)
+
+// EagerPolicy selects how eager packets are scheduled.
+type EagerPolicy int
+
+const (
+	// PolicyAggregate is the paper's strategy: aggregate pending packets
+	// on the fastest available rail; optionally split single medium
+	// packets across rails from parallel cores (see EagerParallel).
+	PolicyAggregate EagerPolicy = iota
+	// PolicyGreedy is the Fig 3 baseline: every packet goes, whole, to
+	// the rail predicted idle first; no aggregation, no offloading.
+	PolicyGreedy
+)
+
+func (p EagerPolicy) String() string {
+	switch p {
+	case PolicyAggregate:
+		return "aggregate"
+	case PolicyGreedy:
+		return "greedy"
+	default:
+		return fmt.Sprintf("EagerPolicy(%d)", int(p))
+	}
+}
+
+// Config parameterises one engine (one node).
+type Config struct {
+	// Splitter distributes rendezvous messages (default: HeteroSplit).
+	Splitter strategy.Splitter
+	// Eager selects the eager scheduling policy (default: aggregate).
+	Eager EagerPolicy
+	// EagerParallel enables the multicore parallel submission of single
+	// eager packets (§III-D). Off by default, matching the paper's
+	// preliminary implementation being "still too costly"; the Fig 9
+	// bench turns it on to cross-validate the estimation.
+	EagerParallel bool
+	// Pioman tunes event detection.
+	Pioman pioman.Config
+	// Cores overrides the number of cores (default: cluster setting).
+	Cores int
+	// Tracer, when non-nil, receives the per-message timeline (the role
+	// FxT tracing plays for the original library).
+	Tracer trace.Tracer
+}
+
+// Engine is one node's communication engine.
+type Engine struct {
+	env      rt.Env
+	node     *simnet.Node
+	sched    *marcel.Scheduler
+	pm       *pioman.Manager
+	profiles []*sampling.RailProfile
+	cfg      Config
+
+	mu        sync.Mutex
+	nextMsgID uint64
+	pending   []*SendRequest // submit list (paper: "waiting packs")
+	kicks     rt.Queue       // one token per submission
+	recvs     map[key][]*RecvRequest
+	unexpect  map[key][]*message
+	partials  map[uint64]*partial     // in-flight striped messages by id
+	rdvOut    map[uint64]*SendRequest // awaiting CTS
+	rdvQueued map[key][]*queuedRTS    // RTS before matching Irecv
+	stats     Stats
+}
+
+// key identifies a matching queue.
+type key struct {
+	from int
+	tag  uint32
+}
+
+// message is a complete unexpected message awaiting a matching Irecv.
+type message struct {
+	msgID uint64
+	data  []byte
+}
+
+// queuedRTS is a rendezvous announcement waiting for its Irecv.
+type queuedRTS struct {
+	msgID uint64
+	total int
+	rail  int
+	from  int
+}
+
+// Stats counts engine activity (inputs to EXPERIMENTS.md).
+type Stats struct {
+	EagerSent       uint64
+	EagerAggregated uint64 // packets that shared a container
+	EagerParallel   uint64 // packets split across cores
+	RdvSent         uint64
+	ChunksSent      uint64
+	BytesSent       uint64
+	Unexpected      uint64
+}
+
+// NewEngine builds and starts the engine for one node. profiles must
+// hold one sampled RailProfile per rail of the node's cluster.
+func NewEngine(env rt.Env, node *simnet.Node, profiles []*sampling.RailProfile, cfg Config) (*Engine, error) {
+	if len(profiles) != len(node.Rails) {
+		return nil, fmt.Errorf("core: %d profiles for %d rails", len(profiles), len(node.Rails))
+	}
+	if cfg.Splitter == nil {
+		cfg.Splitter = strategy.HeteroSplit{}
+	}
+	cores := cfg.Cores
+	if cores <= 0 {
+		cores = node.Cluster().Cores()
+	}
+	e := &Engine{
+		env:       env,
+		node:      node,
+		profiles:  profiles,
+		cfg:       cfg,
+		kicks:     env.NewQueue(),
+		recvs:     make(map[key][]*RecvRequest),
+		unexpect:  make(map[key][]*message),
+		partials:  make(map[uint64]*partial),
+		rdvOut:    make(map[uint64]*SendRequest),
+		rdvQueued: make(map[key][]*queuedRTS),
+	}
+	e.sched = marcel.New(env, cores)
+	e.pm = pioman.New(env, node, e.sched, cfg.Pioman)
+	e.pm.Start(e.handle)
+	env.Go(fmt.Sprintf("nmad-submit-%d", node.ID), e.submitLoop)
+	return e, nil
+}
+
+// NodeID returns the node this engine serves.
+func (e *Engine) NodeID() int { return e.node.ID }
+
+// Scheduler exposes the core scheduler (tests, examples).
+func (e *Engine) Scheduler() *marcel.Scheduler { return e.sched }
+
+// Stats returns a snapshot of the engine counters.
+func (e *Engine) Stats() Stats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.stats
+}
+
+// Stop halts progression and the core workers. In a simulation the
+// submit actor is reclaimed when the simulator closes.
+func (e *Engine) Stop() {
+	e.pm.Stop()
+	e.sched.Shutdown()
+	e.kicks.Push(nil)
+}
+
+func (e *Engine) msgID() uint64 {
+	e.nextMsgID++
+	return e.nextMsgID
+}
+
+// railViews snapshots the strategy's view of every rail.
+func (e *Engine) railViews() []strategy.RailView {
+	views := make([]strategy.RailView, len(e.node.Rails))
+	for i, r := range e.node.Rails {
+		views[i] = strategy.RailView{
+			Index:    i,
+			Est:      e.profiles[i],
+			IdleAt:   r.IdleAt(),
+			EagerMax: e.profiles[i].EagerMax,
+		}
+	}
+	return views
+}
+
+// trace records a timeline event when tracing is enabled. rail is -1 for
+// events that are not rail-specific.
+func (e *Engine) trace(kind trace.Kind, msgID uint64, rail, size int, note string) {
+	if e.cfg.Tracer == nil {
+		return
+	}
+	e.cfg.Tracer.Record(trace.Event{
+		At: e.env.Now(), Node: e.node.ID, MsgID: msgID,
+		Kind: kind, Rail: rail, Size: size, Note: note,
+	})
+}
+
+// eagerThreshold returns the size up to which the engine prefers the
+// eager path: the largest sampled rendezvous threshold over the rails.
+func (e *Engine) eagerThreshold() int {
+	thr := 0
+	for _, p := range e.profiles {
+		if t := p.Threshold(); t > thr {
+			thr = t
+		}
+	}
+	return thr
+}

@@ -1,0 +1,221 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/rt"
+	"repro/internal/simnet"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// partial is a striped message being reassembled: either directly into a
+// posted receive buffer (rendezvous) or into a temporary buffer
+// (unexpected striped eager).
+type partial struct {
+	re   *wire.Reassembly
+	req  *RecvRequest // nil while unexpected
+	from int
+	tag  uint32
+	buf  []byte
+}
+
+// Irecv posts a receive. It never blocks; matching happens against
+// queued unexpected messages first.
+func (e *Engine) Irecv(from int, tag uint32, buf []byte) *RecvRequest {
+	req := &RecvRequest{From: from, Tag: tag, Buf: buf, done: e.env.NewEvent()}
+	k := key{from, tag}
+	e.mu.Lock()
+	// 1. A complete unexpected message?
+	if q := e.unexpect[k]; len(q) > 0 {
+		m := q[0]
+		e.unexpect[k] = q[1:]
+		e.mu.Unlock()
+		e.deliverTo(req, m.msgID, m.data)
+		return req
+	}
+	// 2. A rendezvous waiting for its buffer?
+	if q := e.rdvQueued[k]; len(q) > 0 {
+		rts := q[0]
+		e.rdvQueued[k] = q[1:]
+		empty, err := e.attachRdv(req, rts.msgID, rts.total)
+		e.mu.Unlock()
+		if err != nil {
+			req.complete(0, err)
+			return req
+		}
+		if empty {
+			req.complete(0, nil)
+		}
+		e.sendCTS(rts.from, rts.rail, tag, rts.msgID)
+		return req
+	}
+	// 3. Queue the receive.
+	e.recvs[k] = append(e.recvs[k], req)
+	e.mu.Unlock()
+	return req
+}
+
+// attachRdv registers a reassembly straight into the posted buffer. The
+// caller holds e.mu and must complete the request itself when empty is
+// true (zero-length message), after releasing the lock.
+func (e *Engine) attachRdv(req *RecvRequest, msgID uint64, total int) (empty bool, err error) {
+	if total > len(req.Buf) {
+		return false, fmt.Errorf("core: message of %d bytes exceeds receive buffer %d", total, len(req.Buf))
+	}
+	re, err := wire.NewReassembly(msgID, req.Buf, total)
+	if err != nil {
+		return false, err
+	}
+	if total == 0 {
+		return true, nil
+	}
+	e.partials[msgID] = &partial{re: re, req: req, from: req.From, tag: req.Tag, buf: req.Buf}
+	return false, nil
+}
+
+// sendCTS answers a rendezvous on the rail the RTS used. It runs as a
+// tasklet-free actor because control sends block briefly.
+func (e *Engine) sendCTS(to, rail int, tag uint32, msgID uint64) {
+	prof := e.node.Rail(rail).Profile()
+	cts := wire.EncodeControl(wire.KindCTS, uint8(rail), tag, msgID, 0)
+	e.trace(trace.CTSSent, msgID, rail, 0, "")
+	e.env.Go(fmt.Sprintf("cts-%d", msgID), func(ctx rt.Ctx) {
+		e.node.Rail(rail).SendControl(ctx, to, cts, prof.RdvHandshakeCPU/2, prof.RdvHandshakeCPU/2)
+	})
+}
+
+// handle is the progression handler: it runs on a pioman actor for every
+// delivery, in arrival order.
+func (e *Engine) handle(ctx rt.Ctx, d *simnet.Delivery) {
+	h, _, err := wire.DecodeHeader(d.Data)
+	if err != nil {
+		return // corrupt frame: drop (counted nowhere; cannot happen in-process)
+	}
+	switch h.Kind {
+	case wire.KindEager:
+		pkts, err := wire.DecodeEager(d.Data)
+		if err != nil {
+			return
+		}
+		for _, p := range pkts {
+			e.deliverEager(d.From, p)
+		}
+	case wire.KindData:
+		hdr, payload, err := wire.DecodeData(d.Data)
+		if err != nil {
+			return
+		}
+		e.deliverChunk(d.From, hdr, payload)
+	case wire.KindRTS:
+		e.handleRTS(d.From, int(h.Rail), h)
+	case wire.KindCTS:
+		e.onCTS(h.MsgID)
+	}
+}
+
+// deliverEager matches one complete logical packet.
+func (e *Engine) deliverEager(from int, p wire.Packet) {
+	k := key{from, p.Tag}
+	e.mu.Lock()
+	if q := e.recvs[k]; len(q) > 0 {
+		req := q[0]
+		e.recvs[k] = q[1:]
+		e.mu.Unlock()
+		e.deliverTo(req, p.MsgID, p.Payload)
+		return
+	}
+	data := append([]byte(nil), p.Payload...) // the container may be reused
+	e.unexpect[k] = append(e.unexpect[k], &message{msgID: p.MsgID, data: data})
+	e.stats.Unexpected++
+	e.mu.Unlock()
+}
+
+// deliverChunk routes a striped chunk into its reassembly, creating an
+// unexpected one on first contact if no rendezvous pre-registered it.
+func (e *Engine) deliverChunk(from int, h wire.Header, payload []byte) {
+	k := key{from, h.Tag}
+	e.mu.Lock()
+	pa := e.partials[h.MsgID]
+	if pa == nil {
+		// Unexpected striped eager message: reassemble into a temporary
+		// buffer, matching a posted receive if one exists.
+		buf := make([]byte, h.TotalLen)
+		re, err := wire.NewReassembly(h.MsgID, buf, int(h.TotalLen))
+		if err != nil {
+			e.mu.Unlock()
+			return
+		}
+		pa = &partial{re: re, from: from, tag: h.Tag, buf: buf}
+		if q := e.recvs[k]; len(q) > 0 {
+			pa.req = q[0]
+			e.recvs[k] = q[1:]
+		}
+		e.partials[h.MsgID] = pa
+	}
+	done, err := pa.re.Add(int(h.Offset), payload)
+	if err != nil {
+		e.mu.Unlock()
+		if pa.req != nil {
+			pa.req.complete(0, err)
+		}
+		return
+	}
+	if !done {
+		e.mu.Unlock()
+		return
+	}
+	delete(e.partials, h.MsgID)
+	req := pa.req
+	if req == nil {
+		// Completed with no posted receive: queue as unexpected.
+		e.unexpect[k] = append(e.unexpect[k], &message{msgID: h.MsgID, data: pa.buf})
+		e.stats.Unexpected++
+		e.mu.Unlock()
+		return
+	}
+	e.mu.Unlock()
+	if req.Buf != nil && len(pa.buf) > 0 && &req.Buf[0] == &pa.buf[0] {
+		// Rendezvous path: bytes already in place.
+		e.trace(trace.Delivered, h.MsgID, -1, pa.re.Received(), "rendezvous")
+		req.complete(pa.re.Received(), nil)
+		return
+	}
+	e.deliverTo(req, h.MsgID, pa.buf[:pa.re.Received()])
+}
+
+// handleRTS matches a rendezvous announcement against posted receives.
+func (e *Engine) handleRTS(from, rail int, h wire.Header) {
+	k := key{from, h.Tag}
+	e.mu.Lock()
+	if q := e.recvs[k]; len(q) > 0 {
+		req := q[0]
+		e.recvs[k] = q[1:]
+		empty, err := e.attachRdv(req, h.MsgID, int(h.TotalLen))
+		e.mu.Unlock()
+		if err != nil {
+			req.complete(0, err)
+			return
+		}
+		if empty {
+			req.complete(0, nil)
+		}
+		e.sendCTS(from, rail, h.Tag, h.MsgID)
+		return
+	}
+	e.rdvQueued[k] = append(e.rdvQueued[k],
+		&queuedRTS{msgID: h.MsgID, total: int(h.TotalLen), rail: rail, from: from})
+	e.mu.Unlock()
+}
+
+// deliverTo copies a complete payload into the request's buffer and
+// completes it.
+func (e *Engine) deliverTo(req *RecvRequest, msgID uint64, data []byte) {
+	if len(data) > len(req.Buf) {
+		req.complete(0, fmt.Errorf("core: message of %d bytes exceeds receive buffer %d", len(data), len(req.Buf)))
+		return
+	}
+	copy(req.Buf, data)
+	e.trace(trace.Delivered, msgID, -1, len(data), "")
+	req.complete(len(data), nil)
+}

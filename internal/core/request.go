@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/rt"
+)
+
+// SendRequest tracks one Isend. Done fires when the payload has left the
+// host (every PIO copy posted or every DMA drained) and the buffer is
+// reusable.
+type SendRequest struct {
+	// To, Tag and Data describe the message.
+	To   int
+	Tag  uint32
+	Data []byte
+
+	done  rt.Event
+	msgID uint64
+
+	mu      sync.Mutex
+	pending int // outstanding chunks before Done fires
+}
+
+// Done returns the completion event.
+func (r *SendRequest) Done() rt.Event { return r.done }
+
+// Wait blocks the calling actor until the send completes locally.
+func (r *SendRequest) Wait(ctx rt.Ctx) { r.done.Wait(ctx) }
+
+// MsgID returns the engine-assigned message id (tracing).
+func (r *SendRequest) MsgID() uint64 { return r.msgID }
+
+func (r *SendRequest) addPending(n int) {
+	r.mu.Lock()
+	r.pending += n
+	r.mu.Unlock()
+}
+
+// chunkDone decrements the outstanding-chunk count, firing Done at zero.
+func (r *SendRequest) chunkDone() {
+	r.mu.Lock()
+	r.pending--
+	fire := r.pending == 0
+	r.mu.Unlock()
+	if fire {
+		r.done.Fire()
+	}
+}
+
+func (r *SendRequest) String() string {
+	return fmt.Sprintf("send{to=%d tag=%d n=%d id=%d}", r.To, r.Tag, len(r.Data), r.msgID)
+}
+
+// RecvRequest tracks one Irecv. Done fires when a matching message has
+// fully arrived in Buf.
+type RecvRequest struct {
+	// From and Tag select the source and matching tag.
+	From int
+	Tag  uint32
+	// Buf receives the payload; messages longer than Buf are an error
+	// (fires Done with Err set).
+	Buf []byte
+
+	done rt.Event
+
+	mu  sync.Mutex
+	n   int
+	err error
+}
+
+// Done returns the completion event.
+func (r *RecvRequest) Done() rt.Event { return r.done }
+
+// Wait blocks until the message arrived; it returns the received length.
+func (r *RecvRequest) Wait(ctx rt.Ctx) (int, error) {
+	r.done.Wait(ctx)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n, r.err
+}
+
+// Len returns the received length (valid after Done fires).
+func (r *RecvRequest) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Err returns the receive error, if any (valid after Done fires).
+func (r *RecvRequest) Err() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+func (r *RecvRequest) complete(n int, err error) {
+	r.mu.Lock()
+	r.n, r.err = n, err
+	r.mu.Unlock()
+	r.done.Fire()
+}
+
+func (r *RecvRequest) String() string {
+	return fmt.Sprintf("recv{from=%d tag=%d cap=%d}", r.From, r.Tag, len(r.Buf))
+}

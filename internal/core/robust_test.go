@@ -1,0 +1,121 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/rt"
+	"repro/internal/simnet"
+	"repro/internal/wire"
+)
+
+// inject pushes a raw frame into node 1's delivery queue as if it had
+// arrived on the given rail.
+func inject(eng *Engine, rail int, data []byte) {
+	eng.node.RecvQ.Push(&simnet.Delivery{From: 0, Rail: rail, Data: data})
+}
+
+// Corrupt frames are dropped; the engine keeps serving.
+func TestHandlerDropsCorruptFrames(t *testing.T) {
+	env, eng := pair(t, Config{})
+	var got int
+	env.Go("app", func(ctx rt.Ctx) {
+		inject(eng[1], 0, []byte{0xFF, 0xFF, 0xFF})                  // short garbage
+		inject(eng[1], 0, make([]byte, wire.HeaderSize))             // kind 0: corrupt
+		badEager := wire.EncodeControl(wire.KindEager, 0, 1, 1, 999) // count/payload mismatch
+		inject(eng[1], 0, badEager)
+		ctx.Sleep(time.Millisecond)
+		// Normal traffic still flows.
+		rr := eng[1].Irecv(0, 1, make([]byte, 16))
+		eng[0].Isend(1, 1, []byte("alive"))
+		got, _ = rr.Wait(ctx)
+	})
+	env.Run()
+	if got != 5 {
+		t.Fatalf("engine wedged after corrupt frames: got %d", got)
+	}
+}
+
+// A CTS for an unknown message id (stale or duplicated) is ignored.
+func TestStaleCTSIgnored(t *testing.T) {
+	env, eng := pair(t, Config{})
+	ok := false
+	env.Go("app", func(ctx rt.Ctx) {
+		inject(eng[0], 0, wire.EncodeControl(wire.KindCTS, 0, 1, 0xDEAD, 0))
+		ctx.Sleep(time.Millisecond)
+		rr := eng[1].Irecv(0, 1, make([]byte, 256<<10))
+		eng[0].Isend(1, 1, make([]byte, 256<<10))
+		n, err := rr.Wait(ctx)
+		ok = n == 256<<10 && err == nil
+	})
+	env.Run()
+	if !ok {
+		t.Fatal("stale CTS disturbed a later rendezvous")
+	}
+}
+
+// A duplicate chunk (same offset twice) fails the affected receive but
+// leaves the engine serviceable.
+func TestDuplicateChunkFailsReceiveOnly(t *testing.T) {
+	env, eng := pair(t, Config{})
+	var dupErr error
+	var laterOK bool
+	env.Go("app", func(ctx rt.Ctx) {
+		rr := eng[1].Irecv(0, 1, make([]byte, 1024))
+		chunk := wire.EncodeData(0, 1, 0xABC, 0, make([]byte, 512), 1024)
+		inject(eng[1], 0, chunk)
+		inject(eng[1], 0, chunk) // duplicate offset 0
+		_, dupErr = rr.Wait(ctx)
+		// Engine still works afterwards.
+		rr2 := eng[1].Irecv(0, 2, make([]byte, 16))
+		eng[0].Isend(1, 2, []byte("ok"))
+		n, err := rr2.Wait(ctx)
+		laterOK = n == 2 && err == nil
+	})
+	env.Run()
+	if dupErr == nil {
+		t.Fatal("duplicate chunk not reported")
+	}
+	if !laterOK {
+		t.Fatal("engine wedged after duplicate chunk")
+	}
+}
+
+// An unexpected striped message (chunks before any Irecv) reassembles in
+// a temporary buffer and matches a late receive.
+func TestUnexpectedStripedMessage(t *testing.T) {
+	env, eng := pair(t, Config{})
+	var got []byte
+	env.Go("app", func(ctx rt.Ctx) {
+		inject(eng[1], 0, wire.EncodeData(0, 9, 0x77, 4, []byte("tail"), 8))
+		inject(eng[1], 1, wire.EncodeData(1, 9, 0x77, 0, []byte("head"), 8))
+		ctx.Sleep(time.Millisecond)
+		buf := make([]byte, 8)
+		rr := eng[1].Irecv(0, 9, buf)
+		n, err := rr.Wait(ctx)
+		if err != nil {
+			t.Error(err)
+		}
+		got = buf[:n]
+	})
+	env.Run()
+	if string(got) != "headtail" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+// A chunk whose total exceeds the posted buffer errors out cleanly when
+// announced via rendezvous.
+func TestRdvLargerThanBufferViaRTS(t *testing.T) {
+	env, eng := pair(t, Config{})
+	var rerr error
+	env.Go("app", func(ctx rt.Ctx) {
+		rr := eng[1].Irecv(0, 3, make([]byte, 64))
+		inject(eng[1], 0, wire.EncodeControl(wire.KindRTS, 0, 3, 0x55, 4096))
+		_, rerr = rr.Wait(ctx)
+	})
+	env.Run()
+	if rerr == nil {
+		t.Fatal("oversized RTS matched a small buffer without error")
+	}
+}

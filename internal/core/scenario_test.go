@@ -1,0 +1,220 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/rt"
+	"repro/internal/sampling"
+	"repro/internal/simnet"
+)
+
+// Fig 2 end-to-end: a message submitted while the fast rail is busy with
+// a background transfer shifts its split toward the idle rail; once the
+// horizon is long enough, the busy rail is discarded entirely.
+func TestFig2EndToEndBusyRailShiftsSplit(t *testing.T) {
+	shares := func(background int) (myri, quad uint64) {
+		env, eng := pair(t, Config{})
+		n := 1 << 20
+		env.Go("app", func(ctx rt.Ctx) {
+			if background > 0 {
+				// Occupy Myri-10G (rail 0) with a raw background DMA the
+				// engine can observe through IdleAt.
+				rail := eng[0].node.Rail(0)
+				rail.SendData(ctx, 1, make([]byte, background), nil)
+			}
+			before := eng[0].node.Rail(0).Stats()
+			rr := eng[1].Irecv(0, 7, make([]byte, n))
+			eng[0].Isend(1, 7, make([]byte, n))
+			rr.Wait(ctx)
+			after := eng[0].node.Rail(0).Stats()
+			myri = after.Bytes - before.Bytes
+		})
+		// Drain the background delivery so the run quiesces.
+		env.Run()
+		quad = eng[0].node.Rail(1).Stats().Bytes
+		return myri, quad
+	}
+	idleMyri, _ := shares(0)
+	busyMyri, busyQuad := shares(8 << 20) // ~6.8ms of background DMA
+	if busyMyri != 0 {
+		t.Fatalf("busy Myri still carried %d bytes; Fig 2 says discard it", busyMyri)
+	}
+	if busyQuad == 0 {
+		t.Fatal("idle rail carried nothing")
+	}
+	shortMyri, _ := shares(256 << 10) // ~215µs busy horizon: keep, shrink
+	if shortMyri == 0 || shortMyri >= idleMyri {
+		t.Fatalf("briefly-busy Myri share %d, want in (0, %d)", shortMyri, idleMyri)
+	}
+}
+
+// A four-rail heterogeneous cluster (the four networks NewMadeleine
+// supports): the hetero split uses every rail for huge messages and
+// leaves GigE out of latency-critical medium ones.
+func TestFourHeterogeneousRails(t *testing.T) {
+	rails := []*model.Profile{model.Myri10G(), model.QsNetII(), model.IBVerbs(), model.GigE()}
+	env := rt.NewSim()
+	c, err := simnet.New(env, simnet.Config{Nodes: 2, Rails: rails, CoresPerNode: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	profs, err := sampling.SampleProfiles(rails, sampling.Config{MinSize: 4, MaxSize: 8 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var eng [2]*Engine
+	for i := 0; i < 2; i++ {
+		if eng[i], err = NewEngine(env, c.Nodes[i], profs, Config{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	t.Cleanup(env.Close)
+
+	n := 32 << 20
+	payload := make([]byte, n)
+	rand.New(rand.NewSource(5)).Read(payload)
+	buf := make([]byte, n)
+	env.Go("app", func(ctx rt.Ctx) {
+		rr := eng[1].Irecv(0, 1, buf)
+		eng[0].Isend(1, 1, payload)
+		if _, err := rr.Wait(ctx); err != nil {
+			t.Error(err)
+		}
+	})
+	env.Run()
+	if !bytes.Equal(buf, payload) {
+		t.Fatal("payload corrupted across 4 rails")
+	}
+	used := 0
+	var gige uint64
+	for i := 0; i < 4; i++ {
+		b := c.Nodes[0].Rail(i).Stats().Bytes
+		if b > 0 {
+			used++
+		}
+		if i == 3 {
+			gige = b
+		}
+	}
+	if used != 4 {
+		t.Fatalf("32MB used %d rails, want all 4", used)
+	}
+	// GigE's wire rate is ~7% of IB's: its share must be small but real.
+	if gige == 0 || gige > uint64(n/8) {
+		t.Fatalf("GigE share %d bytes of %d", gige, n)
+	}
+	if st := eng[0].Stats(); st.ChunksSent != 4 {
+		t.Fatalf("chunks %d, want 4", st.ChunksSent)
+	}
+}
+
+// Back-to-back rendezvous messages pipeline: the second handshake
+// overlaps the first transfer, so two 4MB messages finish in well under
+// twice the single-message time plus slack.
+func TestPipelinedRendezvous(t *testing.T) {
+	env, eng := pair(t, Config{})
+	n := 4 << 20
+	var done time.Duration
+	env.Go("app", func(ctx rt.Ctx) {
+		r1 := eng[1].Irecv(0, 1, make([]byte, n))
+		r2 := eng[1].Irecv(0, 2, make([]byte, n))
+		eng[0].Isend(1, 1, make([]byte, n))
+		eng[0].Isend(1, 2, make([]byte, n))
+		r1.Wait(ctx)
+		r2.Wait(ctx)
+		done = ctx.Now()
+	})
+	env.Run()
+	single := 2 * time.Millisecond // one 4MB hetero transfer
+	if done > 2*single+100*time.Microsecond {
+		t.Fatalf("two pipelined 4MB messages took %v, want <= ~%v", done, 2*single)
+	}
+	if done < single {
+		t.Fatalf("two 4MB messages in %v: faster than the wire allows", done)
+	}
+}
+
+// Property: any sequence of message sizes round-trips intact through the
+// full stack (eager, parallel eager and rendezvous paths mixed).
+func TestPropertyEngineIntegrity(t *testing.T) {
+	f := func(seed int64, raw []uint32) bool {
+		if len(raw) == 0 || len(raw) > 8 {
+			return true
+		}
+		env, eng := pair(t, Config{EagerParallel: true})
+		defer env.Close()
+		rng := rand.New(rand.NewSource(seed))
+		payloads := make([][]byte, len(raw))
+		bufs := make([][]byte, len(raw))
+		for i, r := range raw {
+			n := int(r % (2 << 20))
+			payloads[i] = make([]byte, n)
+			rng.Read(payloads[i])
+			bufs[i] = make([]byte, n)
+		}
+		ok := true
+		env.Go("app", func(ctx rt.Ctx) {
+			for i := range payloads {
+				rr := eng[1].Irecv(0, uint32(i), bufs[i])
+				sr := eng[0].Isend(1, uint32(i), payloads[i])
+				if _, err := rr.Wait(ctx); err != nil {
+					ok = false
+					return
+				}
+				sr.Wait(ctx)
+			}
+		})
+		env.Run()
+		if !ok {
+			return false
+		}
+		for i := range payloads {
+			if !bytes.Equal(bufs[i], payloads[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The engine keeps matching consistent when several receives for the
+// same (source, tag) pair are posted before any message arrives.
+func TestMultiplePostedRecvsSameKey(t *testing.T) {
+	env, eng := pair(t, Config{})
+	var n1, n2 int
+	env.Go("app", func(ctx rt.Ctx) {
+		b1 := make([]byte, 16)
+		b2 := make([]byte, 16)
+		r1 := eng[1].Irecv(0, 1, b1)
+		r2 := eng[1].Irecv(0, 1, b2)
+		eng[0].Isend(1, 1, []byte("one"))
+		n1, _ = r1.Wait(ctx)
+		eng[0].Isend(1, 1, []byte("three"))
+		n2, _ = r2.Wait(ctx)
+	})
+	env.Run()
+	if n1 != 3 || n2 != 5 {
+		t.Fatalf("lengths %d/%d, want 3/5 (FIFO posted-recv matching)", n1, n2)
+	}
+}
+
+// Stop drains cleanly: after Stop, pending submissions are simply never
+// executed and the simulation still terminates.
+func TestStopTerminates(t *testing.T) {
+	env, eng := pair(t, Config{})
+	env.Go("app", func(ctx rt.Ctx) {
+		eng[0].Isend(1, 1, make([]byte, 64))
+		ctx.Sleep(time.Millisecond)
+		eng[0].Stop()
+		eng[1].Stop()
+	})
+	env.Run() // must not hang
+}

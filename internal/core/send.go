@@ -1,0 +1,262 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/marcel"
+	"repro/internal/model"
+	"repro/internal/rt"
+	"repro/internal/strategy"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// Isend submits a message. It never blocks: the request joins the submit
+// list and the submit actor — activated like NewMadeleine's scheduler
+// when the transfer layer can accept work — plans and executes it.
+func (e *Engine) Isend(to int, tag uint32, data []byte) *SendRequest {
+	req := &SendRequest{To: to, Tag: tag, Data: data, done: e.env.NewEvent()}
+	e.mu.Lock()
+	req.msgID = e.msgID()
+	e.pending = append(e.pending, req)
+	e.mu.Unlock()
+	e.trace(trace.Submit, req.msgID, -1, len(data), "")
+	if e.cfg.Tracer != nil {
+		id, n := req.msgID, len(data)
+		req.done.OnFire(func() { e.trace(trace.Completed, id, -1, n, "") })
+	}
+	e.kicks.Push(struct{}{})
+	return req
+}
+
+// IsendV submits a gather vector as one logical message. Single-segment
+// vectors pass through zero-copy; multi-segment vectors are gathered at
+// submission. (On rails with hardware gather/scatter the copy could be
+// elided, but the eager framing of the transfer layer copies payloads
+// regardless — the same trade-off the MX driver makes.)
+func (e *Engine) IsendV(to int, tag uint32, v wire.IOVec) *SendRequest {
+	var data []byte
+	switch len(v) {
+	case 0:
+	case 1:
+		data = v[0]
+	default:
+		data = v.Gather()
+	}
+	return e.Isend(to, tag, data)
+}
+
+// submitLoop is the engine's sender core: it drains the submit list,
+// invoking the strategy "just before managing the emission of an eager
+// packet" and starting rendezvous handshakes for large ones.
+func (e *Engine) submitLoop(ctx rt.Ctx) {
+	for {
+		if e.kicks.Pop(ctx) == nil {
+			return // Stop
+		}
+		thr := e.eagerThreshold()
+		e.mu.Lock()
+		if len(e.pending) == 0 {
+			e.mu.Unlock()
+			continue
+		}
+		head := e.pending[0]
+		if len(head.Data) <= thr {
+			// Drain every eager packet for the same destination: they
+			// become one aggregation batch.
+			var batch []*SendRequest
+			rest := e.pending[:0]
+			for _, r := range e.pending {
+				if len(r.Data) <= thr && r.To == head.To {
+					batch = append(batch, r)
+				} else {
+					rest = append(rest, r)
+				}
+			}
+			e.pending = rest
+			e.mu.Unlock()
+			e.sendEagerBatch(ctx, head.To, batch)
+			continue
+		}
+		e.pending = e.pending[1:]
+		e.mu.Unlock()
+		e.startRendezvous(ctx, head)
+	}
+}
+
+// sendEagerBatch emits a batch of eager packets for one destination
+// according to the configured policy.
+func (e *Engine) sendEagerBatch(ctx rt.Ctx, to int, batch []*SendRequest) {
+	switch e.cfg.Eager {
+	case PolicyGreedy:
+		e.sendEagerGreedy(ctx, to, batch)
+	default:
+		e.sendEagerAggregate(ctx, to, batch)
+	}
+}
+
+// sendEagerGreedy is the Fig 3 baseline: each packet goes, whole, to the
+// rail predicted idle first; PIO copies serialise on this core.
+func (e *Engine) sendEagerGreedy(ctx rt.Ctx, to int, batch []*SendRequest) {
+	sizes := make([]int, len(batch))
+	for i, r := range batch {
+		sizes[i] = len(r.Data)
+	}
+	assign := strategy.AssignGreedy(sizes, e.env.Now(), e.railViews())
+	for i, r := range batch {
+		rail := assign[i]
+		frame := wire.EncodeEager(uint8(rail), []wire.Packet{{Tag: r.Tag, MsgID: r.msgID, Payload: r.Data}})
+		r.addPending(1)
+		e.trace(trace.EagerSent, r.msgID, rail, len(r.Data), "greedy")
+		e.node.Rail(rail).SendEager(ctx, to, frame)
+		e.bumpEager(1, 0, 0, len(r.Data))
+		r.chunkDone()
+	}
+}
+
+// sendEagerAggregate is the paper's strategy: pack the batch into
+// containers on the fastest available rail; a single medium-sized packet
+// may instead be split across rails and submitted from parallel cores.
+func (e *Engine) sendEagerAggregate(ctx rt.Ctx, to int, batch []*SendRequest) {
+	now := e.env.Now()
+	rails := e.railViews()
+	if len(batch) == 1 && e.cfg.EagerParallel {
+		r := batch[0]
+		plan := strategy.PlanEager(len(r.Data), now, rails, e.sched.NumIdle(), model.OffloadSyncCost)
+		if plan.Parallel {
+			e.sendEagerParallel(r, to, plan)
+			return
+		}
+	}
+	// Fill containers up to the chosen rail's eager limit, fastest rail
+	// first ("aggregate the messages and send them over the fastest
+	// available network").
+	i := 0
+	for i < len(batch) {
+		var pkts []wire.Packet
+		var group []*SendRequest
+		total := 0
+		// Pick the rail for the first packet, then fill while it fits.
+		// Zero-length packets still travel as (empty) containers, so pick
+		// the rail as if they carried one byte.
+		first := batch[i]
+		pickSize := len(first.Data)
+		if pickSize == 0 {
+			pickSize = 1
+		}
+		single := strategy.SingleRail{}.Split(pickSize, now, rails)
+		rail := single[0].Rail
+		limit := e.profiles[rail].EagerMax
+		for i < len(batch) {
+			r := batch[i]
+			sz := wire.AggregateSize(append(pkts, wire.Packet{Payload: r.Data}))
+			if limit > 0 && sz > limit && len(pkts) > 0 {
+				break
+			}
+			pkts = append(pkts, wire.Packet{Tag: r.Tag, MsgID: r.msgID, Payload: r.Data})
+			group = append(group, r)
+			total += len(r.Data)
+			i++
+		}
+		frame := wire.EncodeEager(uint8(rail), pkts)
+		for _, r := range group {
+			r.addPending(1)
+		}
+		e.trace(trace.EagerSent, group[0].msgID, rail, total, fmt.Sprintf("%d packets aggregated", len(group)))
+		e.node.Rail(rail).SendEager(ctx, to, frame)
+		agg := 0
+		if len(group) > 1 {
+			agg = len(group)
+		}
+		e.bumpEager(len(group), agg, 0, total)
+		for _, r := range group {
+			r.chunkDone()
+		}
+	}
+}
+
+// sendEagerParallel executes a parallel eager plan (Fig 7): each chunk is
+// registered in the to-be-sent list of a different idle core, which
+// performs the PIO copy on its own NIC after the offload synchronisation
+// delay. The submitting core returns immediately — "the application can
+// then resume its computation".
+func (e *Engine) sendEagerParallel(r *SendRequest, to int, plan strategy.EagerPlan) {
+	r.addPending(len(plan.Chunks))
+	e.trace(trace.Decision, r.msgID, -1, len(r.Data),
+		fmt.Sprintf("parallel eager: %d chunks, predicted %v", len(plan.Chunks), plan.Predicted))
+	for _, c := range plan.Chunks {
+		c := c
+		frame := wire.EncodeData(uint8(c.Rail), r.Tag, r.msgID, c.Offset,
+			r.Data[c.Offset:c.Offset+c.Size], len(r.Data))
+		e.trace(trace.OffloadStart, r.msgID, c.Rail, c.Size, "")
+		e.sched.SubmitIdle(marcel.Tasklet{
+			Name: fmt.Sprintf("eager-chunk-%d", r.msgID),
+			Run: func(tctx rt.Ctx) {
+				e.node.Rail(c.Rail).SendEager(tctx, to, frame)
+				r.chunkDone()
+			},
+		})
+	}
+	e.bumpEager(1, 0, 1, len(r.Data))
+}
+
+func (e *Engine) bumpEager(sent, agg, par, bytes int) {
+	e.mu.Lock()
+	e.stats.EagerSent += uint64(sent)
+	e.stats.EagerAggregated += uint64(agg)
+	e.stats.EagerParallel += uint64(par)
+	e.stats.BytesSent += uint64(bytes)
+	e.mu.Unlock()
+}
+
+// startRendezvous sends the RTS on the best small-message rail and parks
+// the request until the CTS arrives.
+func (e *Engine) startRendezvous(ctx rt.Ctx, r *SendRequest) {
+	e.mu.Lock()
+	e.rdvOut[r.msgID] = r
+	e.stats.RdvSent++
+	e.mu.Unlock()
+	rails := e.railViews()
+	pick := strategy.SingleRail{}.Split(wire.HeaderSize, e.env.Now(), rails)
+	rail := pick[0].Rail
+	prof := e.node.Rail(rail).Profile()
+	rts := wire.EncodeControl(wire.KindRTS, uint8(rail), r.Tag, r.msgID, uint64(len(r.Data)))
+	e.trace(trace.RTSSent, r.msgID, rail, len(r.Data), "")
+	e.node.Rail(rail).SendControl(ctx, r.To, rts, prof.SendOverhead, prof.RecvOverhead)
+}
+
+// onCTS resumes a parked rendezvous: the strategy is invoked now — with
+// the NICs' current idle horizons — to split the message, and a transfer
+// actor posts the chunk DMAs.
+func (e *Engine) onCTS(msgID uint64) {
+	e.mu.Lock()
+	r := e.rdvOut[msgID]
+	delete(e.rdvOut, msgID)
+	e.mu.Unlock()
+	if r == nil {
+		return
+	}
+	chunks := e.cfg.Splitter.Split(len(r.Data), e.env.Now(), e.railViews())
+	e.mu.Lock()
+	e.stats.ChunksSent += uint64(len(chunks))
+	e.stats.BytesSent += uint64(len(r.Data))
+	e.mu.Unlock()
+	r.addPending(len(chunks))
+	e.trace(trace.Decision, msgID, -1, len(r.Data),
+		fmt.Sprintf("%s: %d chunks", e.cfg.Splitter.Name(), len(chunks)))
+	e.env.Go(fmt.Sprintf("rdv-send-%d", msgID), func(ctx rt.Ctx) {
+		events := make([]rt.Event, 0, len(chunks))
+		for _, c := range chunks {
+			frame := wire.EncodeData(uint8(c.Rail), r.Tag, r.msgID, c.Offset,
+				r.Data[c.Offset:c.Offset+c.Size], len(r.Data))
+			done := e.env.NewEvent()
+			events = append(events, done)
+			e.trace(trace.ChunkPosted, msgID, c.Rail, c.Size, "")
+			e.node.Rail(c.Rail).SendData(ctx, r.To, frame, done)
+		}
+		for _, ev := range events {
+			ev.Wait(ctx)
+			r.chunkDone()
+		}
+	})
+}

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/rt"
+	"repro/internal/trace"
+)
+
+// traced builds a two-node pair with tracing enabled.
+func traced(t *testing.T, cfg Config) (*rt.SimEnv, [2]*Engine, *trace.Collector) {
+	t.Helper()
+	col := trace.NewCollector()
+	cfg.Tracer = col
+	env, eng := pair(t, cfg)
+	return env, eng, col
+}
+
+// An eager send produces submit → eager-sent → delivered → completed, in
+// that time order.
+func TestTraceEagerTimeline(t *testing.T) {
+	env, eng, col := traced(t, Config{})
+	env.Go("app", func(ctx rt.Ctx) {
+		rr := eng[1].Irecv(0, 1, make([]byte, 16))
+		sr := eng[0].Isend(1, 1, []byte("traced"))
+		rr.Wait(ctx)
+		sr.Wait(ctx)
+	})
+	env.Run()
+	tl := col.ByMsg(1)
+	var kinds []trace.Kind
+	for _, e := range tl {
+		kinds = append(kinds, e.Kind)
+	}
+	want := map[trace.Kind]bool{
+		trace.Submit: false, trace.EagerSent: false,
+		trace.Delivered: false, trace.Completed: false,
+	}
+	for _, k := range kinds {
+		if _, ok := want[k]; ok {
+			want[k] = true
+		}
+	}
+	for k, seen := range want {
+		if !seen {
+			t.Errorf("timeline missing %v: %v", k, kinds)
+		}
+	}
+	// Submission precedes emission precedes delivery.
+	at := func(k trace.Kind) int {
+		for i, e := range tl {
+			if e.Kind == k {
+				return i
+			}
+		}
+		return -1
+	}
+	if !(at(trace.Submit) < at(trace.EagerSent) && at(trace.EagerSent) <= at(trace.Delivered)) {
+		t.Fatalf("timeline misordered: %v", tl)
+	}
+}
+
+// A rendezvous produces the full handshake trail with one chunk per rail.
+func TestTraceRendezvousTimeline(t *testing.T) {
+	env, eng, col := traced(t, Config{})
+	n := 4 << 20
+	env.Go("app", func(ctx rt.Ctx) {
+		rr := eng[1].Irecv(0, 1, make([]byte, n))
+		eng[0].Isend(1, 1, make([]byte, n))
+		rr.Wait(ctx)
+	})
+	env.Run()
+	if got := len(col.Of(trace.RTSSent)); got != 1 {
+		t.Fatalf("%d RTS events", got)
+	}
+	if got := len(col.Of(trace.CTSSent)); got != 1 {
+		t.Fatalf("%d CTS events", got)
+	}
+	chunks := col.Of(trace.ChunkPosted)
+	if len(chunks) != 2 {
+		t.Fatalf("%d chunks traced", len(chunks))
+	}
+	rails := map[int]bool{}
+	total := 0
+	for _, c := range chunks {
+		rails[c.Rail] = true
+		total += c.Size
+	}
+	if len(rails) != 2 || total != n {
+		t.Fatalf("chunk trace inconsistent: rails=%v total=%d", rails, total)
+	}
+	// The decision event carries the splitter name.
+	decs := col.Of(trace.Decision)
+	if len(decs) != 1 || decs[0].Note == "" {
+		t.Fatalf("decision events: %v", decs)
+	}
+	// Handshake ordering: RTS before CTS before chunks.
+	rts := col.Of(trace.RTSSent)[0].At
+	cts := col.Of(trace.CTSSent)[0].At
+	if !(rts < cts && cts <= chunks[0].At) {
+		t.Fatal("handshake misordered")
+	}
+}
+
+// The parallel eager path traces one offload event per chunk.
+func TestTraceOffloadEvents(t *testing.T) {
+	env, eng, col := traced(t, Config{EagerParallel: true})
+	env.Go("app", func(ctx rt.Ctx) {
+		rr := eng[1].Irecv(0, 1, make([]byte, 16<<10))
+		eng[0].Isend(1, 1, make([]byte, 16<<10))
+		rr.Wait(ctx)
+	})
+	env.Run()
+	offloads := col.Of(trace.OffloadStart)
+	if len(offloads) != 2 {
+		t.Fatalf("%d offload events, want 2 (one per rail)", len(offloads))
+	}
+}
+
+// Tracing off means zero overhead paths: no events, no panics.
+func TestNoTracerNoEvents(t *testing.T) {
+	env, eng := pair(t, Config{})
+	env.Go("app", func(ctx rt.Ctx) {
+		rr := eng[1].Irecv(0, 1, make([]byte, 16))
+		eng[0].Isend(1, 1, []byte("x"))
+		rr.Wait(ctx)
+	})
+	env.Run()
+}

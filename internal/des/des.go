@@ -1,0 +1,176 @@
+// Package des implements a deterministic, process-based discrete-event
+// simulator.
+//
+// The simulator is the virtual-time substrate on which the whole
+// communication stack runs when deterministic reproduction of the paper's
+// figures is required. It follows the classic process-interaction style
+// (as in SimPy or OMNeT++): each simulated actor is a goroutine that owns
+// the unique "run token" while it executes and hands it back to the event
+// loop whenever it blocks. Exactly one goroutine runs at any instant, so a
+// simulation is deterministic: same inputs, same event order, same clock
+// readings — bit for bit.
+//
+// Primitives:
+//
+//   - Simulator: the event loop and virtual clock.
+//   - Proc: a simulated process (Sleep, park/resume discipline).
+//   - Event: a one-shot completion that processes can wait on.
+//   - Queue: an unbounded FIFO with blocking Pop.
+//   - Resource: a FIFO counted resource (server) with handoff semantics.
+//
+// Handlers scheduled with At/After run inline in the event loop and must
+// not block; only Procs may call blocking primitives.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is simulated time, expressed as an offset from the simulation
+// epoch. Using time.Duration gives nanosecond resolution, convenient
+// arithmetic and familiar formatting.
+type Time = time.Duration
+
+// End is a time later than any event a simulation will ever schedule.
+const End Time = math.MaxInt64 / 4
+
+// event is a scheduled occurrence: either an inline handler (fn) or the
+// wake-up of a parked process (p). Events are ordered by (at, seq) so that
+// simultaneous events dispatch in scheduling order.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+	p   *Proc
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)   { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)     { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any       { old := *h; n := len(old); e := old[n-1]; *h = old[:n-1]; return e }
+func (h eventHeap) peek() event     { return h[0] }
+func (h *eventHeap) popMin() event  { return heap.Pop(h).(event) }
+func (h *eventHeap) pushEv(e event) { heap.Push(h, e) }
+
+// Simulator is a discrete-event simulation engine. The zero value is not
+// usable; create one with New.
+type Simulator struct {
+	now     Time
+	seq     uint64
+	pq      eventHeap
+	procs   map[*Proc]struct{}
+	closed  bool
+	stopped bool
+
+	// Dispatched counts dispatched events; useful for tests and for
+	// detecting runaway simulations.
+	Dispatched uint64
+	// Limit aborts Run with a panic after this many events when non-zero.
+	Limit uint64
+}
+
+// New returns an empty simulator whose clock reads zero.
+func New() *Simulator {
+	return &Simulator{procs: make(map[*Proc]struct{})}
+}
+
+// Now returns the current simulated time.
+func (s *Simulator) Now() Time { return s.now }
+
+// Pending reports the number of scheduled events.
+func (s *Simulator) Pending() int { return len(s.pq) }
+
+// Procs reports the number of live (started, not finished) processes.
+func (s *Simulator) Procs() int { return len(s.procs) }
+
+func (s *Simulator) schedule(at Time, fn func(), p *Proc) {
+	if s.closed {
+		return
+	}
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	s.pq.pushEv(event{at: at, seq: s.seq, fn: fn, p: p})
+}
+
+// At schedules handler fn to run at absolute simulated time t (clamped to
+// now if in the past). Handlers run inline in the event loop and must not
+// block.
+func (s *Simulator) At(t Time, fn func()) { s.schedule(t, fn, nil) }
+
+// After schedules handler fn to run d from now.
+func (s *Simulator) After(d Time, fn func()) { s.schedule(s.now+d, fn, nil) }
+
+// Step dispatches the single next event. It reports false when no events
+// remain or the simulator was stopped or closed.
+func (s *Simulator) Step() bool {
+	if s.closed || s.stopped || len(s.pq) == 0 {
+		return false
+	}
+	ev := s.pq.popMin()
+	s.now = ev.at
+	s.Dispatched++
+	if s.Limit > 0 && s.Dispatched > s.Limit {
+		panic(fmt.Sprintf("des: event limit %d exceeded at t=%v", s.Limit, s.now))
+	}
+	switch {
+	case ev.fn != nil:
+		ev.fn()
+	case ev.p != nil:
+		ev.p.run()
+	}
+	return true
+}
+
+// Run dispatches events until none remain (or Stop/Close is called).
+func (s *Simulator) Run() {
+	s.stopped = false
+	for s.Step() {
+	}
+}
+
+// RunUntil dispatches events with timestamps <= t and then sets the clock
+// to t (unless the simulation emptied earlier or was stopped).
+func (s *Simulator) RunUntil(t Time) {
+	s.stopped = false
+	for !s.closed && !s.stopped && len(s.pq) > 0 && s.pq.peek().at <= t {
+		s.Step()
+	}
+	if !s.closed && s.now < t {
+		s.now = t
+	}
+}
+
+// Stop makes the current Run return after the event being dispatched.
+// The simulation can be resumed with Run.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// Close terminates the simulation: every live process is killed (its
+// blocking call panics with a sentinel that is swallowed by the process
+// wrapper) and further scheduling becomes a no-op. Close is idempotent.
+func (s *Simulator) Close() {
+	if s.closed {
+		return
+	}
+	s.closed = true
+	for p := range s.procs {
+		if p.parkedNow {
+			p.killed = true
+			p.resume <- struct{}{}
+			<-p.parked
+		}
+	}
+	s.pq = nil
+}

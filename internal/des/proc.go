@@ -1,0 +1,115 @@
+package des
+
+// killSentinel is the panic value used to unwind a process killed by
+// Simulator.Close. It is recovered (and swallowed) by the process wrapper.
+type killSentinelType struct{}
+
+var killSentinel = killSentinelType{}
+
+// Proc is a simulated process: a goroutine that runs engine or workload
+// code in natural blocking style. A process may call Sleep, Event.Wait,
+// Queue.Pop, Resource.Acquire and friends; each such call parks the
+// process and hands the run token back to the event loop.
+//
+// Only the process itself may call its blocking methods; handlers and
+// other processes interact with it through Events, Queues and Resources.
+type Proc struct {
+	sim  *Simulator
+	name string
+
+	resume chan struct{}
+	parked chan struct{}
+
+	// parkedNow is true while the goroutine is blocked waiting for resume.
+	// It is only touched while holding the run token, so no locking is
+	// needed.
+	parkedNow bool
+	killed    bool
+	done      bool
+}
+
+// Go starts a new process executing fn. The process is scheduled to begin
+// at the current simulated time; fn receives the process handle for its
+// blocking calls. Go may be called from handlers, from other processes, or
+// before Run.
+func (s *Simulator) Go(name string, fn func(*Proc)) *Proc {
+	p := &Proc{
+		sim:    s,
+		name:   name,
+		resume: make(chan struct{}),
+		parked: make(chan struct{}),
+	}
+	s.procs[p] = struct{}{}
+	p.parkedNow = true // waiting for its first resume
+	go func() {
+		<-p.resume
+		defer func() {
+			r := recover()
+			p.done = true
+			delete(s.procs, p)
+			if r != nil {
+				if _, isKill := r.(killSentinelType); !isKill {
+					// A genuine bug in process code: let it crash the
+					// program with a stack trace rather than silently
+					// wedging the simulation.
+					p.parkedNow = true
+					panic(r)
+				}
+			}
+			p.parked <- struct{}{}
+		}()
+		if p.killed {
+			panic(killSentinel)
+		}
+		fn(p)
+	}()
+	s.schedule(s.now, nil, p)
+	return p
+}
+
+// run transfers the run token to the process and waits for it to park
+// again (or finish). Called only by the event loop.
+func (p *Proc) run() {
+	if p.done {
+		return
+	}
+	p.parkedNow = false
+	p.resume <- struct{}{}
+	<-p.parked
+}
+
+// park hands the run token back to the event loop and blocks until some
+// event resumes this process. The caller must already have arranged for a
+// wake-up (a scheduled event, an Event waiter entry, ...).
+func (p *Proc) park() {
+	p.parkedNow = true
+	p.parked <- struct{}{}
+	<-p.resume
+	p.parkedNow = false
+	if p.killed {
+		panic(killSentinel)
+	}
+}
+
+// Name returns the debugging name given to Go.
+func (p *Proc) Name() string { return p.name }
+
+// Sim returns the simulator this process belongs to.
+func (p *Proc) Sim() *Simulator { return p.sim }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Time { return p.sim.now }
+
+// Sleep suspends the process for d of simulated time. Negative durations
+// sleep zero time (but still yield to simultaneous events).
+func (p *Proc) Sleep(d Time) {
+	if d < 0 {
+		d = 0
+	}
+	p.sim.schedule(p.sim.now+d, nil, p)
+	p.park()
+}
+
+// Yield reschedules the process at the current time, letting other
+// already-scheduled simultaneous events run first.
+func (p *Proc) Yield() { p.Sleep(0) }

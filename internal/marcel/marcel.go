@@ -1,0 +1,213 @@
+// Package marcel reproduces the role the Marcel two-level thread
+// scheduler plays in the paper: it owns the node's cores, runs tasklets —
+// high-priority deferred work items — on chosen cores, knows which cores
+// are idle, and accounts for the cost of waking a remote core.
+//
+// The paper measures that signalling a request to an idle remote core
+// costs 3 µs, and 6 µs when a computing thread must be preempted by a
+// signal (§III-D). Those costs are charged by the worker before it runs
+// each tasklet, so an offloaded eager submission starts
+// OffloadSyncCost/OffloadPreemptCost after the strategy registered it —
+// exactly the T_O term of the paper's equation (1).
+package marcel
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/rt"
+)
+
+// Tasklet is a deferred work item. Run receives the worker's Ctx and may
+// block (it executes on a core actor).
+type Tasklet struct {
+	Name string
+	Run  func(ctx rt.Ctx)
+}
+
+// submission pairs a tasklet with the synchronisation delay charged
+// before it runs.
+type submission struct {
+	t     Tasklet
+	delay time.Duration
+}
+
+// shutdown is the sentinel that stops a worker.
+type shutdown struct{}
+
+// CoreStats counts per-core activity.
+type CoreStats struct {
+	Tasklets uint64
+	BusyTime time.Duration
+}
+
+// Scheduler manages one node's cores.
+type Scheduler struct {
+	env     rt.Env
+	workers []*worker
+}
+
+type worker struct {
+	id  int
+	q   rt.Queue
+	env rt.Env
+
+	mu        sync.Mutex
+	running   bool
+	computing bool
+	queued    int
+	stats     CoreStats
+}
+
+// New starts a scheduler with n core workers (n >= 1).
+func New(env rt.Env, n int) *Scheduler {
+	if n < 1 {
+		n = 1
+	}
+	s := &Scheduler{env: env}
+	for i := 0; i < n; i++ {
+		w := &worker{id: i, q: env.NewQueue(), env: env}
+		s.workers = append(s.workers, w)
+		env.Go(fmt.Sprintf("core-%d", i), w.loop)
+	}
+	return s
+}
+
+func (w *worker) loop(ctx rt.Ctx) {
+	for {
+		item := w.q.Pop(ctx)
+		if _, stop := item.(shutdown); stop {
+			return
+		}
+		sub := item.(submission)
+		w.mu.Lock()
+		w.queued--
+		w.running = true
+		w.mu.Unlock()
+		if sub.delay > 0 {
+			ctx.Sleep(sub.delay)
+		}
+		start := ctx.Now()
+		sub.t.Run(ctx)
+		w.mu.Lock()
+		w.running = false
+		w.stats.Tasklets++
+		w.stats.BusyTime += ctx.Now() - start + sub.delay
+		w.mu.Unlock()
+	}
+}
+
+// NCores returns the number of core workers.
+func (s *Scheduler) NCores() int { return len(s.workers) }
+
+// coreIdle reports whether core i is idle: no tasklet running or queued
+// and no computing thread.
+func (s *Scheduler) coreIdle(i int) bool {
+	w := s.workers[i]
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return !w.running && !w.computing && w.queued == 0
+}
+
+// IdleCores returns the indices of currently idle cores.
+func (s *Scheduler) IdleCores() []int {
+	var idle []int
+	for i := range s.workers {
+		if s.coreIdle(i) {
+			idle = append(idle, i)
+		}
+	}
+	return idle
+}
+
+// NumIdle returns the number of idle cores (min{idle NICs, idle cores}
+// is the paper's chunk-count bound).
+func (s *Scheduler) NumIdle() int { return len(s.IdleCores()) }
+
+// SetComputing marks core i as occupied by an application compute thread.
+// Submitting to a computing core pays the preemption-signal cost.
+func (s *Scheduler) SetComputing(i int, v bool) {
+	w := s.workers[i]
+	w.mu.Lock()
+	w.computing = v
+	w.mu.Unlock()
+}
+
+// Computing reports whether core i runs an application thread.
+func (s *Scheduler) Computing(i int) bool {
+	w := s.workers[i]
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.computing
+}
+
+// Stats returns a snapshot of core i's counters.
+func (s *Scheduler) Stats(i int) CoreStats {
+	w := s.workers[i]
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stats
+}
+
+// syncCost returns the core-to-core signalling cost for core i: the
+// paper's 3 µs, or 6 µs when a computing thread must be preempted.
+func (s *Scheduler) syncCost(i int) time.Duration {
+	if s.Computing(i) {
+		return model.OffloadPreemptCost
+	}
+	return model.OffloadSyncCost
+}
+
+// Submit queues t on core i, charging the remote-core synchronisation
+// cost before it runs. It returns the charged cost.
+func (s *Scheduler) Submit(i int, t Tasklet) time.Duration {
+	d := s.syncCost(i)
+	s.push(i, t, d)
+	return d
+}
+
+// SubmitLocal queues t on core i with no synchronisation cost — used when
+// the submitting context already runs on that core (e.g. the progression
+// loop handing work to itself).
+func (s *Scheduler) SubmitLocal(i int, t Tasklet) {
+	s.push(i, t, 0)
+}
+
+// SubmitIdle queues t on an idle core if one exists, otherwise on the
+// least-loaded core. It returns the chosen core and the charged cost.
+func (s *Scheduler) SubmitIdle(t Tasklet) (int, time.Duration) {
+	best := 0
+	bestLoad := int(^uint(0) >> 1)
+	for i, w := range s.workers {
+		if s.coreIdle(i) {
+			return i, s.Submit(i, t)
+		}
+		w.mu.Lock()
+		load := w.queued
+		if w.running {
+			load++
+		}
+		w.mu.Unlock()
+		if load < bestLoad {
+			best, bestLoad = i, load
+		}
+	}
+	return best, s.Submit(best, t)
+}
+
+func (s *Scheduler) push(i int, t Tasklet, d time.Duration) {
+	w := s.workers[i]
+	w.mu.Lock()
+	w.queued++
+	w.mu.Unlock()
+	w.q.Push(submission{t: t, delay: d})
+}
+
+// Shutdown stops all workers after their queued tasklets drain.
+func (s *Scheduler) Shutdown() {
+	for _, w := range s.workers {
+		w.q.Push(shutdown{})
+	}
+}

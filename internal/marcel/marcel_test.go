@@ -1,0 +1,213 @@
+package marcel
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/rt"
+)
+
+func TestTaskletRunsAfterSyncCost(t *testing.T) {
+	env := rt.NewSim()
+	s := New(env, 2)
+	var ranAt time.Duration
+	env.Go("driver", func(ctx rt.Ctx) {
+		ctx.Sleep(time.Microsecond)
+		cost := s.Submit(1, Tasklet{Name: "send", Run: func(c rt.Ctx) { ranAt = c.Now() }})
+		if cost != model.OffloadSyncCost {
+			t.Errorf("sync cost %v, want %v", cost, model.OffloadSyncCost)
+		}
+		ctx.Sleep(100 * time.Microsecond)
+		s.Shutdown()
+	})
+	env.Run()
+	if want := time.Microsecond + model.OffloadSyncCost; ranAt != want {
+		t.Fatalf("tasklet ran at %v, want %v (paper's 3µs offload cost)", ranAt, want)
+	}
+}
+
+func TestPreemptCostOnComputingCore(t *testing.T) {
+	env := rt.NewSim()
+	s := New(env, 2)
+	var ranAt time.Duration
+	env.Go("driver", func(ctx rt.Ctx) {
+		s.SetComputing(0, true)
+		if cost := s.Submit(0, Tasklet{Run: func(c rt.Ctx) { ranAt = c.Now() }}); cost != model.OffloadPreemptCost {
+			t.Errorf("preempt cost %v, want %v", cost, model.OffloadPreemptCost)
+		}
+		ctx.Sleep(100 * time.Microsecond)
+		s.Shutdown()
+	})
+	env.Run()
+	if ranAt != model.OffloadPreemptCost {
+		t.Fatalf("tasklet ran at %v, want %v (paper's 6µs preemption)", ranAt, model.OffloadPreemptCost)
+	}
+}
+
+func TestSubmitLocalHasNoCost(t *testing.T) {
+	env := rt.NewSim()
+	s := New(env, 1)
+	var ranAt time.Duration = -1
+	env.Go("driver", func(ctx rt.Ctx) {
+		s.SubmitLocal(0, Tasklet{Run: func(c rt.Ctx) { ranAt = c.Now() }})
+		ctx.Sleep(time.Millisecond)
+		s.Shutdown()
+	})
+	env.Run()
+	if ranAt != 0 {
+		t.Fatalf("local tasklet ran at %v, want 0", ranAt)
+	}
+}
+
+func TestIdleCoresTracking(t *testing.T) {
+	env := rt.NewSim()
+	s := New(env, 4)
+	env.Go("driver", func(ctx rt.Ctx) {
+		ctx.Sleep(time.Microsecond) // let workers park on their queues
+		if n := s.NumIdle(); n != 4 {
+			t.Errorf("fresh scheduler: %d idle cores, want 4", n)
+		}
+		s.SetComputing(3, true)
+		if n := s.NumIdle(); n != 3 {
+			t.Errorf("with one computing core: %d idle, want 3", n)
+		}
+		block := env.NewEvent()
+		s.Submit(0, Tasklet{Run: func(c rt.Ctx) { block.Wait(c) }})
+		ctx.Sleep(10 * time.Microsecond) // past the sync cost; tasklet running
+		if n := s.NumIdle(); n != 2 {
+			t.Errorf("with one running tasklet: %d idle, want 2", n)
+		}
+		idle := s.IdleCores()
+		if len(idle) != 2 || idle[0] != 1 || idle[1] != 2 {
+			t.Errorf("idle set = %v, want [1 2]", idle)
+		}
+		block.Fire()
+		ctx.Sleep(time.Microsecond)
+		s.SetComputing(3, false)
+		if n := s.NumIdle(); n != 4 {
+			t.Errorf("after drain: %d idle, want 4", n)
+		}
+		s.Shutdown()
+	})
+	env.Run()
+}
+
+func TestSubmitIdlePrefersIdleCore(t *testing.T) {
+	env := rt.NewSim()
+	s := New(env, 3)
+	env.Go("driver", func(ctx rt.Ctx) {
+		ctx.Sleep(time.Microsecond)
+		block := env.NewEvent()
+		s.Submit(0, Tasklet{Run: func(c rt.Ctx) { block.Wait(c) }})
+		ctx.Sleep(10 * time.Microsecond)
+		core, _ := s.SubmitIdle(Tasklet{Run: func(rt.Ctx) {}})
+		if core == 0 {
+			t.Errorf("SubmitIdle picked the busy core 0")
+		}
+		block.Fire()
+		ctx.Sleep(10 * time.Microsecond)
+		s.Shutdown()
+	})
+	env.Run()
+}
+
+func TestSubmitIdleFallsBackToLeastLoaded(t *testing.T) {
+	env := rt.NewSim()
+	s := New(env, 2)
+	env.Go("driver", func(ctx rt.Ctx) {
+		ctx.Sleep(time.Microsecond)
+		block := env.NewEvent()
+		// Occupy both cores, then pile two more tasklets on core 0.
+		s.Submit(0, Tasklet{Run: func(c rt.Ctx) { block.Wait(c) }})
+		s.Submit(1, Tasklet{Run: func(c rt.Ctx) { block.Wait(c) }})
+		ctx.Sleep(10 * time.Microsecond)
+		s.Submit(0, Tasklet{Run: func(rt.Ctx) {}})
+		s.Submit(0, Tasklet{Run: func(rt.Ctx) {}})
+		core, _ := s.SubmitIdle(Tasklet{Run: func(rt.Ctx) {}})
+		if core != 1 {
+			t.Errorf("SubmitIdle picked core %d, want least-loaded 1", core)
+		}
+		block.Fire()
+		ctx.Sleep(10 * time.Microsecond)
+		s.Shutdown()
+	})
+	env.Run()
+}
+
+func TestFIFOPerCore(t *testing.T) {
+	env := rt.NewSim()
+	s := New(env, 1)
+	var order []int
+	env.Go("driver", func(ctx rt.Ctx) {
+		for i := 0; i < 5; i++ {
+			i := i
+			s.Submit(0, Tasklet{Run: func(rt.Ctx) { order = append(order, i) }})
+		}
+		ctx.Sleep(time.Millisecond)
+		s.Shutdown()
+	})
+	env.Run()
+	if len(order) != 5 {
+		t.Fatalf("ran %d tasklets", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("order %v", order)
+		}
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	env := rt.NewSim()
+	s := New(env, 1)
+	work := 10 * time.Microsecond
+	env.Go("driver", func(ctx rt.Ctx) {
+		s.Submit(0, Tasklet{Run: func(c rt.Ctx) { c.Sleep(work) }})
+		ctx.Sleep(time.Millisecond)
+		s.Shutdown()
+	})
+	env.Run()
+	st := s.Stats(0)
+	if st.Tasklets != 1 {
+		t.Fatalf("tasklets = %d", st.Tasklets)
+	}
+	if want := work + model.OffloadSyncCost; st.BusyTime != want {
+		t.Fatalf("busy time %v, want %v", st.BusyTime, want)
+	}
+}
+
+func TestWorksOnLiveEnv(t *testing.T) {
+	env := rt.NewLive()
+	s := New(env, 2)
+	var n atomic.Int32
+	done := env.NewEvent()
+	for i := 0; i < 8; i++ {
+		s.SubmitIdle(Tasklet{Run: func(rt.Ctx) {
+			if n.Add(1) == 8 {
+				done.Fire()
+			}
+		}})
+	}
+	env.Go("waiter", func(ctx rt.Ctx) {
+		if !done.WaitTimeout(ctx, 5*time.Second) {
+			t.Error("tasklets did not complete")
+		}
+		s.Shutdown()
+	})
+	env.WaitIdle()
+	if n.Load() != 8 {
+		t.Fatalf("ran %d tasklets, want 8", n.Load())
+	}
+}
+
+func TestNewClampsCores(t *testing.T) {
+	env := rt.NewSim()
+	s := New(env, 0)
+	if s.NCores() != 1 {
+		t.Fatalf("NCores = %d, want 1", s.NCores())
+	}
+	s.Shutdown()
+	env.Run()
+}

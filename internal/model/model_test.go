@@ -1,0 +1,282 @@
+package model
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+const (
+	kib = 1024
+	mib = 1024 * 1024
+)
+
+// mibps converts bytes/second to the paper's "MB/s" (MiB/s) plot unit.
+func mibps(bps float64) float64 { return bps / (1 << 20) }
+
+func within(t *testing.T, got, want, tolFrac float64, what string) {
+	t.Helper()
+	if want == 0 {
+		t.Fatalf("%s: zero want", what)
+	}
+	if math.Abs(got-want)/math.Abs(want) > tolFrac {
+		t.Fatalf("%s = %.4g, want %.4g (±%.1f%%)", what, got, want, tolFrac*100)
+	}
+}
+
+func TestValidateAcceptsBuiltins(t *testing.T) {
+	for _, p := range []*Profile{Myri10G(), QsNetII(), IBVerbs(), GigE()} {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestValidateRejectsBadProfiles(t *testing.T) {
+	cases := []Profile{
+		{},
+		{Name: "x"},
+		{Name: "x", EagerRate: 1e9},
+		{Name: "x", EagerRate: 1e9, WireBandwidth: 1e9},
+		{Name: "x", EagerRate: 1e9, WireBandwidth: 1e9, RecvCopyRate: 1e9, WireLatency: -1},
+		{Name: "x", EagerRate: 1e9, WireBandwidth: 1e9, RecvCopyRate: 1e9, EagerMax: -1},
+	}
+	for i, c := range cases {
+		if err := c.Validate(); err == nil {
+			t.Errorf("case %d: Validate accepted %+v", i, c)
+		}
+	}
+}
+
+// Paper checkpoint (Fig 8): "by sending the whole message through
+// Myri-10G, a 1170 MB/s bandwidth is reached whereas sending the message
+// through Quadrics permits to reach 837 MB/s."
+func TestPaperCheckpointPeakBandwidths(t *testing.T) {
+	within(t, mibps(Myri10G().Bandwidth(8*mib)), 1170, 0.01, "Myri-10G peak MB/s at 8MB")
+	within(t, mibps(QsNetII().Bandwidth(8*mib)), 837, 0.01, "QsNetII peak MB/s at 8MB")
+}
+
+// Paper checkpoint (Fig 8, iso-split): "when the application sends a 4 MB
+// message, a 2 MB chunk of message is sent over Myri-10G in approximately
+// 1730 µs while another 2 MB chunk is sent through Quadrics in 2400 µs.
+// The Myri-10G network is thus unused for 670 µs."
+func TestPaperCheckpointIsoSplit4MB(t *testing.T) {
+	m, q := Myri10G(), QsNetII()
+	tm := m.RdvOneWay(2 * mib)
+	tq := q.RdvOneWay(2 * mib)
+	within(t, tm.Seconds()*1e6, 1730, 0.02, "Myri 2MB chunk µs")
+	within(t, tq.Seconds()*1e6, 2400, 0.02, "Quadrics 2MB chunk µs")
+	within(t, (tq-tm).Seconds()*1e6, 670, 0.05, "idle gap µs")
+}
+
+// Paper checkpoint (Fig 8, hetero-split): "a 2437 KB chunk of message is
+// sent through Myri-10G in 1999 µs whereas a 1757 KB chunk is sent over
+// Quadrics in 2001 µs."
+func TestPaperCheckpointHeteroSplit4MB(t *testing.T) {
+	m, q := Myri10G(), QsNetII()
+	// Equal-completion split of 4 MiB between the two rendezvous paths.
+	size := 4 * mib
+	sm := 1e9 / m.WireBandwidth // ns per byte
+	sq := 1e9 / q.WireBandwidth
+	am := float64(m.RdvSetup())
+	aq := float64(q.RdvSetup())
+	// am + r*size*sm = aq + (1-r)*size*sq
+	r := (aq - am + float64(size)*sq) / (float64(size) * (sm + sq))
+	chunkM := int(math.Round(r * float64(size)))
+	chunkQ := size - chunkM
+	within(t, float64(chunkM)/1e3, 2437, 0.01, "Myri chunk KB")
+	within(t, float64(chunkQ)/1e3, 1757, 0.01, "Quadrics chunk KB")
+	within(t, m.RdvOneWay(chunkM).Seconds()*1e6, 1999, 0.01, "Myri chunk µs")
+	within(t, q.RdvOneWay(chunkQ).Seconds()*1e6, 2001, 0.01, "Quadrics chunk µs")
+}
+
+// Paper checkpoint (Fig 8): iso-split peaks near 1670 MB/s (twice the
+// slower rail), and the theoretical aggregate is close to 2 GB/s.
+func TestPaperCheckpointIsoAndAggregatePeaks(t *testing.T) {
+	m, q := Myri10G(), QsNetII()
+	size := 8 * mib
+	tIso := m.RdvOneWay(size / 2)
+	if tq := q.RdvOneWay(size / 2); tq > tIso {
+		tIso = tq
+	}
+	within(t, mibps(float64(size)/tIso.Seconds()), 1670, 0.01, "iso-split peak MB/s")
+	within(t, mibps(m.WireBandwidth+q.WireBandwidth), 2007, 0.02, "aggregate wire MB/s (~2GB/s)")
+}
+
+// Paper checkpoint (§IV-B / Fig 9): optimal split with the 3 µs offload
+// cost reduces 64 KB latency by roughly 30% versus the best single rail.
+func TestPaperCheckpointFig9Reduction(t *testing.T) {
+	m, q := Myri10G(), QsNetII()
+	size := 64 * kib
+	sm := 1e9 / m.WireBandwidth
+	sq := 1e9 / q.WireBandwidth
+	r := (float64(q.RdvSetup()) - float64(m.RdvSetup()) + float64(size)*sq) /
+		(float64(size) * (sm + sq))
+	split := OffloadSyncCost + m.RdvOneWay(int(r*float64(size)))
+	single := m.OneWay(size)
+	if qw := q.OneWay(size); qw < single {
+		single = qw
+	}
+	red := 1 - split.Seconds()/single.Seconds()
+	if red < 0.25 || red > 0.40 {
+		t.Fatalf("64KB latency reduction = %.1f%%, want ~30%%", red*100)
+	}
+}
+
+// Paper checkpoint (§IV-B): splitting small messages is counterproductive
+// because of the 3 µs offload cost — at 4 B the best split is worse than
+// the best single rail.
+func TestPaperCheckpointTinySplitCounterproductive(t *testing.T) {
+	m, q := Myri10G(), QsNetII()
+	best := q.OneWay(4)
+	if mw := m.OneWay(4); mw < best {
+		best = mw
+	}
+	// Even a maximally favourable split (everything on the faster rail)
+	// still pays the offload sync cost.
+	split := OffloadSyncCost + best
+	if split <= best {
+		t.Fatalf("split %v <= single %v at 4B; offload cost lost", split, best)
+	}
+	if ratio := float64(split) / float64(best); ratio < 1.5 {
+		t.Fatalf("tiny-message split penalty %.2fx, want >=1.5x", ratio)
+	}
+}
+
+func TestOffloadCostConstants(t *testing.T) {
+	if OffloadSyncCost != 3*time.Microsecond {
+		t.Errorf("OffloadSyncCost = %v, want 3µs (paper §III-D)", OffloadSyncCost)
+	}
+	if OffloadPreemptCost != 6*time.Microsecond {
+		t.Errorf("OffloadPreemptCost = %v, want 6µs (paper §III-D)", OffloadPreemptCost)
+	}
+}
+
+func TestQsNetHasLowerSmallMessageLatency(t *testing.T) {
+	// Fig 3/9: the Quadrics curve sits below Myri-10G at small sizes.
+	if QsNetII().OneWay(4) >= Myri10G().OneWay(4) {
+		t.Fatal("QsNetII should beat Myri-10G at 4B")
+	}
+	// ... and above it at large sizes (bandwidth-bound).
+	if QsNetII().OneWay(1*mib) <= Myri10G().OneWay(1*mib) {
+		t.Fatal("Myri-10G should beat QsNetII at 1MB")
+	}
+}
+
+func TestThresholdIsCrossover(t *testing.T) {
+	for _, p := range []*Profile{Myri10G(), QsNetII(), IBVerbs()} {
+		th := p.Threshold()
+		if th <= 0 || th > p.EagerMax {
+			t.Fatalf("%s: threshold %d outside (0,%d]", p.Name, th, p.EagerMax)
+		}
+		if th == p.EagerMax {
+			continue // capped; no crossover to check
+		}
+		if p.EagerOneWay(th-64) > p.RdvOneWay(th-64) {
+			t.Errorf("%s: eager should win just below threshold %d", p.Name, th)
+		}
+		if p.EagerOneWay(th+64) < p.RdvOneWay(th+64) {
+			t.Errorf("%s: rendezvous should win just above threshold %d", p.Name, th)
+		}
+	}
+}
+
+func TestChooseRespectsEagerMax(t *testing.T) {
+	p := Myri10G()
+	if p.Choose(p.EagerMax+1) != Rendezvous {
+		t.Fatal("payload above EagerMax must use rendezvous")
+	}
+}
+
+func TestSendCPUTimeRegimes(t *testing.T) {
+	p := Myri10G()
+	if got := p.SendCPUTime(Rendezvous, 8*mib); got != p.SendOverhead {
+		t.Errorf("rendezvous CPU time = %v, want just overhead %v (DMA frees the core)", got, p.SendOverhead)
+	}
+	eager := p.SendCPUTime(Eager, 16*kib)
+	if eager <= p.SendOverhead {
+		t.Error("eager CPU time must include the PIO copy")
+	}
+	n := 16 * kib
+	want := p.SendOverhead + time.Duration(float64(n)/0.87)
+	within(t, float64(eager), float64(want), 0.01, "eager CPU time")
+}
+
+func TestProtocolString(t *testing.T) {
+	if Eager.String() != "eager" || Rendezvous.String() != "rendezvous" {
+		t.Fatal("protocol names")
+	}
+	if Protocol(9).String() == "" {
+		t.Fatal("unknown protocol must still format")
+	}
+}
+
+func TestUniformProfile(t *testing.T) {
+	p := Uniform("u", 5*time.Microsecond, 1e9, 8*kib)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if p.Choose(16*kib) != Rendezvous {
+		t.Fatal("uniform profile must force rendezvous above eager max")
+	}
+}
+
+// Property: one-way latency is nondecreasing in message size for every
+// built-in profile.
+func TestPropertyOneWayMonotone(t *testing.T) {
+	profiles := []*Profile{Myri10G(), QsNetII(), IBVerbs(), GigE()}
+	f := func(aRaw, bRaw uint32) bool {
+		a := int(aRaw % (16 * mib))
+		b := int(bRaw % (16 * mib))
+		if a > b {
+			a, b = b, a
+		}
+		for _, p := range profiles {
+			ta, tb := p.OneWay(a), p.OneWay(b)
+			// Allow the protocol switch to produce a tiny non-monotonicity
+			// of at most the handshake cost right at the threshold.
+			if ta > tb+p.RdvSetup() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Bandwidth(n)*OneWay(n) reconstructs n for positive sizes.
+func TestPropertyBandwidthConsistent(t *testing.T) {
+	p := Myri10G()
+	f := func(raw uint32) bool {
+		n := int(raw%(8*mib)) + 1
+		back := p.Bandwidth(n) * p.OneWay(n).Seconds()
+		return math.Abs(back-float64(n)) < 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Choose always picks the regime with the smaller modeled
+// one-way time, unless forced by EagerMax.
+func TestPropertyChooseOptimal(t *testing.T) {
+	profiles := []*Profile{Myri10G(), QsNetII(), IBVerbs(), GigE()}
+	f := func(raw uint32, idx uint8) bool {
+		p := profiles[int(idx)%len(profiles)]
+		n := int(raw % (2 * mib))
+		got := p.Choose(n)
+		if n > p.EagerMax {
+			return got == Rendezvous
+		}
+		if p.EagerOneWay(n) <= p.RdvOneWay(n) {
+			return got == Eager
+		}
+		return got == Rendezvous
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

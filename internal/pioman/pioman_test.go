@@ -1,0 +1,210 @@
+package pioman
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/marcel"
+	"repro/internal/model"
+	"repro/internal/rt"
+	"repro/internal/simnet"
+)
+
+func cluster(t *testing.T) (*rt.SimEnv, *simnet.Cluster) {
+	t.Helper()
+	env := rt.NewSim()
+	c, err := simnet.New(env, simnet.Config{
+		Nodes: 2, Rails: model.PaperTestbed(), CoresPerNode: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env, c
+}
+
+func TestBlockingDeliveryMatchesModel(t *testing.T) {
+	env, c := cluster(t)
+	m := New(env, c.Nodes[1], nil, Config{Mode: Blocking})
+	var handled time.Duration
+	m.Start(func(ctx rt.Ctx, d *simnet.Delivery) { handled = ctx.Now() })
+	size := 4096
+	env.Go("send", func(ctx rt.Ctx) {
+		c.Nodes[0].Rail(0).SendEager(ctx, 1, make([]byte, size))
+		ctx.Sleep(time.Millisecond)
+		m.Stop()
+	})
+	env.Run()
+	want := c.Nodes[0].Rail(0).Profile().EagerOneWay(size)
+	if handled != want {
+		t.Fatalf("handler at %v, want %v (zero-added-latency blocking path)", handled, want)
+	}
+	if st := m.Stats(); st.Delivered != 1 {
+		t.Fatalf("delivered = %d", st.Delivered)
+	}
+}
+
+func TestPollingAddsBoundedLatency(t *testing.T) {
+	env, c := cluster(t)
+	interval := 10 * time.Microsecond
+	m := New(env, c.Nodes[1], nil, Config{Mode: Polling, Interval: interval})
+	var handled time.Duration
+	m.Start(func(ctx rt.Ctx, d *simnet.Delivery) { handled = ctx.Now() })
+	size := 4096
+	env.Go("send", func(ctx rt.Ctx) {
+		c.Nodes[0].Rail(0).SendEager(ctx, 1, make([]byte, size))
+		ctx.Sleep(time.Millisecond)
+		m.Stop()
+	})
+	env.Run()
+	base := c.Nodes[0].Rail(0).Profile().EagerOneWay(size)
+	if handled < base {
+		t.Fatalf("polling handled at %v before possible %v", handled, base)
+	}
+	if handled > base+interval {
+		t.Fatalf("polling latency %v exceeds one interval over %v", handled, base)
+	}
+	if st := m.Stats(); st.Polls == 0 {
+		t.Fatal("no polls counted")
+	}
+}
+
+func TestAutoUsesPollingWhenCoresIdle(t *testing.T) {
+	env, c := cluster(t)
+	sched := marcel.New(env, 2)
+	m := New(env, c.Nodes[1], sched, Config{Mode: Auto, Interval: 5 * time.Microsecond})
+	handled := false
+	m.Start(func(ctx rt.Ctx, d *simnet.Delivery) { handled = true })
+	env.Go("send", func(ctx rt.Ctx) {
+		ctx.Sleep(20 * time.Microsecond) // let the poller spin a few times
+		c.Nodes[0].Rail(0).SendEager(ctx, 1, make([]byte, 64))
+		ctx.Sleep(time.Millisecond)
+		m.Stop()
+		sched.Shutdown()
+	})
+	env.Run()
+	if !handled {
+		t.Fatal("delivery not handled")
+	}
+	if st := m.Stats(); st.Polls == 0 {
+		t.Fatal("auto mode with idle cores should poll")
+	}
+}
+
+func TestAutoFallsBackToBlockingWhenBusy(t *testing.T) {
+	env, c := cluster(t)
+	sched := marcel.New(env, 1)
+	m := New(env, c.Nodes[1], sched, Config{Mode: Auto, Interval: 5 * time.Microsecond})
+	sched.SetComputing(0, true) // no idle cores -> blocking
+	handled := false
+	m.Start(func(ctx rt.Ctx, d *simnet.Delivery) { handled = true })
+	env.Go("send", func(ctx rt.Ctx) {
+		ctx.Sleep(50 * time.Microsecond)
+		c.Nodes[0].Rail(0).SendEager(ctx, 1, make([]byte, 64))
+		ctx.Sleep(time.Millisecond)
+		m.Stop()
+		sched.Shutdown()
+	})
+	env.Run()
+	if !handled {
+		t.Fatal("delivery not handled")
+	}
+	if st := m.Stats(); st.Polls != 0 {
+		t.Fatalf("auto mode without idle cores polled %d times", st.Polls)
+	}
+}
+
+func TestOrderingPreserved(t *testing.T) {
+	env, c := cluster(t)
+	m := New(env, c.Nodes[1], nil, Config{})
+	var got []int
+	m.Start(func(ctx rt.Ctx, d *simnet.Delivery) { got = append(got, int(d.Data[0])) })
+	env.Go("send", func(ctx rt.Ctx) {
+		for i := 0; i < 5; i++ {
+			c.Nodes[0].Rail(0).SendEager(ctx, 1, []byte{byte(i)})
+		}
+		ctx.Sleep(time.Millisecond)
+		m.Stop()
+	})
+	env.Run()
+	if len(got) != 5 {
+		t.Fatalf("handled %d deliveries", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("order %v", got)
+		}
+	}
+}
+
+func TestCopyCPUDelaysNextDelivery(t *testing.T) {
+	env, c := cluster(t)
+	m := New(env, c.Nodes[1], nil, Config{})
+	var times []time.Duration
+	m.Start(func(ctx rt.Ctx, d *simnet.Delivery) { times = append(times, ctx.Now()) })
+	size := 16384
+	env.Go("send0", func(ctx rt.Ctx) {
+		c.Nodes[0].Rail(0).SendEager(ctx, 1, make([]byte, size))
+	})
+	env.Go("send1", func(ctx rt.Ctx) {
+		c.Nodes[0].Rail(1).SendEager(ctx, 1, make([]byte, size))
+	})
+	env.Go("stopper", func(ctx rt.Ctx) {
+		ctx.Sleep(10 * time.Millisecond)
+		m.Stop()
+	})
+	env.Run()
+	if len(times) != 2 {
+		t.Fatalf("handled %d", len(times))
+	}
+	p := c.Nodes[0].Rail(0).Profile()
+	copyCost := time.Duration(float64(size) / p.RecvCopyRate * 1e9)
+	if gap := times[1] - times[0]; gap < copyCost {
+		t.Fatalf("second delivery after %v, want at least the %v receive copy", gap, copyCost)
+	}
+}
+
+func TestTwoWorkersProcessInParallel(t *testing.T) {
+	env, c := cluster(t)
+	m := New(env, c.Nodes[1], nil, Config{Workers: 2})
+	var times []time.Duration
+	m.Start(func(ctx rt.Ctx, d *simnet.Delivery) { times = append(times, ctx.Now()) })
+	size := 16384
+	env.Go("send0", func(ctx rt.Ctx) {
+		c.Nodes[0].Rail(0).SendEager(ctx, 1, make([]byte, size))
+	})
+	env.Go("send1", func(ctx rt.Ctx) {
+		c.Nodes[0].Rail(1).SendEager(ctx, 1, make([]byte, size))
+	})
+	env.Go("stopper", func(ctx rt.Ctx) {
+		ctx.Sleep(10 * time.Millisecond)
+		m.Stop()
+		m.Stop() // nudge the second parked worker; Stop is idempotent
+	})
+	env.Run()
+	if len(times) != 2 {
+		t.Fatalf("handled %d", len(times))
+	}
+	p := c.Nodes[0].Rail(0).Profile()
+	copyCost := time.Duration(float64(size) / p.RecvCopyRate * 1e9)
+	if gap := times[1] - times[0]; gap >= copyCost {
+		t.Fatalf("parallel workers still serialized: gap %v", gap)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if Blocking.String() != "blocking" || Polling.String() != "polling" || Auto.String() != "auto" {
+		t.Fatal("mode names")
+	}
+	if Mode(9).String() == "" {
+		t.Fatal("unknown mode must format")
+	}
+}
+
+func TestAutoWithoutSchedulerDegradesToBlocking(t *testing.T) {
+	env, c := cluster(t)
+	m := New(env, c.Nodes[1], nil, Config{Mode: Auto})
+	if m.cfg.Mode != Blocking {
+		t.Fatal("Auto without scheduler should degrade to Blocking")
+	}
+	_ = env
+}

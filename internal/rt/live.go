@@ -1,0 +1,217 @@
+package rt
+
+import (
+	"sync"
+	"time"
+)
+
+// LiveEnv runs actors as free-running goroutines on the wall clock.
+type LiveEnv struct {
+	epoch time.Time
+	wg    sync.WaitGroup
+}
+
+// NewLive returns a wall-clock environment whose epoch is now.
+func NewLive() *LiveEnv { return &LiveEnv{epoch: time.Now()} }
+
+// WaitIdle blocks until every actor spawned with Go has returned. Useful
+// in tests; production code synchronises through Events instead.
+func (e *LiveEnv) WaitIdle() { e.wg.Wait() }
+
+func (e *LiveEnv) Now() time.Duration { return time.Since(e.epoch) }
+func (e *LiveEnv) IsSim() bool        { return false }
+
+func (e *LiveEnv) Go(name string, fn func(Ctx)) {
+	_ = name // names are for simulation traces; goroutines are anonymous
+	e.wg.Add(1)
+	go func() {
+		defer e.wg.Done()
+		fn(liveCtx{env: e})
+	}()
+}
+
+func (e *LiveEnv) After(d time.Duration, fn func()) {
+	if d <= 0 {
+		// Preserve the "runs later, never inline" guarantee of the sim.
+		go fn()
+		return
+	}
+	time.AfterFunc(d, fn)
+}
+
+func (e *LiveEnv) NewEvent() Event { return &liveEvent{done: make(chan struct{})} }
+func (e *LiveEnv) NewQueue() Queue {
+	q := &liveQueue{}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+func (e *LiveEnv) NewResource(c int) Resource {
+	if c < 1 {
+		c = 1
+	}
+	r := &liveResource{capacity: c}
+	r.cond = sync.NewCond(&r.mu)
+	return r
+}
+
+type liveCtx struct{ env *LiveEnv }
+
+func (c liveCtx) Now() time.Duration { return c.env.Now() }
+func (c liveCtx) Sleep(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
+
+type liveEvent struct {
+	mu    sync.Mutex
+	fired bool
+	done  chan struct{}
+	cbs   []func()
+}
+
+func (e *liveEvent) Fire() {
+	e.mu.Lock()
+	if e.fired {
+		e.mu.Unlock()
+		return
+	}
+	e.fired = true
+	cbs := e.cbs
+	e.cbs = nil
+	close(e.done)
+	e.mu.Unlock()
+	for _, cb := range cbs {
+		cb()
+	}
+}
+
+func (e *liveEvent) Fired() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.fired
+}
+
+func (e *liveEvent) Wait(Ctx) { <-e.done }
+
+func (e *liveEvent) WaitTimeout(_ Ctx, d time.Duration) bool {
+	if d <= 0 {
+		select {
+		case <-e.done:
+			return true
+		default:
+			return false
+		}
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-e.done:
+		return true
+	case <-t.C:
+		return e.Fired() // may have fired concurrently with the timer
+	}
+}
+
+func (e *liveEvent) OnFire(cb func()) {
+	e.mu.Lock()
+	if e.fired {
+		e.mu.Unlock()
+		cb()
+		return
+	}
+	e.cbs = append(e.cbs, cb)
+	e.mu.Unlock()
+}
+
+type liveQueue struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	items []any
+}
+
+func (q *liveQueue) Push(v any) {
+	q.mu.Lock()
+	q.items = append(q.items, v)
+	q.mu.Unlock()
+	q.cond.Signal()
+}
+
+func (q *liveQueue) Pop(Ctx) any {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for len(q.items) == 0 {
+		q.cond.Wait()
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v
+}
+
+func (q *liveQueue) TryPop() (any, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if len(q.items) == 0 {
+		return nil, false
+	}
+	v := q.items[0]
+	q.items = q.items[1:]
+	return v, true
+}
+
+func (q *liveQueue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.items)
+}
+
+type liveResource struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	capacity int
+	inUse    int
+}
+
+func (r *liveResource) Acquire(Ctx) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for r.inUse >= r.capacity {
+		r.cond.Wait()
+	}
+	r.inUse++
+}
+
+func (r *liveResource) TryAcquire() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.inUse >= r.capacity {
+		return false
+	}
+	r.inUse++
+	return true
+}
+
+func (r *liveResource) Release() {
+	r.mu.Lock()
+	if r.inUse <= 0 {
+		r.mu.Unlock()
+		panic("rt: Resource.Release without matching Acquire")
+	}
+	r.inUse--
+	r.mu.Unlock()
+	r.cond.Signal()
+}
+
+func (r *liveResource) Idle() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.inUse < r.capacity
+}
+
+func (r *liveResource) Cap() int { return r.capacity }
+
+func (r *liveResource) InUse() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.inUse
+}

@@ -1,0 +1,295 @@
+package rt
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// runScenario executes fn under the environment and blocks until all
+// simulated/live work completes.
+func runSim(fn func(env Env)) {
+	e := NewSim()
+	fn(e)
+	e.Run()
+}
+
+func runLive(fn func(env Env)) {
+	e := NewLive()
+	fn(e)
+	e.WaitIdle()
+}
+
+// both runs the scenario under both environments. The scenario must use
+// only rt primitives for synchronisation.
+func both(t *testing.T, fn func(t *testing.T, env Env, settle func())) {
+	t.Run("sim", func(t *testing.T) {
+		e := NewSim()
+		fn(t, e, e.Run)
+	})
+	t.Run("live", func(t *testing.T) {
+		e := NewLive()
+		fn(t, e, e.WaitIdle)
+	})
+}
+
+func TestEventFireWakesWaiter(t *testing.T) {
+	both(t, func(t *testing.T, env Env, settle func()) {
+		ev := env.NewEvent()
+		var woke atomic.Bool
+		env.Go("waiter", func(ctx Ctx) {
+			ev.Wait(ctx)
+			woke.Store(true)
+		})
+		env.Go("firer", func(ctx Ctx) {
+			ctx.Sleep(time.Millisecond)
+			ev.Fire()
+		})
+		settle()
+		if !woke.Load() {
+			t.Fatal("waiter never woke")
+		}
+	})
+}
+
+func TestEventOnFireRunsOnce(t *testing.T) {
+	both(t, func(t *testing.T, env Env, settle func()) {
+		ev := env.NewEvent()
+		var n atomic.Int32
+		ev.OnFire(func() { n.Add(1) })
+		env.Go("firer", func(Ctx) {
+			ev.Fire()
+			ev.Fire()
+		})
+		settle()
+		if n.Load() != 1 {
+			t.Fatalf("OnFire ran %d times", n.Load())
+		}
+	})
+}
+
+func TestEventOnFireAfterFired(t *testing.T) {
+	both(t, func(t *testing.T, env Env, settle func()) {
+		ev := env.NewEvent()
+		var ran atomic.Bool
+		env.Go("a", func(Ctx) {
+			ev.Fire()
+			ev.OnFire(func() { ran.Store(true) })
+		})
+		settle()
+		// In live mode the late OnFire runs synchronously; in sim it is
+		// scheduled at the current time and dispatched by settle.
+		if !ran.Load() {
+			t.Fatal("late OnFire never ran")
+		}
+	})
+}
+
+func TestWaitTimeoutBehaviour(t *testing.T) {
+	both(t, func(t *testing.T, env Env, settle func()) {
+		ev := env.NewEvent()
+		var expired, fired atomic.Bool
+		env.Go("w1", func(ctx Ctx) {
+			if !ev.WaitTimeout(ctx, time.Millisecond) {
+				expired.Store(true)
+			}
+		})
+		env.Go("w2", func(ctx Ctx) {
+			ctx.Sleep(5 * time.Millisecond)
+			ev.Fire()
+			if ev.WaitTimeout(ctx, time.Millisecond) {
+				fired.Store(true)
+			}
+		})
+		settle()
+		if !expired.Load() {
+			t.Fatal("timeout did not expire")
+		}
+		if !fired.Load() {
+			t.Fatal("WaitTimeout after Fire should return true")
+		}
+	})
+}
+
+func TestQueueTransfersItems(t *testing.T) {
+	both(t, func(t *testing.T, env Env, settle func()) {
+		q := env.NewQueue()
+		done := env.NewEvent()
+		var sum atomic.Int64
+		env.Go("consumer", func(ctx Ctx) {
+			for i := 0; i < 3; i++ {
+				sum.Add(int64(q.Pop(ctx).(int)))
+			}
+			done.Fire()
+		})
+		env.Go("producer", func(ctx Ctx) {
+			for i := 1; i <= 3; i++ {
+				q.Push(i * 10)
+				ctx.Sleep(time.Millisecond)
+			}
+		})
+		env.Go("checker", func(ctx Ctx) {
+			done.Wait(ctx)
+		})
+		settle()
+		if sum.Load() != 60 {
+			t.Fatalf("sum = %d, want 60", sum.Load())
+		}
+	})
+}
+
+func TestResourceMutualExclusion(t *testing.T) {
+	both(t, func(t *testing.T, env Env, settle func()) {
+		r := env.NewResource(1)
+		var inside atomic.Int32
+		var maxInside atomic.Int32
+		for i := 0; i < 4; i++ {
+			env.Go("worker", func(ctx Ctx) {
+				r.Acquire(ctx)
+				v := inside.Add(1)
+				for {
+					m := maxInside.Load()
+					if v <= m || maxInside.CompareAndSwap(m, v) {
+						break
+					}
+				}
+				ctx.Sleep(time.Millisecond)
+				inside.Add(-1)
+				r.Release()
+			})
+		}
+		settle()
+		if maxInside.Load() != 1 {
+			t.Fatalf("max concurrent holders = %d, want 1", maxInside.Load())
+		}
+	})
+}
+
+func TestTryAcquireAndIdle(t *testing.T) {
+	both(t, func(t *testing.T, env Env, settle func()) {
+		r := env.NewResource(2)
+		env.Go("a", func(ctx Ctx) {
+			if !r.TryAcquire() {
+				t.Error("first TryAcquire failed")
+			}
+			if !r.Idle() {
+				t.Error("capacity-2 resource with one holder should be idle")
+			}
+			if !r.TryAcquire() {
+				t.Error("second TryAcquire failed")
+			}
+			if r.Idle() {
+				t.Error("full resource reported idle")
+			}
+			if r.TryAcquire() {
+				t.Error("third TryAcquire succeeded on capacity 2")
+			}
+			if r.InUse() != 2 || r.Cap() != 2 {
+				t.Errorf("InUse=%d Cap=%d", r.InUse(), r.Cap())
+			}
+			r.Release()
+			r.Release()
+		})
+		settle()
+	})
+}
+
+func TestAfterRunsLater(t *testing.T) {
+	both(t, func(t *testing.T, env Env, settle func()) {
+		ev := env.NewEvent()
+		env.After(time.Millisecond, ev.Fire)
+		env.Go("w", func(ctx Ctx) { ev.Wait(ctx) })
+		settle()
+		if !ev.Fired() {
+			t.Fatal("After handler never ran")
+		}
+	})
+}
+
+func TestAfterFuncAbsoluteTime(t *testing.T) {
+	both(t, func(t *testing.T, env Env, settle func()) {
+		ev := env.NewEvent()
+		AfterFunc(env, env.Now()+2*time.Millisecond, ev.Fire)
+		// Past times clamp to "run promptly".
+		ev2 := env.NewEvent()
+		AfterFunc(env, env.Now()-time.Hour, ev2.Fire)
+		env.Go("w", func(ctx Ctx) { ev.Wait(ctx); ev2.Wait(ctx) })
+		settle()
+	})
+}
+
+func TestWaitAll(t *testing.T) {
+	both(t, func(t *testing.T, env Env, settle func()) {
+		evs := []Event{env.NewEvent(), env.NewEvent(), env.NewEvent()}
+		var done atomic.Bool
+		env.Go("waiter", func(ctx Ctx) {
+			WaitAll(ctx, evs...)
+			done.Store(true)
+		})
+		for i, e := range evs {
+			e := e
+			env.After(time.Duration(i+1)*time.Millisecond, e.Fire)
+		}
+		settle()
+		if !done.Load() {
+			t.Fatal("WaitAll never completed")
+		}
+	})
+}
+
+func TestSimTimeIsVirtual(t *testing.T) {
+	e := NewSim()
+	var at time.Duration
+	e.Go("sleeper", func(ctx Ctx) {
+		ctx.Sleep(10 * time.Hour) // virtual: runs instantly
+		at = ctx.Now()
+	})
+	start := time.Now()
+	e.Run()
+	if at != 10*time.Hour {
+		t.Fatalf("virtual clock read %v, want 10h", at)
+	}
+	if real := time.Since(start); real > time.Second {
+		t.Fatalf("simulated 10h took %v of wall time", real)
+	}
+	if !e.IsSim() {
+		t.Fatal("IsSim")
+	}
+}
+
+func TestLiveNowAdvances(t *testing.T) {
+	e := NewLive()
+	t0 := e.Now()
+	time.Sleep(2 * time.Millisecond)
+	if e.Now() <= t0 {
+		t.Fatal("live clock did not advance")
+	}
+	if e.IsSim() {
+		t.Fatal("IsSim")
+	}
+}
+
+func TestMismatchedCtxPanics(t *testing.T) {
+	sim := NewSim()
+	live := NewLive()
+	ev := sim.NewEvent()
+	panicked := make(chan bool, 1)
+	live.Go("bad", func(ctx Ctx) {
+		defer func() { panicked <- recover() != nil }()
+		ev.Wait(ctx) // live Ctx on a sim event must panic
+	})
+	if !<-panicked {
+		t.Fatal("cross-environment blocking call did not panic")
+	}
+	_ = runSim
+	_ = runLive
+}
+
+func TestLiveReleaseWithoutAcquirePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewLive().NewResource(1).Release()
+}

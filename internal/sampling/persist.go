@@ -1,0 +1,132 @@
+package sampling
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"time"
+)
+
+// The sampling file format mirrors NewMadeleine's on-disk samplings: a
+// human-readable text file, one header line per rail followed by one line
+// per sample point.
+//
+//	# nmad-go sampling v1
+//	rail 0 Myri-10G eagermax 32768
+//	eager 4 2905
+//	rdv 4 8404
+//	...
+const fileHeader = "# nmad-go sampling v1"
+
+// Save writes the rail profiles in the sampling file format.
+func Save(w io.Writer, profiles []*RailProfile) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, fileHeader)
+	for _, p := range profiles {
+		name := strings.ReplaceAll(p.Name, " ", "_")
+		if name == "" {
+			name = "unnamed"
+		}
+		fmt.Fprintf(bw, "rail %d %s eagermax %d\n", p.Rail, name, p.EagerMax)
+		if p.Eager != nil {
+			for _, s := range p.Eager.Samples() {
+				fmt.Fprintf(bw, "eager %d %d\n", s.Size, s.T.Nanoseconds())
+			}
+		}
+		for _, s := range p.Rdv.Samples() {
+			fmt.Fprintf(bw, "rdv %d %d\n", s.Size, s.T.Nanoseconds())
+		}
+	}
+	return bw.Flush()
+}
+
+// Load parses a sampling file written by Save.
+func Load(r io.Reader) ([]*RailProfile, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	lineno := 0
+	var out []*RailProfile
+	var cur *RailProfile
+	var eager, rdv []Sample
+	flush := func() error {
+		if cur == nil {
+			return nil
+		}
+		var err error
+		if len(eager) > 0 {
+			if len(eager) < 2 {
+				return fmt.Errorf("sampling: rail %d has %d eager samples, need >= 2", cur.Rail, len(eager))
+			}
+			if cur.Eager, err = NewTable(eager); err != nil {
+				return err
+			}
+		}
+		if len(rdv) < 2 {
+			return fmt.Errorf("sampling: rail %d has %d rdv samples, need >= 2", cur.Rail, len(rdv))
+		}
+		if cur.Rdv, err = NewTable(rdv); err != nil {
+			return err
+		}
+		out = append(out, cur)
+		cur, eager, rdv = nil, nil, nil
+		return nil
+	}
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		switch fields[0] {
+		case "rail":
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			if len(fields) != 5 || fields[3] != "eagermax" {
+				return nil, fmt.Errorf("sampling: line %d: bad rail header %q", lineno, line)
+			}
+			cur = &RailProfile{Name: strings.ReplaceAll(fields[2], "_", " ")}
+			if _, err := fmt.Sscanf(fields[1], "%d", &cur.Rail); err != nil {
+				return nil, fmt.Errorf("sampling: line %d: bad rail index: %v", lineno, err)
+			}
+			if _, err := fmt.Sscanf(fields[4], "%d", &cur.EagerMax); err != nil {
+				return nil, fmt.Errorf("sampling: line %d: bad eagermax: %v", lineno, err)
+			}
+		case "eager", "rdv":
+			if cur == nil {
+				return nil, fmt.Errorf("sampling: line %d: sample before rail header", lineno)
+			}
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("sampling: line %d: bad sample %q", lineno, line)
+			}
+			var size int
+			var ns int64
+			if _, err := fmt.Sscanf(fields[1], "%d", &size); err != nil {
+				return nil, fmt.Errorf("sampling: line %d: bad size: %v", lineno, err)
+			}
+			if _, err := fmt.Sscanf(fields[2], "%d", &ns); err != nil {
+				return nil, fmt.Errorf("sampling: line %d: bad duration: %v", lineno, err)
+			}
+			s := Sample{size, time.Duration(ns)}
+			if fields[0] == "eager" {
+				eager = append(eager, s)
+			} else {
+				rdv = append(rdv, s)
+			}
+		default:
+			return nil, fmt.Errorf("sampling: line %d: unknown directive %q", lineno, fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("sampling: no rails in file")
+	}
+	return out, nil
+}

@@ -1,0 +1,99 @@
+package sampling
+
+import (
+	"fmt"
+	"time"
+)
+
+// RailProfile bundles the sampled curves of one rail: the eager (PIO)
+// regime and the rendezvous (DMA) regime. The strategy-facing estimate is
+// the minimum envelope of the two, respecting the rail's hard eager
+// limit.
+type RailProfile struct {
+	// Rail is the rail index within the cluster.
+	Rail int
+	// Name is the rail's technology name (for reports).
+	Name string
+	// Eager is the sampled eager curve (nil if the rail has none).
+	Eager *Table
+	// Rdv is the sampled rendezvous curve.
+	Rdv *Table
+	// EagerMax is the largest payload the eager path accepts.
+	EagerMax int
+}
+
+// Estimate predicts the one-way transfer duration of an n-byte message on
+// this rail, picking the faster regime (the driver does the same).
+func (p *RailProfile) Estimate(n int) time.Duration {
+	rdv := p.Rdv.Estimate(n)
+	if p.Eager == nil || (p.EagerMax > 0 && n > p.EagerMax) {
+		return rdv
+	}
+	if e := p.Eager.Estimate(n); e < rdv {
+		return e
+	}
+	return rdv
+}
+
+// SizeFor inverts Estimate: the largest message size predicted to finish
+// within d (capped at max; 0 means 8x the sampled maximum).
+func (p *RailProfile) SizeFor(d time.Duration, max int) int {
+	best := p.Rdv.SizeFor(d, max)
+	if p.Eager != nil {
+		cap := p.EagerMax
+		if max > 0 && (cap == 0 || max < cap) {
+			cap = max
+		}
+		if e := p.Eager.SizeFor(d, cap); e > best {
+			best = e
+		}
+	}
+	return best
+}
+
+// Threshold derives the rendezvous threshold from the samples: the
+// smallest sampled size at which the rendezvous estimate beats the eager
+// estimate (refined by bisection between the surrounding samples). This
+// is the paper's "sampling measurements can also be used to determine
+// other parameters such as rendezvous threshold".
+func (p *RailProfile) Threshold() int {
+	if p.Eager == nil {
+		return 0
+	}
+	limit := p.EagerMax
+	if limit == 0 {
+		limit = p.Eager.MaxSize()
+	}
+	// Find the first sampled size where rendezvous wins.
+	var lo, hi int
+	found := false
+	prev := p.Eager.MinSize()
+	for _, s := range p.Eager.Samples() {
+		if s.Size > limit {
+			break
+		}
+		if p.Rdv.Estimate(s.Size) < s.T {
+			lo, hi = prev, s.Size
+			found = true
+			break
+		}
+		prev = s.Size
+	}
+	if !found {
+		return limit
+	}
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		if p.Rdv.Estimate(mid) < p.Eager.Estimate(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}
+
+func (p *RailProfile) String() string {
+	return fmt.Sprintf("rail %d (%s): eager %d samples, rdv %d samples, threshold %d",
+		p.Rail, p.Name, len(p.Eager.Samples()), len(p.Rdv.Samples()), p.Threshold())
+}

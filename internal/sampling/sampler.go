@@ -1,0 +1,255 @@
+package sampling
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/rt"
+	"repro/internal/simnet"
+	"repro/internal/wire"
+)
+
+// Config tunes a sampling run.
+type Config struct {
+	// MinSize and MaxSize bound the sampled power-of-two sizes
+	// (defaults 4 B and 8 MiB, the paper's plot range).
+	MinSize int
+	MaxSize int
+	// Iters is the number of measurements per point; the minimum is kept
+	// (1 is exact on the simulator; use more on a live environment).
+	Iters int
+}
+
+func (c *Config) defaults() {
+	if c.MinSize <= 0 {
+		c.MinSize = 4
+	}
+	if c.MaxSize <= 0 {
+		c.MaxSize = 8 << 20
+	}
+	if c.Iters <= 0 {
+		c.Iters = 1
+	}
+}
+
+// sizes returns the power-of-two ladder [MinSize, MaxSize].
+func (c *Config) sizes() []int {
+	var out []int
+	for n := c.MinSize; n <= c.MaxSize; n *= 2 {
+		out = append(out, n)
+	}
+	return out
+}
+
+// SampleProfiles benchmarks each analytic profile on a private two-node
+// simulated cluster and returns one RailProfile per rail. This is what
+// the engine runs at initialisation when no sampling file is given.
+func SampleProfiles(profiles []*model.Profile, cfg Config) ([]*RailProfile, error) {
+	env := rt.NewSim()
+	defer env.Close()
+	c, err := simnet.New(env, simnet.Config{Nodes: 2, Rails: profiles, CoresPerNode: 2})
+	if err != nil {
+		return nil, err
+	}
+	var out []*RailProfile
+	var rerr error
+	env.Go("sampler", func(ctx rt.Ctx) {
+		out, rerr = SampleCluster(ctx, c, cfg)
+	})
+	env.Run()
+	if rerr != nil {
+		return nil, rerr
+	}
+	return out, nil
+}
+
+// SampleCluster benchmarks every rail of an existing cluster, measuring
+// through the same fabric primitives the engine uses. It must be called
+// from an actor of the cluster's environment; it drives nodes 0 and 1.
+func SampleCluster(ctx rt.Ctx, c *simnet.Cluster, cfg Config) ([]*RailProfile, error) {
+	cfg.defaults()
+	if len(c.Nodes) < 2 {
+		return nil, fmt.Errorf("sampling: need 2 nodes, cluster has %d", len(c.Nodes))
+	}
+	srv := newPingServer(c)
+	defer srv.stop()
+	var out []*RailProfile
+	for i := 0; i < c.NRails(); i++ {
+		rp, err := srv.sampleRail(ctx, i, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, rp)
+	}
+	return out, nil
+}
+
+// pingServer answers the sampling micro-protocol on both nodes: RTS is
+// answered with CTS; eager containers and data chunks fire the completion
+// event registered under their message id.
+type pingServer struct {
+	c *simnet.Cluster
+
+	mu      sync.Mutex
+	pending map[uint64]rt.Event
+	stopped bool
+	nextID  uint64
+}
+
+func newPingServer(c *simnet.Cluster) *pingServer {
+	s := &pingServer{c: c, pending: make(map[uint64]rt.Event)}
+	for _, node := range []int{0, 1} {
+		node := node
+		c.Env.Go(fmt.Sprintf("sampling-srv-%d", node), func(ctx rt.Ctx) {
+			s.serve(ctx, node)
+		})
+	}
+	return s
+}
+
+func (s *pingServer) stop() {
+	s.mu.Lock()
+	s.stopped = true
+	s.mu.Unlock()
+	s.c.Nodes[0].RecvQ.Push(nil)
+	s.c.Nodes[1].RecvQ.Push(nil)
+}
+
+func (s *pingServer) isStopped() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stopped
+}
+
+func (s *pingServer) register(id uint64) rt.Event {
+	ev := s.c.Env.NewEvent()
+	s.mu.Lock()
+	s.pending[id] = ev
+	s.mu.Unlock()
+	return ev
+}
+
+func (s *pingServer) fire(id uint64) {
+	s.mu.Lock()
+	ev := s.pending[id]
+	delete(s.pending, id)
+	s.mu.Unlock()
+	if ev != nil {
+		ev.Fire()
+	}
+}
+
+func (s *pingServer) serve(ctx rt.Ctx, node int) {
+	for !s.isStopped() {
+		item := s.c.Nodes[node].RecvQ.Pop(ctx)
+		if item == nil {
+			return
+		}
+		d := item.(*simnet.Delivery)
+		if d.RecvCPU > 0 {
+			ctx.Sleep(d.RecvCPU)
+		}
+		h, _, err := wire.DecodeHeader(d.Data)
+		if err != nil {
+			continue
+		}
+		switch h.Kind {
+		case wire.KindRTS:
+			// Answer with a clear-to-send on the same rail. The CPU cost
+			// split mirrors the engine: half the handshake cost on each
+			// side.
+			prof := s.c.Nodes[node].Rail(d.Rail).Profile()
+			cts := wire.EncodeControl(wire.KindCTS, uint8(d.Rail), h.Tag, h.MsgID, h.TotalLen)
+			s.c.Nodes[node].Rail(d.Rail).SendControl(ctx, d.From, cts,
+				prof.RdvHandshakeCPU/2, prof.RdvHandshakeCPU/2)
+		case wire.KindCTS, wire.KindEager:
+			s.fire(h.MsgID)
+		case wire.KindData:
+			s.fire(h.MsgID)
+		}
+		if d.CopyCPU > 0 {
+			ctx.Sleep(d.CopyCPU)
+		}
+	}
+}
+
+func (s *pingServer) id() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextID++
+	return s.nextID
+}
+
+// measureEager returns the one-way duration of one eager send of n bytes
+// on rail r from node 0 to node 1.
+func (s *pingServer) measureEager(ctx rt.Ctx, r, n int) time.Duration {
+	id := s.id()
+	done := s.register(id)
+	payload := wire.EncodeEager(uint8(r), []wire.Packet{{Tag: 0, MsgID: id, Payload: make([]byte, n)}})
+	t0 := ctx.Now()
+	s.c.Nodes[0].Rail(r).SendEager(ctx, 1, payload)
+	done.Wait(ctx)
+	return ctx.Now() - t0
+}
+
+// measureRdv returns the one-way duration of one rendezvous send of n
+// bytes on rail r: RTS, wait CTS, DMA the payload, completion at
+// delivery.
+func (s *pingServer) measureRdv(ctx rt.Ctx, r, n int) time.Duration {
+	rail := s.c.Nodes[0].Rail(r)
+	prof := rail.Profile()
+	ctsID := s.id()
+	dataID := s.id()
+	cts := s.register(ctsID)
+	done := s.register(dataID)
+	t0 := ctx.Now()
+	rts := wire.EncodeControl(wire.KindRTS, uint8(r), 0, ctsID, uint64(n))
+	rail.SendControl(ctx, 1, rts, prof.SendOverhead, prof.RecvOverhead)
+	cts.Wait(ctx)
+	data := wire.EncodeData(uint8(r), 0, dataID, 0, make([]byte, n), n)
+	rail.SendData(ctx, 1, data, nil)
+	done.Wait(ctx)
+	return ctx.Now() - t0
+}
+
+func (s *pingServer) sampleRail(ctx rt.Ctx, r int, cfg Config) (*RailProfile, error) {
+	prof := s.c.Nodes[0].Rail(r).Profile()
+	// Cooldown between measurements: the receiver's post-completion eager
+	// copy must drain, or it would skew the next point (2 ns/B bounds any
+	// realistic copy rate).
+	cool := func(n int) { ctx.Sleep(10*time.Microsecond + 2*time.Duration(n)) }
+	var eager, rdv []Sample
+	for _, n := range cfg.sizes() {
+		if prof.EagerMax == 0 || n <= prof.EagerMax {
+			best := time.Duration(1<<62 - 1)
+			for it := 0; it < cfg.Iters; it++ {
+				if d := s.measureEager(ctx, r, n); d < best {
+					best = d
+				}
+				cool(n)
+			}
+			eager = append(eager, Sample{n, best})
+		}
+		best := time.Duration(1<<62 - 1)
+		for it := 0; it < cfg.Iters; it++ {
+			if d := s.measureRdv(ctx, r, n); d < best {
+				best = d
+			}
+			cool(n)
+		}
+		rdv = append(rdv, Sample{n, best})
+	}
+	rp := &RailProfile{Rail: r, Name: prof.Name, EagerMax: prof.EagerMax}
+	var err error
+	if len(eager) >= 2 {
+		if rp.Eager, err = NewTable(eager); err != nil {
+			return nil, err
+		}
+	}
+	if rp.Rdv, err = NewTable(rdv); err != nil {
+		return nil, err
+	}
+	return rp, nil
+}

@@ -1,0 +1,321 @@
+// Package simnet implements the multirail cluster fabric: nodes equipped
+// with several heterogeneous NICs (rails), each governed by an analytic
+// performance model (internal/model).
+//
+// The fabric runs on either rt environment. On rt.SimEnv all costs elapse
+// in virtual time and results are deterministic — this substitutes for the
+// paper's two dual dual-core Opteron nodes with Myri-10G and QsNetII
+// rails (DESIGN.md §2). On rt.LiveEnv the same code moves the same bytes
+// between goroutines, optionally paced by Config.TimeScale.
+//
+// Cost semantics (matching internal/model):
+//
+//   - Eager/PIO sends are CPU-bound: SendEager blocks its calling actor —
+//     a core — for SendOverhead + n/EagerRate while holding the NIC send
+//     engine, then the message arrives WireLatency later. Two eager sends
+//     from one core serialise on the core; two on one rail serialise on
+//     the NIC engine. This is the serialisation that makes the paper's
+//     greedy balancing lose (Fig 3/4a).
+//   - Rendezvous data is DMA: SendData blocks only for the descriptor
+//     post, then the NIC engine streams the payload at WireBandwidth
+//     without consuming CPU; delivery is cut-through (the last byte lands
+//     as DMA completes).
+//   - Control messages (RTS/CTS) cost their caller-specified CPU time and
+//     arrive WireLatency later.
+//
+// Every rail maintains a busy-until horizon so that strategies can ask
+// "when will this NIC become idle?" — the prediction driving Fig 2.
+package simnet
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/rt"
+)
+
+// Config describes a cluster.
+type Config struct {
+	// Nodes is the number of nodes (>= 2 for any communication).
+	Nodes int
+	// Rails lists one profile per rail; every node gets one NIC per rail.
+	Rails []*model.Profile
+	// CoresPerNode is the number of cores each node exposes to the
+	// communication system (the paper's testbed has 4).
+	CoresPerNode int
+	// TimeScale multiplies every modeled duration before it is slept.
+	// Zero means 1.0 in a simulation and "no pacing" (all modeled costs
+	// collapse to zero sleep) on a live environment.
+	TimeScale float64
+}
+
+func (c *Config) validate() error {
+	if c.Nodes < 1 {
+		return fmt.Errorf("simnet: need at least 1 node, got %d", c.Nodes)
+	}
+	if len(c.Rails) == 0 {
+		return fmt.Errorf("simnet: need at least one rail")
+	}
+	for _, p := range c.Rails {
+		if err := p.Validate(); err != nil {
+			return err
+		}
+	}
+	if c.CoresPerNode < 1 {
+		return fmt.Errorf("simnet: need at least 1 core per node, got %d", c.CoresPerNode)
+	}
+	return nil
+}
+
+// Cluster is a set of nodes joined by parallel rails.
+type Cluster struct {
+	Env   rt.Env
+	Nodes []*Node
+
+	cfg   Config
+	scale float64
+	pace  bool
+}
+
+// New builds a cluster. It returns an error for invalid configurations.
+func New(env rt.Env, cfg Config) (*Cluster, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	scale := cfg.TimeScale
+	pace := true
+	if scale == 0 {
+		if env.IsSim() {
+			scale = 1
+		} else {
+			pace = false
+		}
+	}
+	c := &Cluster{Env: env, cfg: cfg, scale: scale, pace: pace}
+	for i := 0; i < cfg.Nodes; i++ {
+		n := &Node{ID: i, cluster: c, RecvQ: env.NewQueue()}
+		for r, prof := range cfg.Rails {
+			n.Rails = append(n.Rails, &Rail{
+				node:   n,
+				index:  r,
+				prof:   prof,
+				engine: env.NewResource(1),
+			})
+		}
+		c.Nodes = append(c.Nodes, n)
+	}
+	return c, nil
+}
+
+// Cores returns the configured core count per node.
+func (c *Cluster) Cores() int { return c.cfg.CoresPerNode }
+
+// NRails returns the number of rails.
+func (c *Cluster) NRails() int { return len(c.cfg.Rails) }
+
+// d scales a modeled duration into slept time.
+func (c *Cluster) d(t time.Duration) time.Duration {
+	if !c.pace {
+		return 0
+	}
+	if c.scale == 1 {
+		return t
+	}
+	return time.Duration(float64(t) * c.scale)
+}
+
+// Node is one cluster node: a set of NICs plus a delivery queue that the
+// progression engine (internal/pioman) drains.
+type Node struct {
+	ID    int
+	Rails []*Rail
+	// RecvQ receives *Delivery items pushed by remote rails.
+	RecvQ rt.Queue
+
+	cluster *Cluster
+}
+
+// Rail returns the i-th NIC of the node.
+func (n *Node) Rail(i int) *Rail { return n.Rails[i] }
+
+// Cluster returns the owning cluster.
+func (n *Node) Cluster() *Cluster { return n.cluster }
+
+// Delivery is a message arriving at a node.
+type Delivery struct {
+	// From is the sending node.
+	From int
+	// Rail is the rail index the message travelled on.
+	Rail int
+	// Data is the encoded wire message.
+	Data []byte
+	// RecvCPU is the fixed receiver-core cost to process the delivery
+	// before the engine handler runs (and before completion can fire).
+	RecvCPU time.Duration
+	// CopyCPU is additional receiver-core occupancy (the eager receive
+	// copy). Its latency contribution is already folded into the sender
+	// side EagerRate calibration; it is charged after the handler to
+	// model core contention under load.
+	CopyCPU time.Duration
+	// SentAt is the fabric time the message was posted (tracing).
+	SentAt time.Duration
+}
+
+// Stats aggregates per-rail traffic counters.
+type Stats struct {
+	Messages  uint64
+	Bytes     uint64
+	BusyTime  time.Duration
+	LastStart time.Duration
+}
+
+// Rail is one NIC: a send engine serialised by a capacity-1 resource and
+// an analytic cost model.
+type Rail struct {
+	node   *Node
+	index  int
+	prof   *model.Profile
+	engine rt.Resource
+
+	mu        sync.Mutex
+	busyUntil time.Duration
+	stats     Stats
+}
+
+// Index returns the rail number.
+func (r *Rail) Index() int { return r.index }
+
+// Profile returns the rail's performance model.
+func (r *Rail) Profile() *model.Profile { return r.prof }
+
+// Node returns the owning node.
+func (r *Rail) Node() *Node { return r.node }
+
+// Stats returns a snapshot of the traffic counters.
+func (r *Rail) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// IdleAt predicts when the NIC's send engine will have drained all posted
+// work: now if idle, otherwise the modeled end of the queued transfers.
+// This is the knowledge Fig 2's NIC selection relies on.
+func (r *Rail) IdleAt() time.Duration {
+	now := r.node.cluster.Env.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.busyUntil < now {
+		return now
+	}
+	return r.busyUntil
+}
+
+// Busy reports whether the send engine currently has work.
+func (r *Rail) Busy() bool {
+	return r.IdleAt() > r.node.cluster.Env.Now()
+}
+
+// note reserves the send engine's model time for a transfer of the given
+// occupancy and records counters.
+func (r *Rail) note(occupancy time.Duration, bytes int) {
+	now := r.node.cluster.Env.Now()
+	r.mu.Lock()
+	if r.busyUntil < now {
+		r.busyUntil = now
+	}
+	r.stats.LastStart = r.busyUntil
+	r.busyUntil += occupancy
+	r.stats.Messages++
+	r.stats.Bytes += uint64(bytes)
+	r.stats.BusyTime += occupancy
+	r.mu.Unlock()
+}
+
+func (r *Rail) deliver(to int, d *Delivery, after time.Duration) {
+	c := r.node.cluster
+	dst := c.Nodes[to]
+	d.SentAt = c.Env.Now()
+	if after <= 0 {
+		dst.RecvQ.Push(d)
+		return
+	}
+	c.Env.After(after, func() { dst.RecvQ.Push(d) })
+}
+
+// SendEager transmits an eager (PIO) message. It blocks the calling actor
+// — which models the submitting core — for the whole host-side copy, then
+// schedules delivery one wire latency later. The payload slice is aliased,
+// not copied; callers must not reuse it before completion.
+func (r *Rail) SendEager(ctx rt.Ctx, to int, data []byte) {
+	c := r.node.cluster
+	p := r.prof
+	if p.MaxMsg > 0 && len(data) > p.MaxMsg {
+		panic(fmt.Sprintf("simnet: eager message of %d bytes exceeds %s MaxMsg %d", len(data), p.Name, p.MaxMsg))
+	}
+	cpu := p.SendCPUTime(model.Eager, len(data))
+	// Reserve the engine's model time before queueing on it so that
+	// IdleAt() sees posted-but-not-yet-started work.
+	r.note(cpu, len(data))
+	r.engine.Acquire(ctx)
+	ctx.Sleep(c.d(cpu))
+	r.engine.Release()
+	r.deliver(to, &Delivery{
+		From:    r.node.ID,
+		Rail:    r.index,
+		Data:    data,
+		RecvCPU: p.RecvOverhead,
+		CopyCPU: durPerByte(len(data), p.RecvCopyRate),
+	}, c.d(p.WireLatency))
+}
+
+// SendControl transmits a small control message (RTS/CTS/Ack). The caller
+// is charged cpuCost on its core; the receiver will be charged recvCost
+// before its handler runs. Control messages do not occupy the send engine
+// measurably (they ride the NIC's command queue).
+func (r *Rail) SendControl(ctx rt.Ctx, to int, data []byte, cpuCost, recvCost time.Duration) {
+	c := r.node.cluster
+	ctx.Sleep(c.d(cpuCost))
+	r.deliver(to, &Delivery{
+		From:    r.node.ID,
+		Rail:    r.index,
+		Data:    data,
+		RecvCPU: recvCost,
+	}, c.d(r.prof.WireLatency))
+}
+
+// SendData streams a rendezvous chunk via DMA. The calling core is blocked
+// only for the descriptor post (SendOverhead); the DMA itself runs as a
+// separate actor holding the NIC send engine for n/WireBandwidth. done is
+// fired when the DMA drains (the sender may then reuse the buffer);
+// delivery is cut-through, so the receiver sees the message at the same
+// instant.
+func (r *Rail) SendData(ctx rt.Ctx, to int, data []byte, done rt.Event) {
+	c := r.node.cluster
+	p := r.prof
+	ctx.Sleep(c.d(p.SendOverhead))
+	dma := durPerByte(len(data), p.WireBandwidth)
+	r.note(dma, len(data))
+	c.Env.Go(fmt.Sprintf("dma-n%d-r%d", r.node.ID, r.index), func(dctx rt.Ctx) {
+		r.engine.Acquire(dctx)
+		dctx.Sleep(c.d(dma))
+		r.engine.Release()
+		r.deliver(to, &Delivery{
+			From: r.node.ID,
+			Rail: r.index,
+			Data: data,
+		}, 0)
+		if done != nil {
+			done.Fire()
+		}
+	})
+}
+
+func durPerByte(n int, rate float64) time.Duration {
+	if n <= 0 || rate <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / rate * 1e9)
+}

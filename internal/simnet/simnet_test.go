@@ -1,0 +1,479 @@
+package simnet
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/rt"
+)
+
+func twoNodeSim(t *testing.T, rails []*model.Profile) (*rt.SimEnv, *Cluster) {
+	t.Helper()
+	env := rt.NewSim()
+	c, err := New(env, Config{Nodes: 2, Rails: rails, CoresPerNode: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env, c
+}
+
+// recvOne pops one delivery, charges its receive cost and returns the
+// completion time (what an engine handler would observe).
+func recvOne(ctx rt.Ctx, n *Node) (*Delivery, time.Duration) {
+	d := n.RecvQ.Pop(ctx).(*Delivery)
+	ctx.Sleep(d.RecvCPU)
+	return d, ctx.Now()
+}
+
+func TestConfigValidation(t *testing.T) {
+	env := rt.NewSim()
+	cases := []Config{
+		{Nodes: 0, Rails: model.PaperTestbed(), CoresPerNode: 1},
+		{Nodes: 2, Rails: nil, CoresPerNode: 1},
+		{Nodes: 2, Rails: model.PaperTestbed(), CoresPerNode: 0},
+		{Nodes: 2, Rails: []*model.Profile{{}}, CoresPerNode: 1},
+	}
+	for i, cfg := range cases {
+		if _, err := New(env, cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestClusterShape(t *testing.T) {
+	_, c := twoNodeSim(t, model.PaperTestbed())
+	if len(c.Nodes) != 2 || c.NRails() != 2 || c.Cores() != 4 {
+		t.Fatalf("cluster shape: %d nodes, %d rails, %d cores", len(c.Nodes), c.NRails(), c.Cores())
+	}
+	if c.Nodes[1].Rail(0).Profile().Name != "Myri-10G" {
+		t.Fatal("rail 0 should be Myri-10G")
+	}
+	if c.Nodes[0].Rail(1).Node().ID != 0 {
+		t.Fatal("rail back-pointer")
+	}
+}
+
+// The end-to-end eager time over the fabric must equal the analytic model
+// exactly: SendOverhead + n/EagerRate + WireLatency + RecvOverhead.
+func TestEagerOneWayMatchesModel(t *testing.T) {
+	for _, size := range []int{4, 256, 4096, 16384} {
+		env, c := twoNodeSim(t, model.PaperTestbed())
+		rail := c.Nodes[0].Rail(0)
+		var done time.Duration
+		env.Go("recv", func(ctx rt.Ctx) {
+			_, done = recvOne(ctx, c.Nodes[1])
+		})
+		env.Go("send", func(ctx rt.Ctx) {
+			rail.SendEager(ctx, 1, make([]byte, size))
+		})
+		env.Run()
+		want := rail.Profile().EagerOneWay(size)
+		if done != want {
+			t.Fatalf("size %d: one-way %v, want %v", size, done, want)
+		}
+	}
+}
+
+// Sender-side eager completion: the core is busy for exactly the modeled
+// CPU time.
+func TestEagerBlocksCoreForCPUTime(t *testing.T) {
+	env, c := twoNodeSim(t, model.PaperTestbed())
+	rail := c.Nodes[0].Rail(0)
+	var coreFree time.Duration
+	env.Go("send", func(ctx rt.Ctx) {
+		rail.SendEager(ctx, 1, make([]byte, 8192))
+		coreFree = ctx.Now()
+	})
+	env.Go("drain", func(ctx rt.Ctx) { c.Nodes[1].RecvQ.Pop(ctx) })
+	env.Run()
+	want := rail.Profile().SendCPUTime(model.Eager, 8192)
+	if coreFree != want {
+		t.Fatalf("core freed at %v, want %v", coreFree, want)
+	}
+}
+
+// Two eager sends from one actor (one core) serialise even on different
+// rails — the Fig 3/4a phenomenon.
+func TestEagerSerializesOnSingleCore(t *testing.T) {
+	env, c := twoNodeSim(t, model.PaperTestbed())
+	myri, quad := c.Nodes[0].Rail(0), c.Nodes[0].Rail(1)
+	size := 8192
+	var last time.Duration
+	got := 0
+	env.Go("recv", func(ctx rt.Ctx) {
+		for got < 2 {
+			_, at := recvOne(ctx, c.Nodes[1])
+			got++
+			if at > last {
+				last = at
+			}
+		}
+	})
+	env.Go("send", func(ctx rt.Ctx) {
+		myri.SendEager(ctx, 1, make([]byte, size))
+		quad.SendEager(ctx, 1, make([]byte, size))
+	})
+	env.Run()
+	m, q := myri.Profile(), quad.Profile()
+	// Second send starts only after the first PIO copy completes.
+	want := m.SendCPUTime(model.Eager, size) + q.EagerOneWay(size)
+	if last != want {
+		t.Fatalf("serialized completion %v, want %v", last, want)
+	}
+}
+
+// Two eager sends from two actors (two cores) on different rails overlap:
+// the Fig 4c/7 offloading benefit.
+func TestEagerParallelOnTwoCores(t *testing.T) {
+	env, c := twoNodeSim(t, model.PaperTestbed())
+	size := 8192
+	var last time.Duration
+	got := 0
+	env.Go("recv", func(ctx rt.Ctx) {
+		for got < 2 {
+			_, at := recvOne(ctx, c.Nodes[1])
+			got++
+			if at > last {
+				last = at
+			}
+		}
+	})
+	for i := 0; i < 2; i++ {
+		rail := c.Nodes[0].Rail(i)
+		env.Go("send", func(ctx rt.Ctx) {
+			rail.SendEager(ctx, 1, make([]byte, size))
+		})
+	}
+	env.Run()
+	m, q := c.Nodes[0].Rail(0).Profile(), c.Nodes[0].Rail(1).Profile()
+	want := m.EagerOneWay(size)
+	if w := q.EagerOneWay(size); w > want {
+		want = w
+	}
+	// Receiver costs serialise on the single recv actor; allow the second
+	// RecvOverhead.
+	slack := m.RecvOverhead + q.RecvOverhead
+	if last > want+slack || last < want {
+		t.Fatalf("parallel completion %v, want ~%v", last, want)
+	}
+}
+
+// Two eager sends on the SAME rail serialise on the NIC engine even from
+// different cores.
+func TestEagerSerializesOnNICEngine(t *testing.T) {
+	env, c := twoNodeSim(t, model.PaperTestbed())
+	size := 8192
+	rail0 := c.Nodes[0].Rail(0)
+	var last time.Duration
+	got := 0
+	env.Go("recv", func(ctx rt.Ctx) {
+		for got < 2 {
+			_, at := recvOne(ctx, c.Nodes[1])
+			got++
+			if at > last {
+				last = at
+			}
+		}
+	})
+	for i := 0; i < 2; i++ {
+		env.Go("send", func(ctx rt.Ctx) {
+			rail0.SendEager(ctx, 1, make([]byte, size))
+		})
+	}
+	env.Run()
+	p := rail0.Profile()
+	want := 2*p.SendCPUTime(model.Eager, size) + p.WireLatency + p.RecvOverhead
+	if last != want {
+		t.Fatalf("NIC-serialized completion %v, want %v", last, want)
+	}
+}
+
+// Rendezvous DMA frees the core after the descriptor post and completes
+// the transfer at n/WireBandwidth.
+func TestDataDMATiming(t *testing.T) {
+	env, c := twoNodeSim(t, model.PaperTestbed())
+	rail := c.Nodes[0].Rail(0)
+	size := 2 << 20
+	done := env.NewEvent()
+	var coreFree, dmaDone, arrived time.Duration
+	env.Go("recv", func(ctx rt.Ctx) {
+		c.Nodes[1].RecvQ.Pop(ctx)
+		arrived = ctx.Now()
+	})
+	env.Go("send", func(ctx rt.Ctx) {
+		rail.SendData(ctx, 1, make([]byte, size), done)
+		coreFree = ctx.Now()
+		done.Wait(ctx)
+		dmaDone = ctx.Now()
+	})
+	env.Run()
+	p := rail.Profile()
+	if coreFree != p.SendOverhead {
+		t.Fatalf("core freed at %v, want %v (descriptor post only)", coreFree, p.SendOverhead)
+	}
+	wantEnd := p.SendOverhead + time.Duration(float64(size)/p.WireBandwidth*1e9)
+	if dmaDone != wantEnd {
+		t.Fatalf("DMA done at %v, want %v", dmaDone, wantEnd)
+	}
+	if arrived != wantEnd {
+		t.Fatalf("cut-through delivery at %v, want %v", arrived, wantEnd)
+	}
+}
+
+// Two DMA chunks on the same rail serialise on the NIC engine; on
+// different rails they overlap.
+func TestDataDMAContention(t *testing.T) {
+	env, c := twoNodeSim(t, model.PaperTestbed())
+	size := 1 << 20
+	d1, d2 := env.NewEvent(), env.NewEvent()
+	rail := c.Nodes[0].Rail(0)
+	var end time.Duration
+	env.Go("recv", func(ctx rt.Ctx) {
+		c.Nodes[1].RecvQ.Pop(ctx)
+		c.Nodes[1].RecvQ.Pop(ctx)
+	})
+	env.Go("send", func(ctx rt.Ctx) {
+		rail.SendData(ctx, 1, make([]byte, size), d1)
+		rail.SendData(ctx, 1, make([]byte, size), d2)
+		d1.Wait(ctx)
+		d2.Wait(ctx)
+		end = ctx.Now()
+	})
+	env.Run()
+	p := rail.Profile()
+	dma := time.Duration(float64(size) / p.WireBandwidth * 1e9)
+	// The second descriptor post overlaps the first DMA; the DMAs
+	// themselves serialise on the NIC engine.
+	want := p.SendOverhead + 2*dma
+	if end != want {
+		t.Fatalf("serialized DMAs end at %v, want %v", end, want)
+	}
+}
+
+// IdleAt reflects posted work and returns to "now" once drained (Fig 2's
+// input).
+func TestIdleAtPrediction(t *testing.T) {
+	env, c := twoNodeSim(t, model.PaperTestbed())
+	rail := c.Nodes[0].Rail(0)
+	size := 4 << 20
+	p := rail.Profile()
+	dma := time.Duration(float64(size) / p.WireBandwidth * 1e9)
+	env.Go("recv", func(ctx rt.Ctx) { c.Nodes[1].RecvQ.Pop(ctx) })
+	env.Go("send", func(ctx rt.Ctx) {
+		if rail.Busy() {
+			t.Error("fresh rail busy")
+		}
+		if rail.IdleAt() != 0 {
+			t.Errorf("fresh rail IdleAt = %v", rail.IdleAt())
+		}
+		rail.SendData(ctx, 1, make([]byte, size), nil)
+		// After the descriptor post, the rail must predict the DMA end.
+		want := p.SendOverhead + dma
+		if got := rail.IdleAt(); got != want {
+			t.Errorf("IdleAt = %v, want %v", got, want)
+		}
+		if !rail.Busy() {
+			t.Error("rail with queued DMA not busy")
+		}
+		ctx.Sleep(dma + dma)
+		if rail.Busy() {
+			t.Error("rail still busy after drain")
+		}
+		if got := rail.IdleAt(); got != ctx.Now() {
+			t.Errorf("drained IdleAt = %v, want now %v", got, ctx.Now())
+		}
+	})
+	env.Run()
+}
+
+func TestControlCosts(t *testing.T) {
+	env, c := twoNodeSim(t, model.PaperTestbed())
+	rail := c.Nodes[0].Rail(1)
+	cpu := 700 * time.Nanosecond
+	recv := 900 * time.Nanosecond
+	var coreFree, handled time.Duration
+	env.Go("recv", func(ctx rt.Ctx) {
+		d := c.Nodes[1].RecvQ.Pop(ctx).(*Delivery)
+		ctx.Sleep(d.RecvCPU)
+		handled = ctx.Now()
+		if d.RecvCPU != recv {
+			t.Errorf("RecvCPU = %v, want %v", d.RecvCPU, recv)
+		}
+	})
+	env.Go("send", func(ctx rt.Ctx) {
+		rail.SendControl(ctx, 1, []byte{1}, cpu, recv)
+		coreFree = ctx.Now()
+	})
+	env.Run()
+	if coreFree != cpu {
+		t.Fatalf("control core time %v, want %v", coreFree, cpu)
+	}
+	if want := cpu + rail.Profile().WireLatency + recv; handled != want {
+		t.Fatalf("control handled at %v, want %v", handled, want)
+	}
+}
+
+func TestStatsCounters(t *testing.T) {
+	env, c := twoNodeSim(t, model.PaperTestbed())
+	rail := c.Nodes[0].Rail(0)
+	env.Go("recv", func(ctx rt.Ctx) {
+		c.Nodes[1].RecvQ.Pop(ctx)
+		c.Nodes[1].RecvQ.Pop(ctx)
+	})
+	env.Go("send", func(ctx rt.Ctx) {
+		rail.SendEager(ctx, 1, make([]byte, 100))
+		rail.SendData(ctx, 1, make([]byte, 1000), nil)
+	})
+	env.Run()
+	st := rail.Stats()
+	if st.Messages != 2 || st.Bytes != 1100 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.BusyTime <= 0 {
+		t.Fatal("no busy time recorded")
+	}
+}
+
+func TestEagerRejectsOversizedMessage(t *testing.T) {
+	env := rt.NewSim()
+	prof := model.Myri10G()
+	prof.MaxMsg = 1024
+	c, err := New(env, Config{Nodes: 2, Rails: []*model.Profile{prof}, CoresPerNode: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	panicked := false
+	env.Go("send", func(ctx rt.Ctx) {
+		defer func() { panicked = recover() != nil }()
+		c.Nodes[0].Rail(0).SendEager(ctx, 1, make([]byte, 2048))
+	})
+	func() {
+		defer func() { recover() }() // the proc panic propagates into Run
+		env.Run()
+	}()
+	if !panicked {
+		t.Fatal("oversized eager send did not panic")
+	}
+}
+
+// The same fabric code runs on a live environment and actually moves the
+// bytes.
+func TestLiveEnvMovesBytes(t *testing.T) {
+	env := rt.NewLive()
+	c, err := New(env, Config{Nodes: 2, Rails: model.PaperTestbed(), CoresPerNode: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := []byte("multirail")
+	gotc := make(chan []byte, 1)
+	env.Go("recv", func(ctx rt.Ctx) {
+		d := c.Nodes[1].RecvQ.Pop(ctx).(*Delivery)
+		gotc <- d.Data
+	})
+	env.Go("send", func(ctx rt.Ctx) {
+		c.Nodes[0].Rail(0).SendEager(ctx, 1, payload)
+	})
+	env.WaitIdle()
+	got := <-gotc
+	if string(got) != "multirail" {
+		t.Fatalf("received %q", got)
+	}
+}
+
+// TimeScale=0 on a live env disables pacing: a 4MB DMA completes without
+// the modeled multi-millisecond sleep.
+func TestLiveEnvNoPacingIsFast(t *testing.T) {
+	env := rt.NewLive()
+	c, err := New(env, Config{Nodes: 2, Rails: model.PaperTestbed(), CoresPerNode: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	done := env.NewEvent()
+	env.Go("recv", func(ctx rt.Ctx) { c.Nodes[1].RecvQ.Pop(ctx) })
+	env.Go("send", func(ctx rt.Ctx) {
+		c.Nodes[0].Rail(0).SendData(ctx, 1, make([]byte, 4<<20), done)
+		done.Wait(ctx)
+	})
+	env.WaitIdle()
+	if el := time.Since(start); el > time.Second {
+		t.Fatalf("unpaced 4MB DMA took %v", el)
+	}
+}
+
+// TimeScale scales modeled durations on the simulator too (useful for
+// what-if experiments).
+func TestTimeScaleOnSim(t *testing.T) {
+	env := rt.NewSim()
+	c, err := New(env, Config{Nodes: 2, Rails: model.PaperTestbed(), CoresPerNode: 1, TimeScale: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var done time.Duration
+	env.Go("recv", func(ctx rt.Ctx) {
+		d := c.Nodes[1].RecvQ.Pop(ctx).(*Delivery)
+		ctx.Sleep(d.RecvCPU)
+		done = ctx.Now()
+	})
+	env.Go("send", func(ctx rt.Ctx) {
+		c.Nodes[0].Rail(0).SendEager(ctx, 1, make([]byte, 1024))
+	})
+	env.Run()
+	p := c.Nodes[0].Rail(0).Profile()
+	// Everything except the receiver's own unscaled RecvCPU sleep doubles;
+	// RecvCPU is delivered unscaled, so scale it in the expectation.
+	want := 2*(p.SendCPUTime(model.Eager, 1024)+p.WireLatency) + p.RecvOverhead
+	if done != want {
+		t.Fatalf("scaled one-way %v, want %v", done, want)
+	}
+}
+
+// Property: after posting any sequence of DMA transfers, IdleAt equals
+// the sum of their occupancies (FIFO drain), and after that horizon the
+// rail reports idle.
+func TestPropertyIdleAtAccumulates(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 || len(raw) > 12 {
+			return true
+		}
+		env, c := func() (*rt.SimEnv, *Cluster) {
+			env := rt.NewSim()
+			cl, err := New(env, Config{Nodes: 2, Rails: model.PaperTestbed(), CoresPerNode: 2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return env, cl
+		}()
+		defer env.Close()
+		rail := c.Nodes[0].Rail(0)
+		p := rail.Profile()
+		okc := make(chan bool, 1)
+		env.Go("post", func(ctx rt.Ctx) {
+			var want time.Duration
+			for _, r := range raw {
+				n := int(r)%(1<<20) + 1
+				rail.SendData(ctx, 1, make([]byte, n), nil)
+				want += time.Duration(float64(n+0) / p.WireBandwidth * 1e9)
+			}
+			got := rail.IdleAt()
+			// Posting also slept SendOverhead per message; the horizon is
+			// measured from each post, so compare with tolerance of the
+			// accumulated overheads.
+			lo := want
+			hi := want + time.Duration(len(raw))*p.SendOverhead
+			okc <- got >= lo && got <= hi
+		})
+		env.Go("drain", func(ctx rt.Ctx) {
+			for range raw {
+				c.Nodes[1].RecvQ.Pop(ctx)
+			}
+		})
+		env.Run()
+		return <-okc
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,198 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Fatalf("bad summary: %+v", s)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2.5)) > 1e-12 {
+		t.Fatalf("stddev = %v", s.StdDev)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 {
+		t.Fatalf("empty summary: %+v", s)
+	}
+}
+
+func TestSummarizeSingleton(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Median != 7 || s.StdDev != 0 {
+		t.Fatalf("singleton summary: %+v", s)
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	xs := []float64{10, 20, 30, 40}
+	cases := []struct{ p, want float64 }{
+		{0, 10}, {100, 40}, {50, 25}, {25, 17.5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("P%v = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileUnsortedInputUntouched(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if got := Percentile(xs, 100); got != 3 {
+		t.Fatalf("P100 = %v", got)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Percentile mutated its input")
+	}
+}
+
+func TestPercentileEmptyIsNaN(t *testing.T) {
+	if !math.IsNaN(Percentile(nil, 50)) {
+		t.Fatal("want NaN")
+	}
+}
+
+func TestLinearFitExactLine(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{5, 7, 9, 11} // y = 3 + 2x
+	a, b, r2 := LinearFit(xs, ys)
+	if math.Abs(a-3) > 1e-9 || math.Abs(b-2) > 1e-9 || math.Abs(r2-1) > 1e-9 {
+		t.Fatalf("fit = (%v, %v, %v)", a, b, r2)
+	}
+}
+
+func TestLinearFitDegenerate(t *testing.T) {
+	a, b, r2 := LinearFit([]float64{1}, []float64{2})
+	if !math.IsNaN(a) || !math.IsNaN(b) || !math.IsNaN(r2) {
+		t.Fatal("want NaNs for n<2")
+	}
+	a, _, _ = LinearFit([]float64{2, 2}, []float64{1, 5})
+	if !math.IsNaN(a) {
+		t.Fatal("want NaN for vertical data")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Name = "curve"
+	s.Add(1, 10)
+	s.Add(2, 5)
+	s.Add(3, 20)
+	if s.YAt(2) != 5 {
+		t.Fatal("YAt")
+	}
+	if !math.IsNaN(s.YAt(99)) {
+		t.Fatal("YAt missing x should be NaN")
+	}
+	if s.MaxY() != 20 || s.MinY() != 5 {
+		t.Fatalf("MaxY/MinY = %v/%v", s.MaxY(), s.MinY())
+	}
+}
+
+func TestSeriesEmptyExtremes(t *testing.T) {
+	var s Series
+	if !math.IsNaN(s.MaxY()) || !math.IsNaN(s.MinY()) {
+		t.Fatal("want NaN extremes on empty series")
+	}
+}
+
+func TestSizeLabel(t *testing.T) {
+	cases := map[int]string{
+		4:          "4",
+		1024:       "1K",
+		4096:       "4K",
+		65536:      "64K",
+		1 << 20:    "1M",
+		8 << 20:    "8M",
+		3*1024 + 1: "3073",
+	}
+	for n, want := range cases {
+		if got := SizeLabel(n); got != want {
+			t.Errorf("SizeLabel(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestPowersOfTwo(t *testing.T) {
+	got := PowersOfTwo(4, 64)
+	want := []int{4, 8, 16, 32, 64}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+// Property: mean lies within [min, max]; median likewise.
+func TestPropertySummaryBounds(t *testing.T) {
+	f := func(raw []float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		return s.Mean >= s.Min-1e-9 && s.Mean <= s.Max+1e-9 &&
+			s.Median >= s.Min-1e-9 && s.Median <= s.Max+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: percentiles are monotone in p.
+func TestPropertyPercentileMonotone(t *testing.T) {
+	f := func(raw []float64, p1, p2 float64) bool {
+		var xs []float64
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		p1 = math.Mod(math.Abs(p1), 100)
+		p2 = math.Mod(math.Abs(p2), 100)
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		return Percentile(xs, p1) <= Percentile(xs, p2)+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: LinearFit recovers a noiseless line exactly.
+func TestPropertyLinearFitRecovers(t *testing.T) {
+	f := func(a8, b8 int8, n8 uint8) bool {
+		a := float64(a8)
+		b := float64(b8)
+		n := int(n8%20) + 2
+		xs := make([]float64, n)
+		ys := make([]float64, n)
+		for i := 0; i < n; i++ {
+			xs[i] = float64(i)
+			ys[i] = a + b*float64(i)
+		}
+		ga, gb, _ := LinearFit(xs, ys)
+		return math.Abs(ga-a) < 1e-6 && math.Abs(gb-b) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,145 @@
+// Package trace records per-message timelines of the engine's decisions
+// and transfers — the role FxT/Pajé tracing plays for the original
+// NewMadeleine. A Tracer receives one Event per step (submission,
+// strategy decision, chunk posted, delivery, completion); the Collector
+// implementation stores them for inspection by tests, tools and
+// examples.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Kind classifies a timeline event.
+type Kind int
+
+const (
+	// Submit: the application handed the message to the engine.
+	Submit Kind = iota + 1
+	// Decision: the strategy chose a schedule (Note describes it).
+	Decision
+	// EagerSent: an eager container left on Rail (Size = payload bytes,
+	// Note lists the aggregated packet count).
+	EagerSent
+	// OffloadStart: a chunk was registered for a remote core (Fig 7).
+	OffloadStart
+	// RTSSent and CTSSent mark the rendezvous handshake.
+	RTSSent
+	CTSSent
+	// ChunkPosted: a rendezvous chunk DMA was posted on Rail.
+	ChunkPosted
+	// Delivered: the receiver completed a message (recv side).
+	Delivered
+	// Completed: the sender's request completed locally.
+	Completed
+)
+
+var kindNames = map[Kind]string{
+	Submit: "submit", Decision: "decision", EagerSent: "eager-sent",
+	OffloadStart: "offload", RTSSent: "rts", CTSSent: "cts",
+	ChunkPosted: "chunk", Delivered: "delivered", Completed: "completed",
+}
+
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Event is one step of a message's life.
+type Event struct {
+	At    time.Duration
+	Node  int
+	MsgID uint64
+	Kind  Kind
+	Rail  int // -1 when not rail-specific
+	Size  int
+	Note  string
+}
+
+func (e Event) String() string {
+	rail := ""
+	if e.Rail >= 0 {
+		rail = fmt.Sprintf(" rail=%d", e.Rail)
+	}
+	return fmt.Sprintf("%12v n%d msg=%d %-10s%s size=%d %s",
+		e.At, e.Node, e.MsgID, e.Kind, rail, e.Size, e.Note)
+}
+
+// Tracer receives events. Implementations must be safe for concurrent
+// use (the live environment records from many goroutines).
+type Tracer interface {
+	Record(Event)
+}
+
+// Collector stores events in arrival order.
+type Collector struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Record implements Tracer.
+func (c *Collector) Record(e Event) {
+	c.mu.Lock()
+	c.events = append(c.events, e)
+	c.mu.Unlock()
+}
+
+// Events returns a snapshot of all recorded events.
+func (c *Collector) Events() []Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Event(nil), c.events...)
+}
+
+// Len returns the number of recorded events.
+func (c *Collector) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.events)
+}
+
+// ByMsg returns the timeline of one message, time-ordered.
+func (c *Collector) ByMsg(msgID uint64) []Event {
+	var out []Event
+	for _, e := range c.Events() {
+		if e.MsgID == msgID {
+			out = append(out, e)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Of returns all events of the given kind, time-ordered.
+func (c *Collector) Of(kind Kind) []Event {
+	var out []Event
+	for _, e := range c.Events() {
+		if e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Dump writes the whole trace, time-ordered, one event per line.
+func (c *Collector) Dump(w io.Writer) {
+	evs := c.Events()
+	sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+	var b strings.Builder
+	for _, e := range evs {
+		b.WriteString(e.String())
+		b.WriteByte('\n')
+	}
+	io.WriteString(w, b.String())
+}

@@ -1,0 +1,92 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func ev(at int, msg uint64, k Kind) Event {
+	return Event{At: time.Duration(at) * time.Microsecond, MsgID: msg, Kind: k, Rail: -1}
+}
+
+func TestCollectorStoresAndFilters(t *testing.T) {
+	c := NewCollector()
+	c.Record(ev(3, 1, Delivered))
+	c.Record(ev(1, 1, Submit))
+	c.Record(ev(2, 2, Submit))
+	if c.Len() != 3 {
+		t.Fatalf("Len = %d", c.Len())
+	}
+	byMsg := c.ByMsg(1)
+	if len(byMsg) != 2 || byMsg[0].Kind != Submit || byMsg[1].Kind != Delivered {
+		t.Fatalf("ByMsg(1) = %v", byMsg)
+	}
+	subs := c.Of(Submit)
+	if len(subs) != 2 || subs[0].MsgID != 1 {
+		t.Fatalf("Of(Submit) = %v", subs)
+	}
+}
+
+func TestCollectorSnapshotIsolated(t *testing.T) {
+	c := NewCollector()
+	c.Record(ev(1, 1, Submit))
+	snap := c.Events()
+	c.Record(ev(2, 1, Delivered))
+	if len(snap) != 1 {
+		t.Fatal("snapshot grew with later records")
+	}
+}
+
+func TestDumpOrdersByTime(t *testing.T) {
+	c := NewCollector()
+	c.Record(ev(5, 1, Delivered))
+	c.Record(ev(1, 1, Submit))
+	var b strings.Builder
+	c.Dump(&b)
+	out := b.String()
+	if strings.Index(out, "submit") > strings.Index(out, "delivered") {
+		t.Fatalf("dump not time-ordered:\n%s", out)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := Submit; k <= Completed; k++ {
+		if strings.HasPrefix(k.String(), "Kind(") {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if Kind(99).String() != "Kind(99)" {
+		t.Error("unknown kind formatting")
+	}
+}
+
+func TestEventStringIncludesRail(t *testing.T) {
+	e := Event{At: time.Microsecond, Node: 1, MsgID: 7, Kind: ChunkPosted, Rail: 2, Size: 100}
+	if !strings.Contains(e.String(), "rail=2") {
+		t.Fatalf("missing rail: %s", e.String())
+	}
+	e.Rail = -1
+	if strings.Contains(e.String(), "rail=") {
+		t.Fatalf("unexpected rail: %s", e.String())
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	c := NewCollector()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(id uint64) {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				c.Record(ev(j, id, Submit))
+			}
+		}(uint64(i))
+	}
+	wg.Wait()
+	if c.Len() != 800 {
+		t.Fatalf("Len = %d, want 800", c.Len())
+	}
+}

@@ -1,0 +1,55 @@
+package wire
+
+import "fmt"
+
+// Reassembly collects the chunks of one logical message striped across
+// several rails and reports completion. Chunks may arrive in any order and
+// on any rail; overlapping or out-of-range chunks are rejected.
+type Reassembly struct {
+	msgID    uint64
+	buf      []byte
+	total    int
+	received int
+	seen     []span
+}
+
+type span struct{ off, end int }
+
+// NewReassembly starts reassembling a message of totalLen bytes into buf
+// (which must be at least totalLen long).
+func NewReassembly(msgID uint64, buf []byte, totalLen int) (*Reassembly, error) {
+	if totalLen < 0 || len(buf) < totalLen {
+		return nil, fmt.Errorf("wire: reassembly buffer %d < total %d", len(buf), totalLen)
+	}
+	return &Reassembly{msgID: msgID, buf: buf, total: totalLen}, nil
+}
+
+// MsgID returns the message being reassembled.
+func (r *Reassembly) MsgID() uint64 { return r.msgID }
+
+// Add copies one chunk into place. It returns true when the message is
+// complete. Duplicate or overlapping chunks return an error.
+func (r *Reassembly) Add(offset int, chunk []byte) (bool, error) {
+	end := offset + len(chunk)
+	if offset < 0 || end > r.total {
+		return false, fmt.Errorf("wire: chunk [%d,%d) outside message of %d bytes", offset, end, r.total)
+	}
+	for _, s := range r.seen {
+		if offset < s.end && s.off < end {
+			return false, fmt.Errorf("wire: chunk [%d,%d) overlaps [%d,%d)", offset, end, s.off, s.end)
+		}
+	}
+	copy(r.buf[offset:end], chunk)
+	r.seen = append(r.seen, span{offset, end})
+	r.received += len(chunk)
+	return r.Done(), nil
+}
+
+// Done reports whether every byte has arrived.
+func (r *Reassembly) Done() bool { return r.received == r.total }
+
+// Received returns the number of bytes received so far.
+func (r *Reassembly) Received() int { return r.received }
+
+// Chunks returns how many chunks have been accepted.
+func (r *Reassembly) Chunks() int { return len(r.seen) }

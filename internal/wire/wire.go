@@ -1,0 +1,222 @@
+// Package wire defines the on-the-wire representation used by the engine:
+// packet headers, eager aggregation containers (several logical packets
+// packed into one network message, as NewMadeleine's optimizer does),
+// rendezvous control messages, chunked large-message framing, and the
+// reassembly of chunks striped across rails.
+//
+// Everything is encoded with encoding/binary in little-endian order; the
+// formats are self-describing enough for tests to round-trip arbitrary
+// inputs (see the property tests).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Kind discriminates the message types exchanged on a rail.
+type Kind uint8
+
+const (
+	// KindEager carries one or more complete logical packets.
+	KindEager Kind = iota + 1
+	// KindRTS is a rendezvous request-to-send (sender → receiver).
+	KindRTS
+	// KindCTS is a rendezvous clear-to-send (receiver → sender).
+	KindCTS
+	// KindData carries one chunk of a rendezvous transfer.
+	KindData
+	// KindAck signals completion of a rendezvous transfer.
+	KindAck
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindEager:
+		return "eager"
+	case KindRTS:
+		return "rts"
+	case KindCTS:
+		return "cts"
+	case KindData:
+		return "data"
+	case KindAck:
+		return "ack"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// HeaderSize is the encoded size of a Header in bytes.
+const HeaderSize = 1 + 1 + 2 + 4 + 8 + 8 + 8 + 8
+
+// Header prefixes every network message.
+type Header struct {
+	Kind Kind
+	// Rail is the index of the rail the message was sent on (debugging).
+	Rail uint8
+	// Count is the number of logical packets in a KindEager container.
+	Count uint16
+	// Tag is the application-level matching tag (single-packet messages).
+	Tag uint32
+	// MsgID identifies the logical message across chunks and rails.
+	MsgID uint64
+	// Offset is the byte offset of a KindData chunk in its message.
+	Offset uint64
+	// ChunkLen is the payload length of this network message.
+	ChunkLen uint64
+	// TotalLen is the total length of the logical message.
+	TotalLen uint64
+}
+
+// ErrShortBuffer reports a truncated encoding.
+var ErrShortBuffer = errors.New("wire: short buffer")
+
+// ErrCorrupt reports a structurally invalid message.
+var ErrCorrupt = errors.New("wire: corrupt message")
+
+// Encode appends the header to dst and returns the extended slice.
+func (h *Header) Encode(dst []byte) []byte {
+	var buf [HeaderSize]byte
+	buf[0] = byte(h.Kind)
+	buf[1] = h.Rail
+	binary.LittleEndian.PutUint16(buf[2:], h.Count)
+	binary.LittleEndian.PutUint32(buf[4:], h.Tag)
+	binary.LittleEndian.PutUint64(buf[8:], h.MsgID)
+	binary.LittleEndian.PutUint64(buf[16:], h.Offset)
+	binary.LittleEndian.PutUint64(buf[24:], h.ChunkLen)
+	binary.LittleEndian.PutUint64(buf[32:], h.TotalLen)
+	return append(dst, buf[:]...)
+}
+
+// DecodeHeader parses a header from the front of b and returns it together
+// with the remaining bytes.
+func DecodeHeader(b []byte) (Header, []byte, error) {
+	if len(b) < HeaderSize {
+		return Header{}, nil, ErrShortBuffer
+	}
+	h := Header{
+		Kind:     Kind(b[0]),
+		Rail:     b[1],
+		Count:    binary.LittleEndian.Uint16(b[2:]),
+		Tag:      binary.LittleEndian.Uint32(b[4:]),
+		MsgID:    binary.LittleEndian.Uint64(b[8:]),
+		Offset:   binary.LittleEndian.Uint64(b[16:]),
+		ChunkLen: binary.LittleEndian.Uint64(b[24:]),
+		TotalLen: binary.LittleEndian.Uint64(b[32:]),
+	}
+	if h.Kind < KindEager || h.Kind > KindAck {
+		return Header{}, nil, fmt.Errorf("%w: kind %d", ErrCorrupt, b[0])
+	}
+	return h, b[HeaderSize:], nil
+}
+
+// Packet is one logical packet inside an eager container.
+type Packet struct {
+	Tag     uint32
+	MsgID   uint64
+	Payload []byte
+}
+
+// entryHeaderSize is the per-packet framing inside an eager container.
+const entryHeaderSize = 4 + 8 + 4
+
+// AggregateSize returns the encoded size of an eager container holding the
+// given packets (used by the optimizer to respect the rail's eager limit).
+func AggregateSize(pkts []Packet) int {
+	n := HeaderSize
+	for _, p := range pkts {
+		n += entryHeaderSize + len(p.Payload)
+	}
+	return n
+}
+
+// EncodeEager builds an eager container carrying pkts on the given rail.
+// It panics if pkts is empty or exceeds 65535 entries (the engine never
+// aggregates that many).
+func EncodeEager(rail uint8, pkts []Packet) []byte {
+	if len(pkts) == 0 || len(pkts) > 0xFFFF {
+		panic(fmt.Sprintf("wire: invalid eager packet count %d", len(pkts)))
+	}
+	var total uint64
+	for _, p := range pkts {
+		total += uint64(len(p.Payload))
+	}
+	h := Header{Kind: KindEager, Rail: rail, Count: uint16(len(pkts)), TotalLen: total}
+	if len(pkts) == 1 {
+		h.Tag = pkts[0].Tag
+		h.MsgID = pkts[0].MsgID
+	}
+	out := h.Encode(make([]byte, 0, AggregateSize(pkts)))
+	var entry [entryHeaderSize]byte
+	for _, p := range pkts {
+		binary.LittleEndian.PutUint32(entry[0:], p.Tag)
+		binary.LittleEndian.PutUint64(entry[4:], p.MsgID)
+		binary.LittleEndian.PutUint32(entry[12:], uint32(len(p.Payload)))
+		out = append(out, entry[:]...)
+		out = append(out, p.Payload...)
+	}
+	return out
+}
+
+// DecodeEager parses an eager container produced by EncodeEager.
+func DecodeEager(b []byte) ([]Packet, error) {
+	h, rest, err := DecodeHeader(b)
+	if err != nil {
+		return nil, err
+	}
+	if h.Kind != KindEager {
+		return nil, fmt.Errorf("%w: expected eager, got %v", ErrCorrupt, h.Kind)
+	}
+	pkts := make([]Packet, 0, h.Count)
+	for i := 0; i < int(h.Count); i++ {
+		if len(rest) < entryHeaderSize {
+			return nil, ErrShortBuffer
+		}
+		tag := binary.LittleEndian.Uint32(rest[0:])
+		msgID := binary.LittleEndian.Uint64(rest[4:])
+		plen := int(binary.LittleEndian.Uint32(rest[12:]))
+		rest = rest[entryHeaderSize:]
+		if len(rest) < plen {
+			return nil, ErrShortBuffer
+		}
+		pkts = append(pkts, Packet{Tag: tag, MsgID: msgID, Payload: rest[:plen:plen]})
+		rest = rest[plen:]
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrCorrupt, len(rest))
+	}
+	return pkts, nil
+}
+
+// EncodeControl builds an RTS/CTS/Ack control message.
+func EncodeControl(kind Kind, rail uint8, tag uint32, msgID, totalLen uint64) []byte {
+	h := Header{Kind: kind, Rail: rail, Tag: tag, MsgID: msgID, TotalLen: totalLen}
+	return h.Encode(nil)
+}
+
+// EncodeData frames one chunk of a rendezvous transfer.
+func EncodeData(rail uint8, tag uint32, msgID uint64, offset int, chunk []byte, totalLen int) []byte {
+	h := Header{
+		Kind: KindData, Rail: rail, Tag: tag, MsgID: msgID,
+		Offset: uint64(offset), ChunkLen: uint64(len(chunk)), TotalLen: uint64(totalLen),
+	}
+	out := h.Encode(make([]byte, 0, HeaderSize+len(chunk)))
+	return append(out, chunk...)
+}
+
+// DecodeData parses a chunk frame and returns its header and payload.
+func DecodeData(b []byte) (Header, []byte, error) {
+	h, rest, err := DecodeHeader(b)
+	if err != nil {
+		return Header{}, nil, err
+	}
+	if h.Kind != KindData {
+		return Header{}, nil, fmt.Errorf("%w: expected data, got %v", ErrCorrupt, h.Kind)
+	}
+	if uint64(len(rest)) != h.ChunkLen {
+		return Header{}, nil, fmt.Errorf("%w: chunk len %d != payload %d", ErrCorrupt, h.ChunkLen, len(rest))
+	}
+	return h, rest, nil
+}

@@ -1,0 +1,197 @@
+// Package workload provides the measurement loops used by the figure
+// harness, the benches and the examples: one-way transfer timing,
+// classical ping-pong, small-message rate and concurrent multi-flow
+// traffic, all over the public multirail API (so they run identically on
+// the simulator and on the live environment).
+package workload
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/stats"
+	"repro/multirail"
+)
+
+// cooldown lets receiver-side copy occupancy drain between measurements
+// so samples are independent (mirrors the sampling cooldown).
+func cooldown(ctx multirail.Ctx, size int) {
+	ctx.Sleep(10*time.Microsecond + 2*time.Duration(size))
+}
+
+// OneWay measures the one-way completion time of size-byte messages from
+// node `from` to node `to`, iters times (node clock difference is exact
+// in simulation and irrelevant live since both ends share the process
+// clock).
+func OneWay(c *multirail.Cluster, from, to, size, iters int) []time.Duration {
+	out := make([]time.Duration, 0, iters)
+	payload := make([]byte, size)
+	buf := make([]byte, size)
+	c.Go("oneway", func(ctx multirail.Ctx) {
+		for i := 0; i < iters; i++ {
+			start := ctx.Now()
+			rr := c.Node(to).Irecv(from, 0xBEEF, buf)
+			sr := c.Node(from).Isend(to, 0xBEEF, payload)
+			if _, err := rr.Wait(ctx); err != nil {
+				panic(fmt.Sprintf("workload: one-way recv: %v", err))
+			}
+			out = append(out, ctx.Now()-start)
+			sr.Wait(ctx)
+			cooldown(ctx, size)
+		}
+	})
+	c.Run()
+	return out
+}
+
+// MedianOneWay runs OneWay and returns the median.
+func MedianOneWay(c *multirail.Cluster, size, iters int) time.Duration {
+	ts := OneWay(c, 0, 1, size, iters)
+	fs := make([]float64, len(ts))
+	for i, t := range ts {
+		fs[i] = float64(t)
+	}
+	return time.Duration(stats.Percentile(fs, 50))
+}
+
+// PingPongRTT measures full round trips between nodes 0 and 1 (the
+// paper's "classical ping-pong program"); the conventional one-way
+// latency is RTT/2.
+func PingPongRTT(c *multirail.Cluster, size, iters int) []time.Duration {
+	out := make([]time.Duration, 0, iters)
+	done := make(chan struct{})
+	c.Go("ponger", func(ctx multirail.Ctx) {
+		buf := make([]byte, size)
+		for i := 0; i < iters; i++ {
+			if _, err := c.Node(1).Recv(ctx, 0, 1, buf); err != nil {
+				panic(err)
+			}
+			c.Node(1).Send(ctx, 0, 2, buf[:size])
+		}
+	})
+	c.Go("pinger", func(ctx multirail.Ctx) {
+		defer close(done)
+		payload := make([]byte, size)
+		buf := make([]byte, size)
+		for i := 0; i < iters; i++ {
+			start := ctx.Now()
+			rr := c.Node(0).Irecv(1, 2, buf)
+			c.Node(0).Send(ctx, 1, 1, payload)
+			if _, err := rr.Wait(ctx); err != nil {
+				panic(err)
+			}
+			out = append(out, ctx.Now()-start)
+			cooldown(ctx, size)
+		}
+	})
+	c.Run()
+	<-done
+	return out
+}
+
+// Bandwidth converts a size and a one-way duration into the paper's plot
+// unit, MB/s (MiB per second).
+func Bandwidth(size int, oneway time.Duration) float64 {
+	if oneway <= 0 {
+		return 0
+	}
+	return float64(size) / oneway.Seconds() / (1 << 20)
+}
+
+// TwoPacketBatch submits two packets of size/2 to the same destination in
+// one batch (Fig 3's workload: "two segments") and returns the time until
+// both have been received, for iters repetitions.
+func TwoPacketBatch(c *multirail.Cluster, size, iters int) []time.Duration {
+	out := make([]time.Duration, 0, iters)
+	half := size / 2
+	if half == 0 {
+		half = 1
+	}
+	p1 := make([]byte, half)
+	p2 := make([]byte, size-half)
+	b1 := make([]byte, half)
+	b2 := make([]byte, size-half)
+	c.Go("twopkt", func(ctx multirail.Ctx) {
+		for i := 0; i < iters; i++ {
+			start := ctx.Now()
+			r1 := c.Node(1).Irecv(0, 1, b1)
+			r2 := c.Node(1).Irecv(0, 2, b2)
+			s1 := c.Node(0).Isend(1, 1, p1)
+			s2 := c.Node(0).Isend(1, 2, p2)
+			r1.Wait(ctx)
+			r2.Wait(ctx)
+			out = append(out, ctx.Now()-start)
+			s1.Wait(ctx)
+			s2.Wait(ctx)
+			cooldown(ctx, size)
+		}
+	})
+	c.Run()
+	return out
+}
+
+// RateResult reports a message-rate measurement.
+type RateResult struct {
+	Messages int
+	Elapsed  time.Duration
+	// PerSecond is the sustained message rate.
+	PerSecond float64
+}
+
+// MessageRate pushes count messages of the given size from node 0 to
+// node 1 across `flows` tags and measures the sustained rate.
+func MessageRate(c *multirail.Cluster, size, count, flows int) RateResult {
+	if flows < 1 {
+		flows = 1
+	}
+	var res RateResult
+	c.Go("rate-recv", func(ctx multirail.Ctx) {
+		reqs := make([]*multirail.RecvRequest, count)
+		for i := 0; i < count; i++ {
+			reqs[i] = c.Node(1).Irecv(0, uint32(i%flows), make([]byte, size))
+		}
+		start := ctx.Now()
+		for _, r := range reqs {
+			r.Wait(ctx)
+		}
+		res.Elapsed = ctx.Now() - start
+	})
+	c.Go("rate-send", func(ctx multirail.Ctx) {
+		for i := 0; i < count; i++ {
+			c.Node(0).Isend(1, uint32(i%flows), make([]byte, size))
+		}
+	})
+	c.Run()
+	res.Messages = count
+	if res.Elapsed > 0 {
+		res.PerSecond = float64(count) / res.Elapsed.Seconds()
+	}
+	return res
+}
+
+// FlowResult reports one flow of a multi-flow run.
+type FlowResult struct {
+	Flow     int
+	Size     int
+	Finished time.Duration
+}
+
+// MultiFlow starts one concurrent flow per entry of sizes (all node 0 →
+// node 1, distinct tags) and reports each flow's completion time.
+func MultiFlow(c *multirail.Cluster, sizes []int) []FlowResult {
+	results := make([]FlowResult, len(sizes))
+	for i, size := range sizes {
+		i, size := i, size
+		c.Go(fmt.Sprintf("flow-%d", i), func(ctx multirail.Ctx) {
+			buf := make([]byte, size)
+			rr := c.Node(1).Irecv(0, uint32(100+i), buf)
+			c.Node(0).Isend(1, uint32(100+i), make([]byte, size))
+			if _, err := rr.Wait(ctx); err != nil {
+				panic(err)
+			}
+			results[i] = FlowResult{Flow: i, Size: size, Finished: ctx.Now()}
+		})
+	}
+	c.Run()
+	return results
+}

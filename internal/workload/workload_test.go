@@ -1,0 +1,94 @@
+package workload
+
+import (
+	"testing"
+	"time"
+
+	"repro/multirail"
+)
+
+func cluster(t *testing.T) *multirail.Cluster {
+	t.Helper()
+	c, err := multirail.New(multirail.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+func TestOneWayDeterministic(t *testing.T) {
+	c := cluster(t)
+	ts := OneWay(c, 0, 1, 4096, 4)
+	if len(ts) != 4 {
+		t.Fatalf("%d samples", len(ts))
+	}
+	for _, d := range ts[1:] {
+		if d != ts[0] {
+			t.Fatalf("iterations differ: %v", ts)
+		}
+	}
+	if ts[0] <= 0 {
+		t.Fatal("non-positive one-way time")
+	}
+}
+
+func TestPingPongRTTAboutTwiceOneWay(t *testing.T) {
+	c := cluster(t)
+	one := MedianOneWay(c, 64<<10, 3)
+	c2 := cluster(t)
+	rtts := PingPongRTT(c2, 64<<10, 3)
+	rtt := rtts[len(rtts)/2]
+	ratio := float64(rtt) / float64(one)
+	if ratio < 1.8 || ratio > 2.3 {
+		t.Fatalf("RTT %v vs one-way %v (ratio %.2f), want ~2", rtt, one, ratio)
+	}
+}
+
+func TestBandwidthUnit(t *testing.T) {
+	// 1 MiB per millisecond = 1000 MiB/s.
+	if bw := Bandwidth(1<<20, time.Millisecond); bw < 999.9 || bw > 1000.1 {
+		t.Fatalf("bw = %v", bw)
+	}
+	if Bandwidth(1, 0) != 0 {
+		t.Fatal("zero duration")
+	}
+}
+
+func TestTwoPacketBatch(t *testing.T) {
+	c := cluster(t)
+	ts := TwoPacketBatch(c, 8192, 2)
+	if len(ts) != 2 || ts[0] <= 0 {
+		t.Fatalf("batch times %v", ts)
+	}
+}
+
+func TestMessageRate(t *testing.T) {
+	c := cluster(t)
+	res := MessageRate(c, 64, 100, 4)
+	if res.Messages != 100 || res.Elapsed <= 0 || res.PerSecond <= 0 {
+		t.Fatalf("rate result %+v", res)
+	}
+	// 100 eager messages of 64B at ~1µs-scale each: the rate must be
+	// far above 10k/s in virtual time.
+	if res.PerSecond < 10_000 {
+		t.Fatalf("implausible rate %.0f/s", res.PerSecond)
+	}
+}
+
+func TestMultiFlow(t *testing.T) {
+	c := cluster(t)
+	res := MultiFlow(c, []int{1 << 10, 256 << 10, 2 << 20})
+	if len(res) != 3 {
+		t.Fatalf("%d results", len(res))
+	}
+	for i, r := range res {
+		if r.Finished <= 0 {
+			t.Fatalf("flow %d never finished: %+v", i, r)
+		}
+	}
+	// The small flow must finish before the big one.
+	if res[0].Finished >= res[2].Finished {
+		t.Fatalf("1KB flow (%v) not before 2MB flow (%v)", res[0].Finished, res[2].Finished)
+	}
+}

@@ -1,0 +1,292 @@
+// Package mpilite is a minimal MPI-like layer over the multirail engine.
+//
+// The paper closes by announcing the integration of NewMadeleine into
+// the MPICH2-Nemesis stack "so as to use the multirail capabilities and
+// the multithreaded communication system within the widespread MPI
+// implementation". mpilite implements that step at the API level:
+// ranks, tagged point-to-point operations and a few collectives
+// (broadcast, barrier, sum all-reduce, gather), all riding the multirail
+// engine — every large transfer below is striped across rails by the
+// sampling-based strategy.
+//
+// All ranks of a World must run in their own actor (Cluster.Go) and call
+// collectives in the same order, as in MPI.
+package mpilite
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/multirail"
+)
+
+// Tag layout: user point-to-point tags must stay below 1<<24; collective
+// traffic uses the high bits.
+const (
+	maxUserTag  = 1 << 24
+	collBase    = uint32(0xC0000000)
+	opBcast     = 1
+	opBarrier   = 2
+	opAllreduce = 3
+	opGather    = 4
+	seqShift    = 8
+	opShift     = 24
+	seqMask     = 0xFFFF
+)
+
+// World is an MPI_COMM_WORLD-like communicator spanning every node of a
+// cluster.
+type World struct {
+	c *multirail.Cluster
+
+	mu  sync.Mutex
+	seq map[int]uint32 // per-rank collective sequence numbers
+}
+
+// NewWorld wraps a cluster.
+func NewWorld(c *multirail.Cluster) *World {
+	return &World{c: c, seq: make(map[int]uint32)}
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.c.Nodes() }
+
+// Rank returns the handle for rank i.
+func (w *World) Rank(i int) *Rank {
+	if i < 0 || i >= w.Size() {
+		panic(fmt.Sprintf("mpilite: rank %d outside world of %d", i, w.Size()))
+	}
+	return &Rank{w: w, id: i}
+}
+
+// nextSeq returns rank r's next collective sequence number. Ranks call
+// collectives in the same order, so equal sequence numbers identify the
+// same collective across ranks.
+func (w *World) nextSeq(r int) uint32 {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.seq[r]++
+	return w.seq[r] & seqMask
+}
+
+func collTag(op int, seq uint32, round int) uint32 {
+	return collBase | uint32(op)<<opShift&0x3F000000 | seq<<seqShift | uint32(round)&0xFF
+}
+
+// Rank is one process of the world.
+type Rank struct {
+	w  *World
+	id int
+}
+
+// ID returns the rank number.
+func (r *Rank) ID() int { return r.id }
+
+// checkTag guards the user tag space.
+func checkTag(tag uint32) {
+	if tag >= maxUserTag {
+		panic(fmt.Sprintf("mpilite: user tag %d >= %d", tag, maxUserTag))
+	}
+}
+
+// Send sends data to rank dst and waits for local completion.
+func (r *Rank) Send(ctx multirail.Ctx, dst int, tag uint32, data []byte) {
+	checkTag(tag)
+	r.w.c.Node(r.id).Send(ctx, dst, tag, data)
+}
+
+// Isend submits a send without waiting.
+func (r *Rank) Isend(dst int, tag uint32, data []byte) *multirail.SendRequest {
+	checkTag(tag)
+	return r.w.c.Node(r.id).Isend(dst, tag, data)
+}
+
+// Recv receives a message from rank src, returning its length.
+func (r *Rank) Recv(ctx multirail.Ctx, src int, tag uint32, buf []byte) (int, error) {
+	checkTag(tag)
+	return r.w.c.Node(r.id).Recv(ctx, src, tag, buf)
+}
+
+// Irecv posts a receive without waiting.
+func (r *Rank) Irecv(src int, tag uint32, buf []byte) *multirail.RecvRequest {
+	checkTag(tag)
+	return r.w.c.Node(r.id).Irecv(src, tag, buf)
+}
+
+// Sendrecv exchanges messages with two peers without deadlocking.
+func (r *Rank) Sendrecv(ctx multirail.Ctx, dst int, sendTag uint32, data []byte,
+	src int, recvTag uint32, buf []byte) (int, error) {
+	checkTag(sendTag)
+	checkTag(recvTag)
+	rr := r.w.c.Node(r.id).Irecv(src, recvTag, buf)
+	sr := r.w.c.Node(r.id).Isend(dst, sendTag, data)
+	sr.Wait(ctx)
+	return rr.Wait(ctx)
+}
+
+// Bcast broadcasts root's buf to every rank along a binomial tree. All
+// ranks pass a buffer of the same length; non-roots receive into it.
+func (r *Rank) Bcast(ctx multirail.Ctx, root int, buf []byte) error {
+	size := r.w.Size()
+	seq := r.w.nextSeq(r.id)
+	if size == 1 {
+		return nil
+	}
+	vrank := (r.id - root + size) % size
+	// Receive phase: find the round in which this vrank is reached.
+	mask := 1
+	for mask < size {
+		if vrank < 2*mask && vrank >= mask {
+			src := (vrank - mask + root) % size
+			if _, err := r.w.c.Node(r.id).Recv(ctx, src, collTag(opBcast, seq, log2(mask)), buf); err != nil {
+				return err
+			}
+			break
+		}
+		mask <<= 1
+	}
+	// Send phase: forward to the subtree. Restarting from mask=1 is safe
+	// for every rank: vrank < mask only holds for masks above the one we
+	// received at, and for the root it spans the whole tree.
+	for mask = 1; mask < size; mask <<= 1 {
+		if vrank < mask && vrank+mask < size {
+			dst := (vrank + mask + root) % size
+			r.w.c.Node(r.id).Send(ctx, dst, collTag(opBcast, seq, log2(mask)), buf)
+		}
+	}
+	return nil
+}
+
+func log2(n int) int {
+	k := 0
+	for n > 1 {
+		n >>= 1
+		k++
+	}
+	return k
+}
+
+// Barrier blocks until every rank entered it (dissemination algorithm).
+func (r *Rank) Barrier(ctx multirail.Ctx) error {
+	size := r.w.Size()
+	seq := r.w.nextSeq(r.id)
+	var token [1]byte
+	for round, dist := 0, 1; dist < size; round, dist = round+1, dist*2 {
+		dst := (r.id + dist) % size
+		src := (r.id - dist + size) % size
+		rr := r.w.c.Node(r.id).Irecv(src, collTag(opBarrier, seq, round), token[:])
+		r.w.c.Node(r.id).Isend(dst, collTag(opBarrier, seq, round), token[:])
+		if _, err := rr.Wait(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// AllreduceSum sums the float64 vector across all ranks; every rank
+// returns the same result. Rank 0 reduces and broadcasts (sufficient for
+// the examples; the point-to-point legs ride the multirail engine).
+func (r *Rank) AllreduceSum(ctx multirail.Ctx, in []float64) ([]float64, error) {
+	size := r.w.Size()
+	seq := r.w.nextSeq(r.id)
+	out := append([]float64(nil), in...)
+	enc := encodeFloats(in)
+	if r.id == 0 {
+		buf := make([]byte, len(enc))
+		for src := 1; src < size; src++ {
+			if _, err := r.w.c.Node(0).Recv(ctx, src, collTag(opAllreduce, seq, 0), buf); err != nil {
+				return nil, err
+			}
+			vals, err := decodeFloats(buf, len(in))
+			if err != nil {
+				return nil, err
+			}
+			for i, v := range vals {
+				out[i] += v
+			}
+		}
+	} else {
+		r.w.c.Node(r.id).Send(ctx, 0, collTag(opAllreduce, seq, 0), enc)
+	}
+	// Broadcast the reduction with the same collective machinery.
+	res := encodeFloats(out)
+	vr := Rank{w: r.w, id: r.id}
+	if err := vr.bcastRaw(ctx, 0, res, seq); err != nil {
+		return nil, err
+	}
+	return decodeFloats(res, len(in))
+}
+
+// bcastRaw is Bcast with a caller-provided sequence (used inside other
+// collectives so all ranks agree on tags without a second nextSeq).
+func (r *Rank) bcastRaw(ctx multirail.Ctx, root int, buf []byte, seq uint32) error {
+	size := r.w.Size()
+	if size == 1 {
+		return nil
+	}
+	vrank := (r.id - root + size) % size
+	mask := 1
+	for mask < size {
+		if vrank < 2*mask && vrank >= mask {
+			src := (vrank - mask + root) % size
+			if _, err := r.w.c.Node(r.id).Recv(ctx, src, collTag(opAllreduce, seq, 8+log2(mask)), buf); err != nil {
+				return err
+			}
+			break
+		}
+		mask <<= 1
+	}
+	for mask = 1; mask < size; mask <<= 1 {
+		if vrank < mask && vrank+mask < size {
+			dst := (vrank + mask + root) % size
+			r.w.c.Node(r.id).Send(ctx, dst, collTag(opAllreduce, seq, 8+log2(mask)), buf)
+		}
+	}
+	return nil
+}
+
+// Gather collects each rank's data at root; root receives a slice per
+// rank (its own included), others receive nil.
+func (r *Rank) Gather(ctx multirail.Ctx, root int, data []byte, maxLen int) ([][]byte, error) {
+	size := r.w.Size()
+	seq := r.w.nextSeq(r.id)
+	if r.id != root {
+		r.w.c.Node(r.id).Send(ctx, root, collTag(opGather, seq, 0), data)
+		return nil, nil
+	}
+	out := make([][]byte, size)
+	out[root] = append([]byte(nil), data...)
+	for src := 0; src < size; src++ {
+		if src == root {
+			continue
+		}
+		buf := make([]byte, maxLen)
+		n, err := r.w.c.Node(root).Recv(ctx, src, collTag(opGather, seq, 0), buf)
+		if err != nil {
+			return nil, err
+		}
+		out[src] = buf[:n]
+	}
+	return out, nil
+}
+
+func encodeFloats(v []float64) []byte {
+	out := make([]byte, 8*len(v))
+	for i, f := range v {
+		binary.LittleEndian.PutUint64(out[8*i:], math.Float64bits(f))
+	}
+	return out
+}
+
+func decodeFloats(b []byte, n int) ([]float64, error) {
+	if len(b) < 8*n {
+		return nil, fmt.Errorf("mpilite: short float payload: %d bytes for %d values", len(b), n)
+	}
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[8*i:]))
+	}
+	return out, nil
+}

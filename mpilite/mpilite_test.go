@@ -1,0 +1,359 @@
+package mpilite_test
+
+import (
+	"bytes"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/mpilite"
+	"repro/multirail"
+)
+
+// world builds an n-rank simulated world and runs body on every rank
+// concurrently.
+func world(t *testing.T, n int, body func(ctx multirail.Ctx, r *mpilite.Rank)) {
+	t.Helper()
+	c, err := multirail.New(multirail.Config{Nodes: n, SamplingMax: 1 << 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	w := mpilite.NewWorld(c)
+	if w.Size() != n {
+		t.Fatalf("world size %d, want %d", w.Size(), n)
+	}
+	for i := 0; i < n; i++ {
+		r := w.Rank(i)
+		c.Go("rank", func(ctx multirail.Ctx) { body(ctx, r) })
+	}
+	c.Run()
+}
+
+func TestPingPong(t *testing.T) {
+	var got []byte
+	world(t, 2, func(ctx multirail.Ctx, r *mpilite.Rank) {
+		switch r.ID() {
+		case 0:
+			r.Send(ctx, 1, 5, []byte("mpi ping"))
+		case 1:
+			buf := make([]byte, 16)
+			n, err := r.Recv(ctx, 0, 5, buf)
+			if err != nil {
+				t.Error(err)
+			}
+			got = buf[:n]
+		}
+	})
+	if string(got) != "mpi ping" {
+		t.Fatalf("got %q", got)
+	}
+}
+
+func TestSendrecvNoDeadlock(t *testing.T) {
+	// Every rank exchanges simultaneously with both neighbours in a ring.
+	const n = 4
+	var mu sync.Mutex
+	received := map[int]int{}
+	world(t, n, func(ctx multirail.Ctx, r *mpilite.Rank) {
+		dst := (r.ID() + 1) % n
+		src := (r.ID() + n - 1) % n
+		buf := make([]byte, 1)
+		if _, err := r.Sendrecv(ctx, dst, 1, []byte{byte(r.ID())}, src, 1, buf); err != nil {
+			t.Error(err)
+			return
+		}
+		mu.Lock()
+		received[r.ID()] = int(buf[0])
+		mu.Unlock()
+	})
+	for i := 0; i < n; i++ {
+		if received[i] != (i+n-1)%n {
+			t.Fatalf("rank %d received from %d", i, received[i])
+		}
+	}
+}
+
+func TestBcastFromEveryRoot(t *testing.T) {
+	const n = 5
+	for root := 0; root < n; root++ {
+		root := root
+		var mu sync.Mutex
+		results := make([][]byte, n)
+		world(t, n, func(ctx multirail.Ctx, r *mpilite.Rank) {
+			buf := make([]byte, 8)
+			if r.ID() == root {
+				copy(buf, []byte("rooted00"))
+				buf[7] = byte(root)
+			}
+			if err := r.Bcast(ctx, root, buf); err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			results[r.ID()] = buf
+			mu.Unlock()
+		})
+		for i, b := range results {
+			if b == nil || b[7] != byte(root) || !bytes.Equal(b[:6], []byte("rooted")) {
+				t.Fatalf("root %d: rank %d got %q", root, i, b)
+			}
+		}
+	}
+}
+
+func TestBcastLargeUsesMultirail(t *testing.T) {
+	payload := make([]byte, 2<<20)
+	for i := range payload {
+		payload[i] = byte(i * 31)
+	}
+	c, err := multirail.New(multirail.Config{Nodes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	w := mpilite.NewWorld(c)
+	var mu sync.Mutex
+	oks := 0
+	for i := 0; i < 3; i++ {
+		r := w.Rank(i)
+		c.Go("rank", func(ctx multirail.Ctx) {
+			buf := make([]byte, len(payload))
+			if r.ID() == 0 {
+				copy(buf, payload)
+			}
+			if err := r.Bcast(ctx, 0, buf); err != nil {
+				t.Error(err)
+				return
+			}
+			if bytes.Equal(buf, payload) {
+				mu.Lock()
+				oks++
+				mu.Unlock()
+			}
+		})
+	}
+	c.Run()
+	if oks != 3 {
+		t.Fatalf("%d ranks got the payload", oks)
+	}
+	// The 2MB legs must have been striped over both rails.
+	if c.RailStats(0, 1).Bytes == 0 {
+		t.Fatal("bcast did not use the second rail")
+	}
+}
+
+func TestBarrierSynchronises(t *testing.T) {
+	const n = 4
+	var mu sync.Mutex
+	order := []string{}
+	world(t, n, func(ctx multirail.Ctx, r *mpilite.Rank) {
+		// Rank 0 dawdles before the barrier; everyone records position
+		// after it. If the barrier works, all "after" marks come after
+		// rank 0's "before".
+		if r.ID() == 0 {
+			ctx.Sleep(1e6) // 1ms virtual
+			mu.Lock()
+			order = append(order, "before0")
+			mu.Unlock()
+		}
+		if err := r.Barrier(ctx); err != nil {
+			t.Error(err)
+			return
+		}
+		mu.Lock()
+		order = append(order, "after")
+		mu.Unlock()
+	})
+	if len(order) != n+1 || order[0] != "before0" {
+		t.Fatalf("barrier order %v", order)
+	}
+}
+
+func TestAllreduceSum(t *testing.T) {
+	const n = 4
+	var mu sync.Mutex
+	results := make([][]float64, n)
+	world(t, n, func(ctx multirail.Ctx, r *mpilite.Rank) {
+		in := []float64{float64(r.ID()), 1, float64(r.ID() * r.ID())}
+		out, err := r.AllreduceSum(ctx, in)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		mu.Lock()
+		results[r.ID()] = out
+		mu.Unlock()
+	})
+	want := []float64{0 + 1 + 2 + 3, 4, 0 + 1 + 4 + 9}
+	for i, res := range results {
+		if res == nil {
+			t.Fatalf("rank %d missing", i)
+		}
+		for j := range want {
+			if math.Abs(res[j]-want[j]) > 1e-12 {
+				t.Fatalf("rank %d: %v, want %v", i, res, want)
+			}
+		}
+	}
+}
+
+func TestGather(t *testing.T) {
+	const n = 3
+	var got [][]byte
+	world(t, n, func(ctx multirail.Ctx, r *mpilite.Rank) {
+		data := bytes.Repeat([]byte{byte('a' + r.ID())}, r.ID()+1)
+		res, err := r.Gather(ctx, 0, data, 16)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		if r.ID() == 0 {
+			got = res
+		} else if res != nil {
+			t.Errorf("non-root rank %d got %v", r.ID(), res)
+		}
+	})
+	want := []string{"a", "bb", "ccc"}
+	for i, w := range want {
+		if string(got[i]) != w {
+			t.Fatalf("gather[%d] = %q, want %q", i, got[i], w)
+		}
+	}
+}
+
+func TestUserTagSpaceGuard(t *testing.T) {
+	c, err := multirail.New(multirail.Config{SamplingMax: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	w := mpilite.NewWorld(c)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("collective-space tag accepted")
+		}
+	}()
+	w.Rank(0).Isend(1, 0xC0000001, nil)
+}
+
+func TestRankBoundsPanic(t *testing.T) {
+	c, err := multirail.New(multirail.Config{SamplingMax: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	w := mpilite.NewWorld(c)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range rank accepted")
+		}
+	}()
+	w.Rank(7)
+}
+
+func TestAllreduceRingMatchesNaive(t *testing.T) {
+	for _, ranks := range []int{2, 3, 4, 5} {
+		ranks := ranks
+		for _, vlen := range []int{1, 3, 17, 1024} {
+			vlen := vlen
+			var mu sync.Mutex
+			results := make([][]float64, ranks)
+			world(t, ranks, func(ctx multirail.Ctx, r *mpilite.Rank) {
+				in := make([]float64, vlen)
+				for i := range in {
+					in[i] = float64(r.ID()*vlen + i)
+				}
+				out, err := r.AllreduceRingSum(ctx, in)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				mu.Lock()
+				results[r.ID()] = out
+				mu.Unlock()
+			})
+			for rank, res := range results {
+				if res == nil {
+					t.Fatalf("P=%d len=%d: rank %d missing", ranks, vlen, rank)
+				}
+				for i := range res {
+					want := 0.0
+					for p := 0; p < ranks; p++ {
+						want += float64(p*vlen + i)
+					}
+					if math.Abs(res[i]-want) > 1e-9 {
+						t.Fatalf("P=%d len=%d rank=%d elem %d: %v, want %v", ranks, vlen, rank, i, res[i], want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestAllreduceRingEmptyAndSingleton(t *testing.T) {
+	world(t, 3, func(ctx multirail.Ctx, r *mpilite.Rank) {
+		out, err := r.AllreduceRingSum(ctx, nil)
+		if err != nil || len(out) != 0 {
+			t.Errorf("empty vector: %v %v", out, err)
+		}
+	})
+	// Size-1 world returns the input unchanged.
+	c, err := multirail.New(multirail.Config{Nodes: 1, SamplingMax: 64 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	w := mpilite.NewWorld(c)
+	c.Go("solo", func(ctx multirail.Ctx) {
+		out, err := w.Rank(0).AllreduceRingSum(ctx, []float64{42})
+		if err != nil || out[0] != 42 {
+			t.Errorf("singleton world: %v %v", out, err)
+		}
+	})
+	c.Run()
+}
+
+// For large vectors the ring algorithm moves 2(P-1)/P of the data per
+// rank instead of broadcasting whole vectors, so it finishes earlier in
+// virtual time than the naive reduce-and-broadcast.
+func TestAllreduceRingFasterForLargeVectors(t *testing.T) {
+	run := func(ring bool) time.Duration {
+		c, err := multirail.New(multirail.Config{Nodes: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		w := mpilite.NewWorld(c)
+		var worst time.Duration
+		var mu sync.Mutex
+		for i := 0; i < 4; i++ {
+			r := w.Rank(i)
+			c.Go("rank", func(ctx multirail.Ctx) {
+				in := make([]float64, 1<<20) // 8 MB vector
+				var err error
+				if ring {
+					_, err = r.AllreduceRingSum(ctx, in)
+				} else {
+					_, err = r.AllreduceSum(ctx, in)
+				}
+				if err != nil {
+					t.Error(err)
+				}
+				mu.Lock()
+				if ctx.Now() > worst {
+					worst = ctx.Now()
+				}
+				mu.Unlock()
+			})
+		}
+		c.Run()
+		return worst
+	}
+	naive := run(false)
+	ring := run(true)
+	if ring >= naive {
+		t.Fatalf("ring %v not faster than naive %v for 8MB vectors", ring, naive)
+	}
+}

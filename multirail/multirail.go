@@ -1,0 +1,317 @@
+// Package multirail is the public API of the multicore-enabled multirail
+// communication engine, a reproduction of Brunet, Trahay and Denis,
+// "A multicore-enabled multirail communication engine" (IEEE Cluster
+// 2008) — the NewMadeleine/PIOMan/Marcel stack.
+//
+// A Cluster is a set of nodes joined by several heterogeneous rails
+// (NICs). At start-up every rail is sampled at power-of-two sizes; the
+// samples feed per-rail transfer-time estimators. Messages submitted with
+// Isend are then scheduled by the engine: small ones are aggregated on
+// the fastest available rail (or split across idle cores when that is
+// predicted to win), large ones handshake and are striped over the rails
+// so that every chunk finishes at the same predicted instant.
+//
+// Two execution substrates are available: a deterministic virtual-time
+// simulation (default, reproducing the paper's testbed, see DESIGN.md)
+// and a wall-clock mode where real goroutines move real bytes.
+//
+// Quickstart:
+//
+//	c, _ := multirail.New(multirail.Config{})      // 2 nodes, Myri-10G + QsNetII
+//	c.Go("app", func(ctx multirail.Ctx) {
+//	    buf := make([]byte, 1<<20)
+//	    recv := c.Node(1).Irecv(0, 42, buf)
+//	    c.Node(0).Isend(1, 42, payload)
+//	    recv.Wait(ctx)
+//	})
+//	c.Run()
+package multirail
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/rt"
+	"repro/internal/sampling"
+	"repro/internal/simnet"
+	"repro/internal/strategy"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// Re-exported building blocks. Aliases keep the public surface small
+// while the implementation lives in internal packages.
+type (
+	// Profile is the analytic performance model of a NIC technology.
+	Profile = model.Profile
+	// Ctx is the blocking capability handed to application actors.
+	Ctx = rt.Ctx
+	// SendRequest tracks an Isend; Wait blocks until the buffer is
+	// reusable.
+	SendRequest = core.SendRequest
+	// RecvRequest tracks an Irecv; Wait blocks until the message landed.
+	RecvRequest = core.RecvRequest
+	// Splitter decides how large messages are distributed over rails.
+	Splitter = strategy.Splitter
+	// EngineStats counts engine activity on one node.
+	EngineStats = core.Stats
+	// IOVec is a gather/scatter vector: an ordered list of buffers
+	// treated as one logical contiguous payload.
+	IOVec = wire.IOVec
+	// Tracer receives per-message timeline events.
+	Tracer = trace.Tracer
+	// TraceEvent is one step of a message's timeline.
+	TraceEvent = trace.Event
+	// TraceCollector stores timeline events in memory.
+	TraceCollector = trace.Collector
+)
+
+// NewTraceCollector returns an in-memory trace sink for Config.Tracer.
+func NewTraceCollector() *TraceCollector { return trace.NewCollector() }
+
+// Built-in rail profiles (calibration in DESIGN.md §7).
+func Myri10G() *Profile { return model.Myri10G() }
+func QsNetII() *Profile { return model.QsNetII() }
+func IBVerbs() *Profile { return model.IBVerbs() }
+func GigE() *Profile    { return model.GigE() }
+
+// Built-in splitters.
+func HeteroSplit() Splitter { return strategy.HeteroSplit{} }
+func IsoSplit() Splitter    { return strategy.IsoSplit{} }
+func SingleRail() Splitter  { return strategy.SingleRail{} }
+
+// Config describes a cluster. The zero value gives the paper's testbed:
+// two nodes, four cores each, one Myri-10G rail and one QsNetII rail, on
+// the deterministic simulator, with the sampling-based hetero-split
+// strategy.
+type Config struct {
+	// Nodes is the number of nodes (default 2).
+	Nodes int
+	// Rails lists the rail profiles (default Myri-10G + QsNetII).
+	Rails []*Profile
+	// CoresPerNode is the per-node core count (default 4, the paper's
+	// dual dual-core Opterons).
+	CoresPerNode int
+	// Live selects wall-clock execution with real goroutines instead of
+	// the deterministic virtual-time simulation.
+	Live bool
+	// TimeScale multiplies modeled durations (0: 1x in simulation, no
+	// pacing live).
+	TimeScale float64
+	// Splitter overrides the large-message strategy (default
+	// HeteroSplit).
+	Splitter Splitter
+	// GreedyEager selects the Fig 3 greedy baseline instead of
+	// aggregation.
+	GreedyEager bool
+	// EagerParallel enables multicore parallel submission of medium
+	// eager packets (§III-D).
+	EagerParallel bool
+	// RecvWorkers is the number of progression actors per node (default
+	// 1). Two or more let striped chunks be received in parallel on
+	// several cores — the multithreaded receive side of the paper's
+	// library.
+	RecvWorkers int
+	// Sampling tunes the start-up sampling range.
+	SamplingMin, SamplingMax int
+	// SamplingFrom, when non-nil, loads a saved sampling instead of
+	// benchmarking at start-up (cmd/nmsample writes such files).
+	SamplingFrom io.Reader
+	// Tracer, when non-nil, receives every engine's per-message timeline
+	// (use NewTraceCollector for an in-memory sink).
+	Tracer Tracer
+}
+
+// Cluster is a running multirail communication system.
+type Cluster struct {
+	cfg      Config
+	env      rt.Env
+	sim      *rt.SimEnv // nil when live
+	live     *rt.LiveEnv
+	fabric   *simnet.Cluster
+	engines  []*core.Engine
+	profiles []*sampling.RailProfile
+
+	wg    sync.WaitGroup // user actors (live mode)
+	nodes []*Node
+}
+
+// New builds, samples and starts a cluster.
+func New(cfg Config) (*Cluster, error) {
+	if cfg.Nodes == 0 {
+		cfg.Nodes = 2
+	}
+	if len(cfg.Rails) == 0 {
+		cfg.Rails = []*Profile{Myri10G(), QsNetII()}
+	}
+	if cfg.CoresPerNode == 0 {
+		cfg.CoresPerNode = 4
+	}
+	c := &Cluster{cfg: cfg}
+	if cfg.Live {
+		c.live = rt.NewLive()
+		c.env = c.live
+	} else {
+		c.sim = rt.NewSim()
+		c.env = c.sim
+	}
+	fabric, err := simnet.New(c.env, simnet.Config{
+		Nodes:        cfg.Nodes,
+		Rails:        cfg.Rails,
+		CoresPerNode: cfg.CoresPerNode,
+		TimeScale:    cfg.TimeScale,
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.fabric = fabric
+	// Sampling: from file, or benchmarked on a private simulated twin of
+	// the rails (the paper samples at launch; doing it on a twin keeps
+	// the user cluster's clock at zero).
+	if cfg.SamplingFrom != nil {
+		c.profiles, err = sampling.Load(cfg.SamplingFrom)
+	} else {
+		c.profiles, err = sampling.SampleProfiles(cfg.Rails, sampling.Config{
+			MinSize: cfg.SamplingMin,
+			MaxSize: cfg.SamplingMax,
+		})
+	}
+	if err != nil {
+		return nil, err
+	}
+	if len(c.profiles) != len(cfg.Rails) {
+		return nil, fmt.Errorf("multirail: sampling has %d rails, cluster has %d", len(c.profiles), len(cfg.Rails))
+	}
+	ecfg := core.Config{
+		Splitter:      cfg.Splitter,
+		EagerParallel: cfg.EagerParallel,
+		Tracer:        cfg.Tracer,
+	}
+	ecfg.Pioman.Workers = cfg.RecvWorkers
+	if cfg.GreedyEager {
+		ecfg.Eager = core.PolicyGreedy
+	}
+	for i := 0; i < cfg.Nodes; i++ {
+		eng, err := core.NewEngine(c.env, fabric.Nodes[i], c.profiles, ecfg)
+		if err != nil {
+			return nil, err
+		}
+		c.engines = append(c.engines, eng)
+		c.nodes = append(c.nodes, &Node{cluster: c, id: i})
+	}
+	return c, nil
+}
+
+// Node returns the handle for node i.
+func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
+
+// Nodes returns the number of nodes.
+func (c *Cluster) Nodes() int { return len(c.nodes) }
+
+// Rails returns the number of rails.
+func (c *Cluster) Rails() int { return c.fabric.NRails() }
+
+// Go spawns an application actor.
+func (c *Cluster) Go(name string, fn func(Ctx)) {
+	if c.live != nil {
+		c.wg.Add(1)
+		c.env.Go(name, func(ctx rt.Ctx) {
+			defer c.wg.Done()
+			fn(ctx)
+		})
+		return
+	}
+	c.env.Go(name, func(ctx rt.Ctx) { fn(ctx) })
+}
+
+// Run executes the workload: in simulation it drives the virtual clock
+// until the system quiesces; live it blocks until every actor spawned
+// with Go has returned.
+func (c *Cluster) Run() {
+	if c.sim != nil {
+		c.sim.Run()
+		return
+	}
+	c.wg.Wait()
+}
+
+// Close stops the engines and, in simulation, reclaims every actor.
+func (c *Cluster) Close() {
+	for _, e := range c.engines {
+		e.Stop()
+	}
+	if c.sim != nil {
+		c.sim.Close()
+	}
+}
+
+// Now returns the cluster clock (virtual or wall).
+func (c *Cluster) Now() time.Duration { return c.env.Now() }
+
+// Estimate returns the sampled one-way transfer estimate for a size on a
+// rail — the quantity the strategies minimise.
+func (c *Cluster) Estimate(rail, size int) time.Duration {
+	return c.profiles[rail].Estimate(size)
+}
+
+// Threshold returns the sampled rendezvous threshold of a rail.
+func (c *Cluster) Threshold(rail int) int { return c.profiles[rail].Threshold() }
+
+// SaveSampling writes the start-up sampling in the nmad-go format.
+func (c *Cluster) SaveSampling(w io.Writer) error {
+	return sampling.Save(w, c.profiles)
+}
+
+// EngineStats returns node i's engine counters.
+func (c *Cluster) EngineStats(node int) EngineStats { return c.engines[node].Stats() }
+
+// RailIdleAt returns the predicted idle time of a node's rail (Fig 2's
+// input).
+func (c *Cluster) RailIdleAt(node, rail int) time.Duration {
+	return c.fabric.Nodes[node].Rail(rail).IdleAt()
+}
+
+// RailStats returns the fabric counters of a node's rail.
+func (c *Cluster) RailStats(node, rail int) simnet.Stats {
+	return c.fabric.Nodes[node].Rail(rail).Stats()
+}
+
+// Node is the per-node communication handle.
+type Node struct {
+	cluster *Cluster
+	id      int
+}
+
+// ID returns the node index.
+func (n *Node) ID() int { return n.id }
+
+// Isend submits a message to node `to` under `tag`; it never blocks.
+func (n *Node) Isend(to int, tag uint32, data []byte) *SendRequest {
+	return n.cluster.engines[n.id].Isend(to, tag, data)
+}
+
+// IsendV submits a gather vector (a list of buffers treated as one
+// logical payload) without blocking.
+func (n *Node) IsendV(to int, tag uint32, v IOVec) *SendRequest {
+	return n.cluster.engines[n.id].IsendV(to, tag, v)
+}
+
+// Irecv posts a receive for a message from node `from` under `tag`.
+func (n *Node) Irecv(from int, tag uint32, buf []byte) *RecvRequest {
+	return n.cluster.engines[n.id].Irecv(from, tag, buf)
+}
+
+// Send submits and waits for local completion.
+func (n *Node) Send(ctx Ctx, to int, tag uint32, data []byte) {
+	n.Isend(to, tag, data).Wait(ctx)
+}
+
+// Recv posts a receive and waits for the message; it returns the
+// received length.
+func (n *Node) Recv(ctx Ctx, from int, tag uint32, buf []byte) (int, error) {
+	return n.Irecv(from, tag, buf).Wait(ctx)
+}
