@@ -4,7 +4,13 @@
 // Usage:
 //
 //	nmping [-strategy hetero|iso|single] [-min 4] [-max 8388608]
-//	       [-iters 3] [-live] [-sampling FILE]
+//	       [-iters 3] [-live] [-rails 2] [-sampling FILE]
+//
+// With -live the sweep runs over the live TCP fabric: every rail is a
+// real TCP connection (loopback by default) and the engine moves real
+// bytes — eager aggregation below the sampled threshold, rendezvous
+// striping above it. Without it the deterministic virtual-time model of
+// the paper's testbed is used.
 package main
 
 import (
@@ -22,12 +28,13 @@ func main() {
 	minSize := flag.Int("min", 4, "smallest size")
 	maxSize := flag.Int("max", 8<<20, "largest size")
 	iters := flag.Int("iters", 3, "iterations per size")
-	live := flag.Bool("live", false, "wall-clock execution")
+	live := flag.Bool("live", false, "wall-clock execution over real TCP rails")
+	rails := flag.Int("rails", 2, "TCP rail count (live mode)")
 	samplingFile := flag.String("sampling", "", "load sampling from file (see cmd/nmsample)")
 	traceOne := flag.Bool("trace", false, "dump the engine timeline of one max-size transfer")
 	flag.Parse()
 
-	cfg := multirail.Config{Live: *live}
+	cfg := multirail.Config{Live: *live, TCPRails: *rails}
 	var collector *multirail.TraceCollector
 	if *traceOne {
 		collector = multirail.NewTraceCollector()
@@ -60,7 +67,7 @@ func main() {
 	}
 	defer c.Close()
 
-	fmt.Printf("# strategy=%s rails=%d live=%v\n", *strategyName, c.Rails(), *live)
+	fmt.Printf("# strategy=%s rails=%d fabric=%s live=%v\n", *strategyName, c.Rails(), c.FabricKind(), *live)
 	if *traceOne {
 		workload.MedianOneWay(c, *maxSize, 1)
 		fmt.Printf("# timeline of one %s transfer:\n", stats.SizeLabel(*maxSize))

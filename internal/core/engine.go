@@ -7,7 +7,7 @@
 // (a NIC becomes idle / a rendezvous arrives / an eager packet is about
 // to be emitted) and decides, from the sampled performance profiles and
 // the NICs' and cores' activity, the best combination of transfers; the
-// transfer layer is the fabric (internal/simnet) driven directly or
+// transfer layer is the fabric (internal/fabric: simnet or livenet) driven directly or
 // through offloaded tasklets (internal/marcel). Event detection is
 // delegated to the progression engine (internal/pioman).
 //
@@ -33,11 +33,11 @@ import (
 	"fmt"
 	"sync"
 
+	"repro/internal/fabric"
 	"repro/internal/marcel"
 	"repro/internal/pioman"
 	"repro/internal/rt"
 	"repro/internal/sampling"
-	"repro/internal/simnet"
 	"repro/internal/strategy"
 	"repro/internal/trace"
 )
@@ -89,7 +89,7 @@ type Config struct {
 // Engine is one node's communication engine.
 type Engine struct {
 	env      rt.Env
-	node     *simnet.Node
+	node     fabric.Node
 	sched    *marcel.Scheduler
 	pm       *pioman.Manager
 	profiles []*sampling.RailProfile
@@ -140,16 +140,16 @@ type Stats struct {
 
 // NewEngine builds and starts the engine for one node. profiles must
 // hold one sampled RailProfile per rail of the node's cluster.
-func NewEngine(env rt.Env, node *simnet.Node, profiles []*sampling.RailProfile, cfg Config) (*Engine, error) {
-	if len(profiles) != len(node.Rails) {
-		return nil, fmt.Errorf("core: %d profiles for %d rails", len(profiles), len(node.Rails))
+func NewEngine(env rt.Env, node fabric.Node, profiles []*sampling.RailProfile, cfg Config) (*Engine, error) {
+	if len(profiles) != node.NumRails() {
+		return nil, fmt.Errorf("core: %d profiles for %d rails", len(profiles), node.NumRails())
 	}
 	if cfg.Splitter == nil {
 		cfg.Splitter = strategy.HeteroSplit{}
 	}
 	cores := cfg.Cores
 	if cores <= 0 {
-		cores = node.Cluster().Cores()
+		cores = node.Cores()
 	}
 	e := &Engine{
 		env:       env,
@@ -166,12 +166,12 @@ func NewEngine(env rt.Env, node *simnet.Node, profiles []*sampling.RailProfile, 
 	e.sched = marcel.New(env, cores)
 	e.pm = pioman.New(env, node, e.sched, cfg.Pioman)
 	e.pm.Start(e.handle)
-	env.Go(fmt.Sprintf("nmad-submit-%d", node.ID), e.submitLoop)
+	env.Go(fmt.Sprintf("nmad-submit-%d", node.ID()), e.submitLoop)
 	return e, nil
 }
 
 // NodeID returns the node this engine serves.
-func (e *Engine) NodeID() int { return e.node.ID }
+func (e *Engine) NodeID() int { return e.node.ID() }
 
 // Scheduler exposes the core scheduler (tests, examples).
 func (e *Engine) Scheduler() *marcel.Scheduler { return e.sched }
@@ -198,12 +198,12 @@ func (e *Engine) msgID() uint64 {
 
 // railViews snapshots the strategy's view of every rail.
 func (e *Engine) railViews() []strategy.RailView {
-	views := make([]strategy.RailView, len(e.node.Rails))
-	for i, r := range e.node.Rails {
+	views := make([]strategy.RailView, e.node.NumRails())
+	for i := range views {
 		views[i] = strategy.RailView{
 			Index:    i,
 			Est:      e.profiles[i],
-			IdleAt:   r.IdleAt(),
+			IdleAt:   e.node.Rail(i).IdleAt(),
 			EagerMax: e.profiles[i].EagerMax,
 		}
 	}
@@ -217,7 +217,7 @@ func (e *Engine) trace(kind trace.Kind, msgID uint64, rail, size int, note strin
 		return
 	}
 	e.cfg.Tracer.Record(trace.Event{
-		At: e.env.Now(), Node: e.node.ID, MsgID: msgID,
+		At: e.env.Now(), Node: e.node.ID(), MsgID: msgID,
 		Kind: kind, Rail: rail, Size: size, Note: note,
 	})
 }

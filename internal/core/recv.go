@@ -3,8 +3,8 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/fabric"
 	"repro/internal/rt"
-	"repro/internal/simnet"
 	"repro/internal/trace"
 	"repro/internal/wire"
 )
@@ -87,7 +87,7 @@ func (e *Engine) sendCTS(to, rail int, tag uint32, msgID uint64) {
 
 // handle is the progression handler: it runs on a pioman actor for every
 // delivery, in arrival order.
-func (e *Engine) handle(ctx rt.Ctx, d *simnet.Delivery) {
+func (e *Engine) handle(ctx rt.Ctx, d *fabric.Delivery) {
 	h, _, err := wire.DecodeHeader(d.Data)
 	if err != nil {
 		return // corrupt frame: drop (counted nowhere; cannot happen in-process)

@@ -4,15 +4,15 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/fabric"
 	"repro/internal/rt"
-	"repro/internal/simnet"
 	"repro/internal/wire"
 )
 
 // inject pushes a raw frame into node 1's delivery queue as if it had
 // arrived on the given rail.
 func inject(eng *Engine, rail int, data []byte) {
-	eng.node.RecvQ.Push(&simnet.Delivery{From: 0, Rail: rail, Data: data})
+	eng.node.RecvQ().Push(&fabric.Delivery{From: 0, Rail: rail, Data: data})
 }
 
 // Corrupt frames are dropped; the engine keeps serving.

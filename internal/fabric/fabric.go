@@ -1,0 +1,121 @@
+// Package fabric defines the contract between the communication engine
+// (internal/core, the optimizer–scheduler of the paper) and the
+// byte-moving substrate underneath it.
+//
+// The engine schedules transfers; a fabric executes them. Two fabrics
+// implement this contract:
+//
+//   - internal/simnet: the modeled multirail cluster driven by analytic
+//     NIC profiles, deterministic on rt.SimEnv (reproduces the paper's
+//     testbed) and optionally paced on rt.LiveEnv.
+//   - internal/livenet: real TCP connections — one per (node pair, rail)
+//     — moving internal/wire frames as actual bytes on the wall clock.
+//
+// The split mirrors the paper's own layering (NewMadeleine's
+// optimizer/scheduler above, Madeleine's network drivers below): the
+// scheduler only ever asks a rail "when will you be idle?", posts eager
+// containers, control messages and DMA chunks, and consumes Delivery
+// items from the node's receive queue. Nothing in the engine may depend
+// on how the bytes actually travel.
+package fabric
+
+import (
+	"time"
+
+	"repro/internal/model"
+	"repro/internal/rt"
+)
+
+// Delivery is a message arriving at a node: one internal/wire frame plus
+// the receiver-side cost annotations charged by the progression engine.
+type Delivery struct {
+	// From is the sending node.
+	From int
+	// Rail is the rail index the message travelled on.
+	Rail int
+	// Data is the encoded wire frame.
+	Data []byte
+	// RecvCPU is the fixed receiver-core cost to process the delivery
+	// before the engine handler runs (and before completion can fire).
+	// Live fabrics report zero: real receive costs elapse on their own.
+	RecvCPU time.Duration
+	// CopyCPU is additional receiver-core occupancy (the eager receive
+	// copy), charged after the handler to model core contention.
+	CopyCPU time.Duration
+	// SentAt is the fabric time the message was posted (tracing).
+	SentAt time.Duration
+}
+
+// Stats aggregates per-rail traffic counters.
+type Stats struct {
+	Messages  uint64
+	Bytes     uint64
+	BusyTime  time.Duration
+	LastStart time.Duration
+}
+
+// Rail is one NIC (or one TCP lane): a serialised send engine with a
+// performance profile and an idleness horizon.
+type Rail interface {
+	// Index returns the rail number within its node.
+	Index() int
+	// Profile returns the rail's performance description. For modeled
+	// rails this is the calibrated analytic profile; live rails return a
+	// synthetic profile whose cost fields are zero (real costs elapse on
+	// the wall clock) but whose limits (EagerMax) still bind.
+	Profile() *model.Profile
+	// IdleAt predicts when the rail's send engine will have drained all
+	// posted work: now if idle, otherwise the expected end of the queued
+	// transfers. This is the knowledge Fig 2's NIC selection relies on.
+	IdleAt() time.Duration
+	// Busy reports whether the send engine currently has work.
+	Busy() bool
+	// Stats returns a snapshot of the traffic counters.
+	Stats() Stats
+	// SendEager transmits an eager (PIO) container. It may block the
+	// calling actor for the host-side cost; the payload is aliased until
+	// the message is handed to the wire.
+	SendEager(ctx rt.Ctx, to int, data []byte)
+	// SendControl transmits a small control message (RTS/CTS/Ack),
+	// charging the caller cpuCost and annotating the delivery with
+	// recvCost. Fabrics without modeled CPU costs ignore both.
+	SendControl(ctx rt.Ctx, to int, data []byte, cpuCost, recvCost time.Duration)
+	// SendData streams a rendezvous chunk. The calling actor is blocked
+	// only for the descriptor post; done (may be nil) fires when the
+	// transfer drains and the sender may reuse the buffer.
+	SendData(ctx rt.Ctx, to int, data []byte, done rt.Event)
+}
+
+// Node is one endpoint of the fabric: an indexed set of rails plus the
+// delivery queue the progression engine (internal/pioman) drains.
+type Node interface {
+	// ID returns the node's index in the fabric.
+	ID() int
+	// NumRails returns the number of rails of this node.
+	NumRails() int
+	// Rail returns the i-th rail.
+	Rail(i int) Rail
+	// RecvQ returns the queue *Delivery items are pushed to. A nil item
+	// is the conventional stop nudge for parked consumers.
+	RecvQ() rt.Queue
+	// Cores returns the number of cores the node exposes to the
+	// communication system.
+	Cores() int
+}
+
+// Fabric is a set of nodes joined by parallel rails.
+type Fabric interface {
+	// Env returns the execution environment the fabric runs on.
+	Env() rt.Env
+	// NumNodes returns the number of nodes.
+	NumNodes() int
+	// Node returns node i. Fabrics that host only part of a distributed
+	// system return a remote stub for non-hosted nodes; stubs expose ID
+	// only and panic on any transfer or queue access.
+	Node(i int) Node
+	// NumRails returns the number of rails joining every node pair.
+	NumRails() int
+	// Close releases transport resources (listeners, connections). It is
+	// a no-op for purely in-memory fabrics.
+	Close() error
+}

@@ -1,0 +1,748 @@
+// Package livenet implements the fabric contract over real TCP
+// connections: every rail of every node pair is its own TCP connection,
+// so a multirail cluster genuinely moves bytes over parallel transport
+// lanes (loopback or real hosts) on the wall clock.
+//
+// Layout: for a system of N nodes with R rails there are C(N,2)*R
+// connections; the connection between nodes i and j on rail r carries
+// traffic in both directions. Frames from internal/wire travel
+// length-prefixed; a reader goroutine per connection decodes them into
+// fabric.Delivery items and pushes them to the destination node's
+// receive queue, from which the progression engine (internal/pioman)
+// raises completion events through rt.LiveEnv.
+//
+// Two deployment shapes:
+//
+//   - NewLoopback hosts all N nodes in one process, connected through a
+//     real TCP listener (by default on 127.0.0.1). This is what
+//     `nmping -live` and the integration tests use: the bytes cross the
+//     kernel's loopback path, not a function call.
+//   - NewDistributed hosts exactly one node per process. Lower-id nodes
+//     listen; higher-id nodes dial (node 1 dials node 0, and so on), so
+//     a two-process deployment is just one listener and one dialer. See
+//     examples/tcp2proc.
+//
+// Unlike internal/simnet there are no modeled costs: SendControl's CPU
+// charges are ignored, deliveries carry zero receiver cost, and IdleAt
+// is estimated from the bytes queued on the rail and a measured
+// throughput EWMA — the live analogue of the NIC busy horizon that
+// drives the paper's Fig 2 rail selection.
+package livenet
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/model"
+	"repro/internal/rt"
+)
+
+// maxFrame bounds a single length-prefixed frame (1 GiB).
+const maxFrame = 1 << 30
+
+// goodbye is the length-prefix sentinel a closing fabric writes on each
+// connection so the peer can tell a graceful shutdown (no error) from a
+// process death (abrupt EOF, recorded in Err).
+const goodbye = 0xFFFFFFFF
+
+// helloMagic opens every connection, followed by src, dst (uint16 LE)
+// and the rail index (uint8).
+var helloMagic = [4]byte{'N', 'M', 'T', 'R'}
+
+const helloSize = 4 + 2 + 2 + 1
+
+// initialRate seeds the per-rail throughput estimate (1 GiB/s) until
+// real writes calibrate it.
+const initialRate = float64(1 << 30)
+
+// rateCalibMin is the smallest write that updates the throughput EWMA;
+// tiny frames measure syscall latency, not bandwidth.
+const rateCalibMin = 4 << 10
+
+// Config describes a live TCP fabric.
+type Config struct {
+	// Nodes is the total number of nodes in the system (default 2).
+	Nodes int
+	// Rails is the number of parallel TCP rails per node pair (default 2).
+	Rails int
+	// CoresPerNode is the core count each node reports (default 4).
+	CoresPerNode int
+	// EagerMax is the largest eager payload a rail accepts; above it the
+	// engine must use the rendezvous path (default 32 KiB).
+	EagerMax int
+	// ListenAddr is the address this process accepts rail connections on
+	// (default "127.0.0.1:0", an ephemeral loopback port).
+	ListenAddr string
+	// Listener, when non-nil, is used instead of binding ListenAddr.
+	// This lets a caller pre-bind an ephemeral port and publish its
+	// address before the fabric starts accepting; the fabric takes
+	// ownership and closes it.
+	Listener net.Listener
+	// Peers maps lower-id node ids to their listen addresses
+	// (distributed mode only; node i dials every j < i).
+	Peers map[int]string
+	// DialTimeout bounds connection establishment, including retries
+	// while a peer's listener is still coming up (default 10s).
+	DialTimeout time.Duration
+}
+
+func (c *Config) defaults() {
+	if c.Nodes == 0 {
+		c.Nodes = 2
+	}
+	if c.Rails == 0 {
+		c.Rails = 2
+	}
+	if c.CoresPerNode == 0 {
+		c.CoresPerNode = 4
+	}
+	if c.EagerMax == 0 {
+		c.EagerMax = 32 << 10
+	}
+	if c.ListenAddr == "" {
+		c.ListenAddr = "127.0.0.1:0"
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 10 * time.Second
+	}
+}
+
+func (c *Config) validate() error {
+	if c.Nodes < 2 {
+		return fmt.Errorf("livenet: need at least 2 nodes, got %d", c.Nodes)
+	}
+	if c.Rails < 1 {
+		return fmt.Errorf("livenet: need at least 1 rail, got %d", c.Rails)
+	}
+	if c.Nodes > 1<<16 {
+		return fmt.Errorf("livenet: node count %d exceeds the wire format", c.Nodes)
+	}
+	if c.Rails > 1<<8 {
+		return fmt.Errorf("livenet: rail count %d exceeds the wire format", c.Rails)
+	}
+	return nil
+}
+
+// Fabric is a live TCP multirail fabric (implements fabric.Fabric).
+type Fabric struct {
+	env   *rt.LiveEnv
+	cfg   Config
+	local int // hosted node id; -1 when all nodes are hosted (loopback)
+	nodes []*Node
+	ln    net.Listener
+
+	wg       sync.WaitGroup // readers, accept loop
+	writers  sync.WaitGroup
+	closedCh chan struct{}
+	closed   atomic.Bool
+
+	mu       sync.Mutex
+	firstErr error
+	conns    []net.Conn
+}
+
+// NewLoopback builds a fabric hosting all cfg.Nodes in this process,
+// joined by real TCP connections through a listener on cfg.ListenAddr.
+func NewLoopback(env *rt.LiveEnv, cfg Config) (*Fabric, error) {
+	cfg.defaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	f := newFabric(env, cfg, -1)
+	if err := f.connectLoopback(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+// NewDistributed builds a fabric hosting only node `local` in this
+// process. It listens on cfg.ListenAddr for every higher-id peer and
+// dials cfg.Peers[j] for every lower-id peer, blocking until the local
+// node's full mesh share is connected.
+func NewDistributed(env *rt.LiveEnv, local int, cfg Config) (*Fabric, error) {
+	cfg.defaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if local < 0 || local >= cfg.Nodes {
+		return nil, fmt.Errorf("livenet: local node %d out of range [0,%d)", local, cfg.Nodes)
+	}
+	for j := 0; j < local; j++ {
+		if cfg.Peers[j] == "" {
+			return nil, fmt.Errorf("livenet: no peer address for lower-id node %d", j)
+		}
+	}
+	f := newFabric(env, cfg, local)
+	if err := f.connectDistributed(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return f, nil
+}
+
+func newFabric(env *rt.LiveEnv, cfg Config, local int) *Fabric {
+	f := &Fabric{env: env, cfg: cfg, local: local, closedCh: make(chan struct{})}
+	for i := 0; i < cfg.Nodes; i++ {
+		hosted := local < 0 || i == local
+		n := &Node{f: f, id: i, hosted: hosted}
+		if hosted {
+			n.recvq = env.NewQueue()
+			for r := 0; r < cfg.Rails; r++ {
+				n.rails = append(n.rails, &Rail{
+					node:  n,
+					index: r,
+					rate:  initialRate,
+					links: make(map[int]*link),
+					prof: &model.Profile{
+						Name:          fmt.Sprintf("tcp-r%d", r),
+						EagerRate:     initialRate,
+						RecvCopyRate:  initialRate,
+						WireBandwidth: initialRate,
+						EagerMax:      cfg.EagerMax,
+					},
+				})
+			}
+		}
+		f.nodes = append(f.nodes, n)
+	}
+	return f
+}
+
+// Env returns the wall-clock environment.
+func (f *Fabric) Env() rt.Env { return f.env }
+
+// NumNodes returns the total node count (hosted or not).
+func (f *Fabric) NumNodes() int { return f.cfg.Nodes }
+
+// NumRails returns the rail count.
+func (f *Fabric) NumRails() int { return f.cfg.Rails }
+
+// Node returns node i; in distributed mode non-hosted ids yield a stub
+// that panics on rail or queue access.
+func (f *Fabric) Node(i int) fabric.Node { return f.nodes[i] }
+
+// LocalAddr returns the listener address (useful with the default
+// ephemeral port). Empty if this fabric never listened.
+func (f *Fabric) LocalAddr() string {
+	if f.ln == nil {
+		return ""
+	}
+	return f.ln.Addr().String()
+}
+
+// Err returns the first transport error observed, if any.
+func (f *Fabric) Err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.firstErr
+}
+
+// Close tears the fabric down: listener and connections close, reader
+// and writer goroutines join. Safe to call more than once.
+func (f *Fabric) Close() error {
+	if !f.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(f.closedCh)
+	// A writer stuck mid-frame on a dead or partitioned peer would never
+	// observe closedCh (it only checks between frames), so bound every
+	// connection's in-flight write before joining the writers.
+	f.mu.Lock()
+	stuck := append([]net.Conn(nil), f.conns...)
+	f.mu.Unlock()
+	for _, c := range stuck {
+		c.SetWriteDeadline(time.Now().Add(time.Second))
+	}
+	// Let every writer drain its queue and send the goodbye sentinel
+	// before the connections go away, so peers see a graceful shutdown.
+	f.writers.Wait()
+	if f.ln != nil {
+		f.ln.Close()
+	}
+	f.mu.Lock()
+	conns := f.conns
+	f.mu.Unlock()
+	for _, c := range conns {
+		c.Close()
+	}
+	f.wg.Wait()
+	return f.Err()
+}
+
+func (f *Fabric) fail(err error) {
+	if err == nil {
+		return
+	}
+	f.mu.Lock()
+	if f.firstErr == nil {
+		f.firstErr = err
+	}
+	f.mu.Unlock()
+}
+
+func (f *Fabric) track(c net.Conn) {
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	f.mu.Lock()
+	f.conns = append(f.conns, c)
+	f.mu.Unlock()
+}
+
+// listen binds the accept socket (or adopts a pre-bound one).
+func (f *Fabric) listen() error {
+	if f.cfg.Listener != nil {
+		f.ln = f.cfg.Listener
+		return nil
+	}
+	ln, err := net.Listen("tcp", f.cfg.ListenAddr)
+	if err != nil {
+		return fmt.Errorf("livenet: listen %s: %w", f.cfg.ListenAddr, err)
+	}
+	f.ln = ln
+	return nil
+}
+
+// connectLoopback wires the full mesh through one local listener.
+func (f *Fabric) connectLoopback() error {
+	if err := f.listen(); err != nil {
+		return err
+	}
+	expect := f.cfg.Nodes * (f.cfg.Nodes - 1) / 2 * f.cfg.Rails
+	accepted := f.acceptN(expect)
+	for i := 1; i < f.cfg.Nodes; i++ {
+		for j := 0; j < i; j++ {
+			for r := 0; r < f.cfg.Rails; r++ {
+				if err := f.dialLink(f.ln.Addr().String(), i, j, r); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	return f.waitAccepts(accepted, expect)
+}
+
+// connectDistributed wires this process's share of the mesh: accept from
+// higher ids, dial lower ids.
+func (f *Fabric) connectDistributed() error {
+	expect := (f.cfg.Nodes - 1 - f.local) * f.cfg.Rails
+	var accepted chan error
+	if expect > 0 {
+		if err := f.listen(); err != nil {
+			return err
+		}
+		accepted = f.acceptN(expect)
+	}
+	for j := 0; j < f.local; j++ {
+		for r := 0; r < f.cfg.Rails; r++ {
+			if err := f.dialLink(f.cfg.Peers[j], f.local, j, r); err != nil {
+				return err
+			}
+		}
+	}
+	return f.waitAccepts(accepted, expect)
+}
+
+// acceptN accepts and registers n handshaking connections in the
+// background, reporting completion (or the first error) on the returned
+// channel and closing the listener when done.
+func (f *Fabric) acceptN(n int) chan error {
+	done := make(chan error, 1)
+	if n == 0 {
+		done <- nil
+		return done
+	}
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		defer f.ln.Close()
+		for k := 0; k < n; k++ {
+			conn, err := f.ln.Accept()
+			if err != nil {
+				done <- fmt.Errorf("livenet: accept: %w", err)
+				return
+			}
+			if err := f.acceptLink(conn); err != nil {
+				conn.Close()
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	return done
+}
+
+func (f *Fabric) waitAccepts(accepted chan error, expect int) error {
+	if expect == 0 {
+		return nil
+	}
+	select {
+	case err := <-accepted:
+		return err
+	case <-time.After(f.cfg.DialTimeout):
+		return errors.New("livenet: timed out waiting for rail connections")
+	}
+}
+
+// dialLink connects src's rail r to dst at addr and registers the local
+// endpoint on the hosted src node. It retries until DialTimeout so the
+// dialer may start before the listener.
+func (f *Fabric) dialLink(addr string, src, dst, r int) error {
+	deadline := time.Now().Add(f.cfg.DialTimeout)
+	var conn net.Conn
+	var err error
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			if err == nil {
+				err = errors.New("timed out")
+			}
+			return fmt.Errorf("livenet: dial %s (rail %d to node %d): %w", addr, r, dst, err)
+		}
+		// remain must stay positive: net.DialTimeout treats a
+		// non-positive timeout as "no timeout" and could block for the
+		// OS connect limit instead of our deadline.
+		conn, err = net.DialTimeout("tcp", addr, remain)
+		if err == nil {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	var hello [helloSize]byte
+	copy(hello[:], helloMagic[:])
+	binary.LittleEndian.PutUint16(hello[4:], uint16(src))
+	binary.LittleEndian.PutUint16(hello[6:], uint16(dst))
+	hello[8] = uint8(r)
+	if _, err := conn.Write(hello[:]); err != nil {
+		conn.Close()
+		return fmt.Errorf("livenet: hello to %s: %w", addr, err)
+	}
+	f.register(conn, src, dst, r)
+	return nil
+}
+
+// acceptLink reads the hello and registers the connection on the hosted
+// destination node.
+func (f *Fabric) acceptLink(conn net.Conn) error {
+	conn.SetReadDeadline(time.Now().Add(f.cfg.DialTimeout))
+	var hello [helloSize]byte
+	if _, err := io.ReadFull(conn, hello[:]); err != nil {
+		return fmt.Errorf("livenet: reading hello: %w", err)
+	}
+	conn.SetReadDeadline(time.Time{})
+	if [4]byte(hello[:4]) != helloMagic {
+		return errors.New("livenet: bad hello magic")
+	}
+	src := int(binary.LittleEndian.Uint16(hello[4:]))
+	dst := int(binary.LittleEndian.Uint16(hello[6:]))
+	r := int(hello[8])
+	if src >= f.cfg.Nodes || dst >= f.cfg.Nodes || r >= f.cfg.Rails {
+		return fmt.Errorf("livenet: hello out of range: %d->%d rail %d", src, dst, r)
+	}
+	if !f.nodes[dst].hosted {
+		return fmt.Errorf("livenet: hello for non-hosted node %d", dst)
+	}
+	f.register(conn, dst, src, r)
+	return nil
+}
+
+// register installs conn as `owner`'s rail-r link to `peer` and starts
+// its writer and reader goroutines.
+func (f *Fabric) register(conn net.Conn, owner, peer, r int) {
+	f.track(conn)
+	node := f.nodes[owner]
+	rail := node.rails[r]
+	l := &link{conn: conn, out: make(chan outFrame, 64)}
+	rail.mu.Lock()
+	rail.links[peer] = l
+	rail.mu.Unlock()
+	f.wg.Add(1)
+	f.writers.Add(1)
+	go f.writeLoop(l)
+	go f.readLoop(conn, node, peer, r)
+}
+
+// outFrame is one queued wire frame.
+type outFrame struct {
+	data []byte
+	done rt.Event
+	rail *Rail
+}
+
+// finish retires the frame: accounting first, then the completion
+// event. written is false on the shutdown drop paths, so only frames
+// that actually went to the wire count as rail traffic.
+func (of outFrame) finish(wrote time.Duration, written bool) {
+	of.rail.noteWritten(len(of.data), wrote, written)
+	if of.done != nil {
+		of.done.Fire()
+	}
+}
+
+// link is one endpoint of the TCP connection joining a node pair on one
+// rail.
+type link struct {
+	conn net.Conn
+	out  chan outFrame
+}
+
+// writeLoop drains a link's queue onto its connection. Each frame is a
+// uint32 LE length prefix followed by the wire bytes (written with
+// writev, no copy). done events fire when the frame has been handed to
+// the kernel — the live equivalent of "the DMA drained".
+func (f *Fabric) writeLoop(l *link) {
+	defer f.writers.Done()
+	for {
+		select {
+		case of := <-l.out:
+			var lenbuf [4]byte
+			binary.LittleEndian.PutUint32(lenbuf[:], uint32(len(of.data)))
+			start := time.Now()
+			bufs := net.Buffers{lenbuf[:], of.data}
+			_, err := bufs.WriteTo(l.conn)
+			of.finish(time.Since(start), true)
+			if err != nil {
+				// Record the failure and kill the connection so both
+				// ends' readers observe it instead of waiting on bytes
+				// that will never arrive. In-flight requests are not
+				// failed over to other rails: transport loss surfaces
+				// through Fabric.Err, not through request errors.
+				f.fail(fmt.Errorf("livenet: write: %w", err))
+				l.conn.Close()
+			}
+		case <-f.closedCh:
+			// Drain pending frames, firing their events so no sender
+			// waits on a dead link. A sender racing Close may still
+			// enqueue after this drain sees the channel empty; send()
+			// re-drains in that case.
+			drainLink(l)
+			// Best-effort goodbye so the peer records no error for a
+			// graceful shutdown (bounded: the fabric is going away).
+			var lenbuf [4]byte
+			binary.LittleEndian.PutUint32(lenbuf[:], goodbye)
+			l.conn.SetWriteDeadline(time.Now().Add(250 * time.Millisecond))
+			l.conn.Write(lenbuf[:])
+			return
+		}
+	}
+}
+
+// drainLink empties a dead link's queue, retiring every frame without
+// writing it so no completion event is lost at shutdown.
+func drainLink(l *link) {
+	for {
+		select {
+		case of := <-l.out:
+			of.finish(0, false)
+		default:
+			return
+		}
+	}
+}
+
+// readLoop decodes length-prefixed frames from conn into deliveries for
+// node (which received them from peer on rail r).
+func (f *Fabric) readLoop(conn net.Conn, node *Node, peer, r int) {
+	defer f.wg.Done()
+	var lenbuf [4]byte
+	for {
+		if _, err := io.ReadFull(conn, lenbuf[:]); err != nil {
+			if !f.closed.Load() {
+				// A clean FIN (io.EOF) while we are not closing means
+				// the peer died — the most common failure; record it so
+				// Err explains a hung run instead of returning nil.
+				f.fail(fmt.Errorf("livenet: node %d rail %d: connection lost: %w", peer, r, err))
+			}
+			return
+		}
+		n := binary.LittleEndian.Uint32(lenbuf[:])
+		if n == goodbye {
+			return // peer shut down gracefully: not an error
+		}
+		if n > maxFrame {
+			// Kill the connection so the peer's writer fails fast
+			// instead of filling a socket nobody drains.
+			f.fail(fmt.Errorf("livenet: frame of %d bytes exceeds limit", n))
+			conn.Close()
+			return
+		}
+		data := make([]byte, n)
+		if _, err := io.ReadFull(conn, data); err != nil {
+			if !f.closed.Load() {
+				f.fail(fmt.Errorf("livenet: read: %w", err))
+			}
+			return
+		}
+		node.recvq.Push(&fabric.Delivery{
+			From:   peer,
+			Rail:   r,
+			Data:   data,
+			SentAt: f.env.Now(),
+		})
+	}
+}
+
+// Node is one endpoint of the live fabric.
+type Node struct {
+	f      *Fabric
+	id     int
+	hosted bool
+	rails  []*Rail
+	recvq  rt.Queue
+}
+
+// ID returns the node's index.
+func (n *Node) ID() int { return n.id }
+
+// NumRails returns the rail count.
+func (n *Node) NumRails() int { return n.f.cfg.Rails }
+
+// Rail returns the i-th rail. It panics on a non-hosted (remote) node.
+func (n *Node) Rail(i int) fabric.Rail {
+	n.mustHost()
+	return n.rails[i]
+}
+
+// RecvQ returns the delivery queue. It panics on a non-hosted node.
+func (n *Node) RecvQ() rt.Queue {
+	n.mustHost()
+	return n.recvq
+}
+
+// Cores returns the configured core count.
+func (n *Node) Cores() int { return n.f.cfg.CoresPerNode }
+
+func (n *Node) mustHost() {
+	if !n.hosted {
+		panic(fmt.Sprintf("livenet: node %d is not hosted by this process", n.id))
+	}
+}
+
+// Rail is one TCP lane of a node: links to every peer plus traffic
+// accounting for the engine's idle-horizon prediction.
+type Rail struct {
+	node  *Node
+	index int
+	prof  *model.Profile
+
+	mu      sync.Mutex
+	links   map[int]*link
+	pending int64   // bytes queued but not yet written
+	rate    float64 // EWMA write throughput, bytes/second
+	stats   fabric.Stats
+}
+
+// Index returns the rail number.
+func (r *Rail) Index() int { return r.index }
+
+// Profile returns the rail's synthetic profile: zero modeled costs (real
+// costs elapse on the wall clock) with the configured EagerMax.
+func (r *Rail) Profile() *model.Profile { return r.prof }
+
+// Stats returns a snapshot of the traffic counters.
+func (r *Rail) Stats() fabric.Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// IdleAt predicts when the rail's queued bytes will have been written,
+// from the throughput EWMA — the live analogue of the modeled NIC
+// busy-until horizon.
+func (r *Rail) IdleAt() time.Duration {
+	now := r.node.f.env.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.pending <= 0 {
+		return now
+	}
+	return now + time.Duration(float64(r.pending)/r.rate*1e9)
+}
+
+// Busy reports whether the rail has queued unwritten bytes.
+func (r *Rail) Busy() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.pending > 0
+}
+
+// SendEager transmits an eager container: the frame is queued on the
+// rail's TCP link to `to` (blocking briefly if the link is backed up —
+// the live analogue of the PIO copy occupying the core).
+func (r *Rail) SendEager(ctx rt.Ctx, to int, data []byte) {
+	r.send(to, data, nil)
+}
+
+// SendControl transmits a control message. The modeled CPU costs are
+// ignored: real costs elapse on their own.
+func (r *Rail) SendControl(ctx rt.Ctx, to int, data []byte, cpuCost, recvCost time.Duration) {
+	r.send(to, data, nil)
+}
+
+// SendData streams a rendezvous chunk; done fires when the frame has
+// been written to the socket and the sender may reuse the buffer.
+func (r *Rail) SendData(ctx rt.Ctx, to int, data []byte, done rt.Event) {
+	r.send(to, data, done)
+}
+
+func (r *Rail) send(to int, data []byte, done rt.Event) {
+	if len(data) > maxFrame {
+		// Refuse at the source: a larger frame would be rejected by the
+		// receiver (or wrap the uint32 prefix past 4 GiB and desync the
+		// stream). Mirrors simnet's MaxMsg panic.
+		panic(fmt.Sprintf("livenet: frame of %d bytes exceeds the %d-byte limit", len(data), maxFrame))
+	}
+	r.mu.Lock()
+	l := r.links[to]
+	if l == nil {
+		r.mu.Unlock()
+		panic(fmt.Sprintf("livenet: node %d has no rail-%d link to node %d", r.node.id, r.index, to))
+	}
+	// Messages/Bytes are counted when the frame is actually written
+	// (noteWritten), so traffic dropped at shutdown is not overstated.
+	r.pending += int64(len(data)) + 4
+	r.stats.LastStart = r.node.f.env.Now()
+	r.mu.Unlock()
+	f := r.node.f
+	select {
+	case l.out <- outFrame{data: data, done: done, rail: r}:
+		// If the fabric closed while we enqueued, the writer's final
+		// drain may already have run and exited; reclaim anything
+		// stranded so completion events still fire.
+		if f.closed.Load() {
+			drainLink(l)
+		}
+	case <-f.closedCh:
+		outFrame{data: data, done: done, rail: r}.finish(0, false)
+	}
+}
+
+// noteWritten retires n queued bytes, counts the frame as traffic when
+// it actually went to the wire, and folds the observed write duration
+// into the throughput estimate.
+func (r *Rail) noteWritten(n int, took time.Duration, written bool) {
+	r.mu.Lock()
+	r.pending -= int64(n) + 4
+	if r.pending < 0 {
+		r.pending = 0
+	}
+	if written {
+		r.stats.Messages++
+		r.stats.Bytes += uint64(n)
+	}
+	r.stats.BusyTime += took
+	if n >= rateCalibMin && took > 0 {
+		inst := float64(n) / took.Seconds()
+		r.rate = 0.7*r.rate + 0.3*inst
+	}
+	r.mu.Unlock()
+}

@@ -26,9 +26,9 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/fabric"
 	"repro/internal/marcel"
 	"repro/internal/rt"
-	"repro/internal/simnet"
 )
 
 // Mode selects the event-detection method.
@@ -70,7 +70,7 @@ type Config struct {
 
 // Handler processes one delivery. It runs on a progression actor and may
 // block on rt primitives.
-type Handler func(ctx rt.Ctx, d *simnet.Delivery)
+type Handler func(ctx rt.Ctx, d *fabric.Delivery)
 
 // Stats counts progression activity.
 type Stats struct {
@@ -82,7 +82,7 @@ type Stats struct {
 // Manager drives event detection for one node.
 type Manager struct {
 	env   rt.Env
-	node  *simnet.Node
+	node  fabric.Node
 	sched *marcel.Scheduler
 	cfg   Config
 
@@ -94,7 +94,7 @@ type Manager struct {
 
 // New creates a progression manager for the node, using sched to judge
 // core availability in Auto mode (sched may be nil if Mode != Auto).
-func New(env rt.Env, node *simnet.Node, sched *marcel.Scheduler, cfg Config) *Manager {
+func New(env rt.Env, node fabric.Node, sched *marcel.Scheduler, cfg Config) *Manager {
 	if cfg.Interval <= 0 {
 		cfg.Interval = time.Microsecond
 	}
@@ -113,20 +113,26 @@ func (m *Manager) Start(h Handler) {
 	m.handler = h
 	m.mu.Unlock()
 	for i := 0; i < m.cfg.Workers; i++ {
-		name := fmt.Sprintf("pioman-n%d-w%d", m.node.ID, i)
+		name := fmt.Sprintf("pioman-n%d-w%d", m.node.ID(), i)
 		m.env.Go(name, m.loop)
 	}
 }
 
-// Stop makes progression actors exit after their current delivery. Parked
-// blocking actors exit on their next wake-up (or when the simulation is
-// closed).
+// Stop makes progression actors exit after their current delivery: one
+// nil nudge is pushed per worker and each worker consumes exactly one,
+// so no worker stays parked and no stale nudge is left for a later
+// queue consumer. Stop is idempotent.
 func (m *Manager) Stop() {
 	m.mu.Lock()
+	if m.stopped {
+		m.mu.Unlock()
+		return
+	}
 	m.stopped = true
 	m.mu.Unlock()
-	// Nudge parked actors so they observe the flag.
-	m.node.RecvQ.Push(nil)
+	for i := 0; i < m.cfg.Workers; i++ {
+		m.node.RecvQ().Push(nil)
+	}
 }
 
 // Stats returns a snapshot of the counters.
@@ -134,12 +140,6 @@ func (m *Manager) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.stats
-}
-
-func (m *Manager) isStopped() bool {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stopped
 }
 
 // pollingNow decides the detection method for the next wait.
@@ -154,12 +154,15 @@ func (m *Manager) pollingNow() bool {
 	}
 }
 
+// loop is one progression actor. Popping the nil stop nudge is the only
+// exit, so each worker consumes exactly one of Stop's nudges and none is
+// left behind for a later queue consumer.
 func (m *Manager) loop(ctx rt.Ctx) {
-	for !m.isStopped() {
+	for {
 		var item any
 		if m.pollingNow() {
 			var ok bool
-			item, ok = m.node.RecvQ.TryPop()
+			item, ok = m.node.RecvQ().TryPop()
 			if !ok {
 				m.mu.Lock()
 				m.stats.Polls++
@@ -168,12 +171,12 @@ func (m *Manager) loop(ctx rt.Ctx) {
 				continue
 			}
 		} else {
-			item = m.node.RecvQ.Pop(ctx)
+			item = m.node.RecvQ().Pop(ctx)
 		}
 		if item == nil { // Stop nudge
 			return
 		}
-		d := item.(*simnet.Delivery)
+		d := item.(*fabric.Delivery)
 		start := ctx.Now()
 		if d.RecvCPU > 0 {
 			ctx.Sleep(d.RecvCPU)

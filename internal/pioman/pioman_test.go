@@ -177,8 +177,7 @@ func TestTwoWorkersProcessInParallel(t *testing.T) {
 	})
 	env.Go("stopper", func(ctx rt.Ctx) {
 		ctx.Sleep(10 * time.Millisecond)
-		m.Stop()
-		m.Stop() // nudge the second parked worker; Stop is idempotent
+		m.Stop() // one call nudges every worker
 	})
 	env.Run()
 	if len(times) != 2 {
@@ -207,4 +206,33 @@ func TestAutoWithoutSchedulerDegradesToBlocking(t *testing.T) {
 		t.Fatal("Auto without scheduler should degrade to Blocking")
 	}
 	_ = env
+}
+
+// Regression: Stop must wake every worker, live — a single nudge used to
+// leave Workers-1 actors parked on the queue forever, so WaitIdle hung.
+func TestStopWakesAllWorkersLive(t *testing.T) {
+	env := rt.NewLive()
+	c, err := simnet.New(env, simnet.Config{
+		Nodes: 2, Rails: model.PaperTestbed(), CoresPerNode: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(env, c.Nodes[1], nil, Config{Workers: 3})
+	m.Start(func(ctx rt.Ctx, d *simnet.Delivery) {})
+	m.Stop()
+	m.Stop() // idempotent: must not enqueue stale nudges
+	done := make(chan struct{})
+	go func() {
+		env.WaitIdle()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitIdle hung: Stop left workers parked on the queue")
+	}
+	if n := c.Nodes[1].RecvQ().Len(); n != 0 {
+		t.Fatalf("%d stale stop nudges left in the queue", n)
+	}
 }

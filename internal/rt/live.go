@@ -30,13 +30,23 @@ func (e *LiveEnv) Go(name string, fn func(Ctx)) {
 	}()
 }
 
+// After schedules fn to run d from now. Every handler — immediate or
+// timer-fired — is tracked by the WaitGroup: WaitIdle must not return
+// while scheduled handlers are pending or running. (All After users
+// schedule bounded, short delays; a long-delay handler would hold
+// WaitIdle open, which is the correct reading of "idle".)
 func (e *LiveEnv) After(d time.Duration, fn func()) {
+	e.wg.Add(1)
+	run := func() {
+		defer e.wg.Done()
+		fn()
+	}
 	if d <= 0 {
 		// Preserve the "runs later, never inline" guarantee of the sim.
-		go fn()
+		go run()
 		return
 	}
-	time.AfterFunc(d, fn)
+	time.AfterFunc(d, run)
 }
 
 func (e *LiveEnv) NewEvent() Event { return &liveEvent{done: make(chan struct{})} }

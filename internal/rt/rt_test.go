@@ -293,3 +293,50 @@ func TestLiveReleaseWithoutAcquirePanics(t *testing.T) {
 	}()
 	NewLive().NewResource(1).Release()
 }
+
+// Regression: an immediate After handler (d <= 0) must be tracked by the
+// WaitGroup — WaitIdle used to return while such handlers were still
+// running, so work they did (like pushing a delivery) could be missed.
+func TestLiveWaitIdleCoversImmediateAfter(t *testing.T) {
+	for i := 0; i < 50; i++ {
+		e := NewLive()
+		var ran atomic.Bool
+		e.After(0, func() {
+			time.Sleep(100 * time.Microsecond)
+			ran.Store(true)
+		})
+		e.WaitIdle()
+		if !ran.Load() {
+			t.Fatal("WaitIdle returned before an immediate After handler finished")
+		}
+	}
+}
+
+// Immediate After handlers may chain: each link stays tracked.
+func TestLiveWaitIdleCoversChainedAfter(t *testing.T) {
+	e := NewLive()
+	var n atomic.Int32
+	e.After(0, func() {
+		n.Add(1)
+		e.After(-time.Second, func() {
+			time.Sleep(50 * time.Microsecond)
+			n.Add(1)
+		})
+	})
+	e.WaitIdle()
+	if n.Load() != 2 {
+		t.Fatalf("chained handlers ran %d times before WaitIdle returned, want 2", n.Load())
+	}
+}
+
+// Positive-delay After handlers are tracked too: WaitIdle waits for a
+// pending timer's handler, not just immediate ones.
+func TestLiveWaitIdleCoversTimerAfter(t *testing.T) {
+	e := NewLive()
+	var ran atomic.Bool
+	e.After(2*time.Millisecond, func() { ran.Store(true) })
+	e.WaitIdle()
+	if !ran.Load() {
+		t.Fatal("WaitIdle returned before a timer-scheduled After handler ran")
+	}
+}

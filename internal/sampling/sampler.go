@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/fabric"
 	"repro/internal/model"
 	"repro/internal/rt"
 	"repro/internal/simnet"
@@ -65,18 +66,36 @@ func SampleProfiles(profiles []*model.Profile, cfg Config) ([]*RailProfile, erro
 	return out, nil
 }
 
-// SampleCluster benchmarks every rail of an existing cluster, measuring
-// through the same fabric primitives the engine uses. It must be called
-// from an actor of the cluster's environment; it drives nodes 0 and 1.
-func SampleCluster(ctx rt.Ctx, c *simnet.Cluster, cfg Config) ([]*RailProfile, error) {
-	cfg.defaults()
-	if len(c.Nodes) < 2 {
-		return nil, fmt.Errorf("sampling: need 2 nodes, cluster has %d", len(c.Nodes))
-	}
-	srv := newPingServer(c)
-	defer srv.stop()
+// SampleLive benchmarks every rail of a wall-clock fabric from a fresh
+// actor and blocks until the measurements complete. Nodes 0 and 1 must
+// both be hosted in this process (loopback); distributed deployments
+// sample a loopback twin instead.
+func SampleLive(f fabric.Fabric, cfg Config) ([]*RailProfile, error) {
 	var out []*RailProfile
-	for i := 0; i < c.NRails(); i++ {
+	var rerr error
+	done := make(chan struct{})
+	f.Env().Go("sampler", func(ctx rt.Ctx) {
+		defer close(done)
+		out, rerr = SampleCluster(ctx, f, cfg)
+	})
+	<-done
+	return out, rerr
+}
+
+// SampleCluster benchmarks every rail of an existing fabric, measuring
+// through the same fabric primitives the engine uses — on the modeled
+// fabric this reproduces the paper's start-up sampling; on a live TCP
+// fabric it measures genuine transfer times. It must be called from an
+// actor of the fabric's environment; it drives nodes 0 and 1.
+func SampleCluster(ctx rt.Ctx, f fabric.Fabric, cfg Config) ([]*RailProfile, error) {
+	cfg.defaults()
+	if f.NumNodes() < 2 {
+		return nil, fmt.Errorf("sampling: need 2 nodes, fabric has %d", f.NumNodes())
+	}
+	srv := newPingServer(f)
+	defer srv.stop(ctx)
+	var out []*RailProfile
+	for i := 0; i < f.NumRails(); i++ {
 		rp, err := srv.sampleRail(ctx, i, cfg)
 		if err != nil {
 			return nil, err
@@ -90,41 +109,40 @@ func SampleCluster(ctx rt.Ctx, c *simnet.Cluster, cfg Config) ([]*RailProfile, e
 // answered with CTS; eager containers and data chunks fire the completion
 // event registered under their message id.
 type pingServer struct {
-	c *simnet.Cluster
+	f    fabric.Fabric
+	done [2]rt.Event // fired when the matching serve actor returns
 
 	mu      sync.Mutex
 	pending map[uint64]rt.Event
-	stopped bool
 	nextID  uint64
 }
 
-func newPingServer(c *simnet.Cluster) *pingServer {
-	s := &pingServer{c: c, pending: make(map[uint64]rt.Event)}
+func newPingServer(f fabric.Fabric) *pingServer {
+	s := &pingServer{f: f, pending: make(map[uint64]rt.Event)}
 	for _, node := range []int{0, 1} {
 		node := node
-		c.Env.Go(fmt.Sprintf("sampling-srv-%d", node), func(ctx rt.Ctx) {
+		s.done[node] = f.Env().NewEvent()
+		f.Env().Go(fmt.Sprintf("sampling-srv-%d", node), func(ctx rt.Ctx) {
+			defer s.done[node].Fire()
 			s.serve(ctx, node)
 		})
 	}
 	return s
 }
 
-func (s *pingServer) stop() {
-	s.mu.Lock()
-	s.stopped = true
-	s.mu.Unlock()
-	s.c.Nodes[0].RecvQ.Push(nil)
-	s.c.Nodes[1].RecvQ.Push(nil)
-}
-
-func (s *pingServer) isStopped() bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.stopped
+// stop nudges both serve actors with a nil item and joins them. Joining
+// matters: the nodes' receive queues belong to the caller afterwards
+// (multirail starts engines on them), so no serve actor may still be
+// parked there and the nil sentinels must have been consumed.
+func (s *pingServer) stop(ctx rt.Ctx) {
+	s.f.Node(0).RecvQ().Push(nil)
+	s.f.Node(1).RecvQ().Push(nil)
+	s.done[0].Wait(ctx)
+	s.done[1].Wait(ctx)
 }
 
 func (s *pingServer) register(id uint64) rt.Event {
-	ev := s.c.Env.NewEvent()
+	ev := s.f.Env().NewEvent()
 	s.mu.Lock()
 	s.pending[id] = ev
 	s.mu.Unlock()
@@ -141,13 +159,15 @@ func (s *pingServer) fire(id uint64) {
 	}
 }
 
+// serve answers the micro-protocol until it pops the nil stop nudge —
+// the only exit, so exactly one nil is consumed per server.
 func (s *pingServer) serve(ctx rt.Ctx, node int) {
-	for !s.isStopped() {
-		item := s.c.Nodes[node].RecvQ.Pop(ctx)
+	for {
+		item := s.f.Node(node).RecvQ().Pop(ctx)
 		if item == nil {
 			return
 		}
-		d := item.(*simnet.Delivery)
+		d := item.(*fabric.Delivery)
 		if d.RecvCPU > 0 {
 			ctx.Sleep(d.RecvCPU)
 		}
@@ -160,9 +180,9 @@ func (s *pingServer) serve(ctx rt.Ctx, node int) {
 			// Answer with a clear-to-send on the same rail. The CPU cost
 			// split mirrors the engine: half the handshake cost on each
 			// side.
-			prof := s.c.Nodes[node].Rail(d.Rail).Profile()
+			prof := s.f.Node(node).Rail(d.Rail).Profile()
 			cts := wire.EncodeControl(wire.KindCTS, uint8(d.Rail), h.Tag, h.MsgID, h.TotalLen)
-			s.c.Nodes[node].Rail(d.Rail).SendControl(ctx, d.From, cts,
+			s.f.Node(node).Rail(d.Rail).SendControl(ctx, d.From, cts,
 				prof.RdvHandshakeCPU/2, prof.RdvHandshakeCPU/2)
 		case wire.KindCTS, wire.KindEager:
 			s.fire(h.MsgID)
@@ -189,7 +209,7 @@ func (s *pingServer) measureEager(ctx rt.Ctx, r, n int) time.Duration {
 	done := s.register(id)
 	payload := wire.EncodeEager(uint8(r), []wire.Packet{{Tag: 0, MsgID: id, Payload: make([]byte, n)}})
 	t0 := ctx.Now()
-	s.c.Nodes[0].Rail(r).SendEager(ctx, 1, payload)
+	s.f.Node(0).Rail(r).SendEager(ctx, 1, payload)
 	done.Wait(ctx)
 	return ctx.Now() - t0
 }
@@ -198,7 +218,7 @@ func (s *pingServer) measureEager(ctx rt.Ctx, r, n int) time.Duration {
 // bytes on rail r: RTS, wait CTS, DMA the payload, completion at
 // delivery.
 func (s *pingServer) measureRdv(ctx rt.Ctx, r, n int) time.Duration {
-	rail := s.c.Nodes[0].Rail(r)
+	rail := s.f.Node(0).Rail(r)
 	prof := rail.Profile()
 	ctsID := s.id()
 	dataID := s.id()
@@ -215,11 +235,20 @@ func (s *pingServer) measureRdv(ctx rt.Ctx, r, n int) time.Duration {
 }
 
 func (s *pingServer) sampleRail(ctx rt.Ctx, r int, cfg Config) (*RailProfile, error) {
-	prof := s.c.Nodes[0].Rail(r).Profile()
+	prof := s.f.Node(0).Rail(r).Profile()
 	// Cooldown between measurements: the receiver's post-completion eager
 	// copy must drain, or it would skew the next point (2 ns/B bounds any
 	// realistic copy rate).
 	cool := func(n int) { ctx.Sleep(10*time.Microsecond + 2*time.Duration(n)) }
+	// Warm the rail up with throwaway round trips before measuring. On a
+	// simulated rail this is free (deterministic costs, discarded clock);
+	// on a live TCP rail it absorbs the cold-start costs — connection
+	// ramp-up, first-touch page faults — that would otherwise inflate the
+	// first sampled point and corrupt the derived rendezvous threshold.
+	for i := 0; i < 3; i++ {
+		s.measureEager(ctx, r, cfg.MinSize)
+		cool(cfg.MinSize)
+	}
 	var eager, rdv []Sample
 	for _, n := range cfg.sizes() {
 		if prof.EagerMax == 0 || n <= prof.EagerMax {

@@ -1,12 +1,14 @@
-// Package simnet implements the multirail cluster fabric: nodes equipped
-// with several heterogeneous NICs (rails), each governed by an analytic
-// performance model (internal/model).
+// Package simnet implements the modeled multirail cluster fabric: nodes
+// equipped with several heterogeneous NICs (rails), each governed by an
+// analytic performance model (internal/model). It is the fabric.Fabric
+// implementation that substitutes for the paper's two dual dual-core
+// Opteron nodes with Myri-10G and QsNetII rails (DESIGN.md §2);
+// internal/livenet is its real-TCP sibling.
 //
 // The fabric runs on either rt environment. On rt.SimEnv all costs elapse
-// in virtual time and results are deterministic — this substitutes for the
-// paper's two dual dual-core Opteron nodes with Myri-10G and QsNetII
-// rails (DESIGN.md §2). On rt.LiveEnv the same code moves the same bytes
-// between goroutines, optionally paced by Config.TimeScale.
+// in virtual time and results are deterministic. On rt.LiveEnv the same
+// code moves the same bytes between goroutines, optionally paced by
+// Config.TimeScale.
 //
 // Cost semantics (matching internal/model):
 //
@@ -32,8 +34,16 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/fabric"
 	"repro/internal/model"
 	"repro/internal/rt"
+)
+
+// Delivery and Stats are the fabric-level types; aliased so existing
+// call sites keep reading naturally.
+type (
+	Delivery = fabric.Delivery
+	Stats    = fabric.Stats
 )
 
 // Config describes a cluster.
@@ -71,9 +81,9 @@ func (c *Config) validate() error {
 
 // Cluster is a set of nodes joined by parallel rails.
 type Cluster struct {
-	Env   rt.Env
 	Nodes []*Node
 
+	env   rt.Env
 	cfg   Config
 	scale float64
 	pace  bool
@@ -93,9 +103,9 @@ func New(env rt.Env, cfg Config) (*Cluster, error) {
 			pace = false
 		}
 	}
-	c := &Cluster{Env: env, cfg: cfg, scale: scale, pace: pace}
+	c := &Cluster{env: env, cfg: cfg, scale: scale, pace: pace}
 	for i := 0; i < cfg.Nodes; i++ {
-		n := &Node{ID: i, cluster: c, RecvQ: env.NewQueue()}
+		n := &Node{id: i, cluster: c, recvq: env.NewQueue()}
 		for r, prof := range cfg.Rails {
 			n.Rails = append(n.Rails, &Rail{
 				node:   n,
@@ -109,11 +119,23 @@ func New(env rt.Env, cfg Config) (*Cluster, error) {
 	return c, nil
 }
 
+// Env returns the execution environment the cluster runs on.
+func (c *Cluster) Env() rt.Env { return c.env }
+
+// NumNodes returns the number of nodes.
+func (c *Cluster) NumNodes() int { return len(c.Nodes) }
+
+// Node returns node i as a fabric endpoint.
+func (c *Cluster) Node(i int) fabric.Node { return c.Nodes[i] }
+
 // Cores returns the configured core count per node.
 func (c *Cluster) Cores() int { return c.cfg.CoresPerNode }
 
-// NRails returns the number of rails.
-func (c *Cluster) NRails() int { return len(c.cfg.Rails) }
+// NumRails returns the number of rails (fabric.Fabric).
+func (c *Cluster) NumRails() int { return len(c.cfg.Rails) }
+
+// Close is a no-op: the modeled fabric holds no transport resources.
+func (c *Cluster) Close() error { return nil }
 
 // d scales a modeled duration into slept time.
 func (c *Cluster) d(t time.Duration) time.Duration {
@@ -129,47 +151,30 @@ func (c *Cluster) d(t time.Duration) time.Duration {
 // Node is one cluster node: a set of NICs plus a delivery queue that the
 // progression engine (internal/pioman) drains.
 type Node struct {
-	ID    int
 	Rails []*Rail
-	// RecvQ receives *Delivery items pushed by remote rails.
-	RecvQ rt.Queue
 
+	id      int
+	recvq   rt.Queue
 	cluster *Cluster
 }
 
+// ID returns the node's index in the cluster.
+func (n *Node) ID() int { return n.id }
+
+// NumRails returns the number of NICs of the node.
+func (n *Node) NumRails() int { return len(n.Rails) }
+
 // Rail returns the i-th NIC of the node.
-func (n *Node) Rail(i int) *Rail { return n.Rails[i] }
+func (n *Node) Rail(i int) fabric.Rail { return n.Rails[i] }
+
+// RecvQ returns the queue *Delivery items are pushed to.
+func (n *Node) RecvQ() rt.Queue { return n.recvq }
+
+// Cores returns the node's core count.
+func (n *Node) Cores() int { return n.cluster.cfg.CoresPerNode }
 
 // Cluster returns the owning cluster.
 func (n *Node) Cluster() *Cluster { return n.cluster }
-
-// Delivery is a message arriving at a node.
-type Delivery struct {
-	// From is the sending node.
-	From int
-	// Rail is the rail index the message travelled on.
-	Rail int
-	// Data is the encoded wire message.
-	Data []byte
-	// RecvCPU is the fixed receiver-core cost to process the delivery
-	// before the engine handler runs (and before completion can fire).
-	RecvCPU time.Duration
-	// CopyCPU is additional receiver-core occupancy (the eager receive
-	// copy). Its latency contribution is already folded into the sender
-	// side EagerRate calibration; it is charged after the handler to
-	// model core contention under load.
-	CopyCPU time.Duration
-	// SentAt is the fabric time the message was posted (tracing).
-	SentAt time.Duration
-}
-
-// Stats aggregates per-rail traffic counters.
-type Stats struct {
-	Messages  uint64
-	Bytes     uint64
-	BusyTime  time.Duration
-	LastStart time.Duration
-}
 
 // Rail is one NIC: a send engine serialised by a capacity-1 resource and
 // an analytic cost model.
@@ -204,7 +209,7 @@ func (r *Rail) Stats() Stats {
 // work: now if idle, otherwise the modeled end of the queued transfers.
 // This is the knowledge Fig 2's NIC selection relies on.
 func (r *Rail) IdleAt() time.Duration {
-	now := r.node.cluster.Env.Now()
+	now := r.node.cluster.env.Now()
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.busyUntil < now {
@@ -215,13 +220,13 @@ func (r *Rail) IdleAt() time.Duration {
 
 // Busy reports whether the send engine currently has work.
 func (r *Rail) Busy() bool {
-	return r.IdleAt() > r.node.cluster.Env.Now()
+	return r.IdleAt() > r.node.cluster.env.Now()
 }
 
 // note reserves the send engine's model time for a transfer of the given
 // occupancy and records counters.
 func (r *Rail) note(occupancy time.Duration, bytes int) {
-	now := r.node.cluster.Env.Now()
+	now := r.node.cluster.env.Now()
 	r.mu.Lock()
 	if r.busyUntil < now {
 		r.busyUntil = now
@@ -237,12 +242,12 @@ func (r *Rail) note(occupancy time.Duration, bytes int) {
 func (r *Rail) deliver(to int, d *Delivery, after time.Duration) {
 	c := r.node.cluster
 	dst := c.Nodes[to]
-	d.SentAt = c.Env.Now()
+	d.SentAt = c.env.Now()
 	if after <= 0 {
-		dst.RecvQ.Push(d)
+		dst.recvq.Push(d)
 		return
 	}
-	c.Env.After(after, func() { dst.RecvQ.Push(d) })
+	c.env.After(after, func() { dst.recvq.Push(d) })
 }
 
 // SendEager transmits an eager (PIO) message. It blocks the calling actor
@@ -263,7 +268,7 @@ func (r *Rail) SendEager(ctx rt.Ctx, to int, data []byte) {
 	ctx.Sleep(c.d(cpu))
 	r.engine.Release()
 	r.deliver(to, &Delivery{
-		From:    r.node.ID,
+		From:    r.node.id,
 		Rail:    r.index,
 		Data:    data,
 		RecvCPU: p.RecvOverhead,
@@ -279,7 +284,7 @@ func (r *Rail) SendControl(ctx rt.Ctx, to int, data []byte, cpuCost, recvCost ti
 	c := r.node.cluster
 	ctx.Sleep(c.d(cpuCost))
 	r.deliver(to, &Delivery{
-		From:    r.node.ID,
+		From:    r.node.id,
 		Rail:    r.index,
 		Data:    data,
 		RecvCPU: recvCost,
@@ -298,12 +303,12 @@ func (r *Rail) SendData(ctx rt.Ctx, to int, data []byte, done rt.Event) {
 	ctx.Sleep(c.d(p.SendOverhead))
 	dma := durPerByte(len(data), p.WireBandwidth)
 	r.note(dma, len(data))
-	c.Env.Go(fmt.Sprintf("dma-n%d-r%d", r.node.ID, r.index), func(dctx rt.Ctx) {
+	c.env.Go(fmt.Sprintf("dma-n%d-r%d", r.node.id, r.index), func(dctx rt.Ctx) {
 		r.engine.Acquire(dctx)
 		dctx.Sleep(c.d(dma))
 		r.engine.Release()
 		r.deliver(to, &Delivery{
-			From: r.node.ID,
+			From: r.node.id,
 			Rail: r.index,
 			Data: data,
 		}, 0)

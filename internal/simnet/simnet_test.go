@@ -22,7 +22,7 @@ func twoNodeSim(t *testing.T, rails []*model.Profile) (*rt.SimEnv, *Cluster) {
 // recvOne pops one delivery, charges its receive cost and returns the
 // completion time (what an engine handler would observe).
 func recvOne(ctx rt.Ctx, n *Node) (*Delivery, time.Duration) {
-	d := n.RecvQ.Pop(ctx).(*Delivery)
+	d := n.RecvQ().Pop(ctx).(*Delivery)
 	ctx.Sleep(d.RecvCPU)
 	return d, ctx.Now()
 }
@@ -44,13 +44,13 @@ func TestConfigValidation(t *testing.T) {
 
 func TestClusterShape(t *testing.T) {
 	_, c := twoNodeSim(t, model.PaperTestbed())
-	if len(c.Nodes) != 2 || c.NRails() != 2 || c.Cores() != 4 {
-		t.Fatalf("cluster shape: %d nodes, %d rails, %d cores", len(c.Nodes), c.NRails(), c.Cores())
+	if len(c.Nodes) != 2 || c.NumRails() != 2 || c.Cores() != 4 {
+		t.Fatalf("cluster shape: %d nodes, %d rails, %d cores", len(c.Nodes), c.NumRails(), c.Cores())
 	}
 	if c.Nodes[1].Rail(0).Profile().Name != "Myri-10G" {
 		t.Fatal("rail 0 should be Myri-10G")
 	}
-	if c.Nodes[0].Rail(1).Node().ID != 0 {
+	if c.Nodes[0].Rails[1].Node().ID() != 0 {
 		t.Fatal("rail back-pointer")
 	}
 }
@@ -86,7 +86,7 @@ func TestEagerBlocksCoreForCPUTime(t *testing.T) {
 		rail.SendEager(ctx, 1, make([]byte, 8192))
 		coreFree = ctx.Now()
 	})
-	env.Go("drain", func(ctx rt.Ctx) { c.Nodes[1].RecvQ.Pop(ctx) })
+	env.Go("drain", func(ctx rt.Ctx) { c.Nodes[1].RecvQ().Pop(ctx) })
 	env.Run()
 	want := rail.Profile().SendCPUTime(model.Eager, 8192)
 	if coreFree != want {
@@ -199,7 +199,7 @@ func TestDataDMATiming(t *testing.T) {
 	done := env.NewEvent()
 	var coreFree, dmaDone, arrived time.Duration
 	env.Go("recv", func(ctx rt.Ctx) {
-		c.Nodes[1].RecvQ.Pop(ctx)
+		c.Nodes[1].RecvQ().Pop(ctx)
 		arrived = ctx.Now()
 	})
 	env.Go("send", func(ctx rt.Ctx) {
@@ -231,8 +231,8 @@ func TestDataDMAContention(t *testing.T) {
 	rail := c.Nodes[0].Rail(0)
 	var end time.Duration
 	env.Go("recv", func(ctx rt.Ctx) {
-		c.Nodes[1].RecvQ.Pop(ctx)
-		c.Nodes[1].RecvQ.Pop(ctx)
+		c.Nodes[1].RecvQ().Pop(ctx)
+		c.Nodes[1].RecvQ().Pop(ctx)
 	})
 	env.Go("send", func(ctx rt.Ctx) {
 		rail.SendData(ctx, 1, make([]byte, size), d1)
@@ -260,7 +260,7 @@ func TestIdleAtPrediction(t *testing.T) {
 	size := 4 << 20
 	p := rail.Profile()
 	dma := time.Duration(float64(size) / p.WireBandwidth * 1e9)
-	env.Go("recv", func(ctx rt.Ctx) { c.Nodes[1].RecvQ.Pop(ctx) })
+	env.Go("recv", func(ctx rt.Ctx) { c.Nodes[1].RecvQ().Pop(ctx) })
 	env.Go("send", func(ctx rt.Ctx) {
 		if rail.Busy() {
 			t.Error("fresh rail busy")
@@ -295,7 +295,7 @@ func TestControlCosts(t *testing.T) {
 	recv := 900 * time.Nanosecond
 	var coreFree, handled time.Duration
 	env.Go("recv", func(ctx rt.Ctx) {
-		d := c.Nodes[1].RecvQ.Pop(ctx).(*Delivery)
+		d := c.Nodes[1].RecvQ().Pop(ctx).(*Delivery)
 		ctx.Sleep(d.RecvCPU)
 		handled = ctx.Now()
 		if d.RecvCPU != recv {
@@ -319,8 +319,8 @@ func TestStatsCounters(t *testing.T) {
 	env, c := twoNodeSim(t, model.PaperTestbed())
 	rail := c.Nodes[0].Rail(0)
 	env.Go("recv", func(ctx rt.Ctx) {
-		c.Nodes[1].RecvQ.Pop(ctx)
-		c.Nodes[1].RecvQ.Pop(ctx)
+		c.Nodes[1].RecvQ().Pop(ctx)
+		c.Nodes[1].RecvQ().Pop(ctx)
 	})
 	env.Go("send", func(ctx rt.Ctx) {
 		rail.SendEager(ctx, 1, make([]byte, 100))
@@ -369,7 +369,7 @@ func TestLiveEnvMovesBytes(t *testing.T) {
 	payload := []byte("multirail")
 	gotc := make(chan []byte, 1)
 	env.Go("recv", func(ctx rt.Ctx) {
-		d := c.Nodes[1].RecvQ.Pop(ctx).(*Delivery)
+		d := c.Nodes[1].RecvQ().Pop(ctx).(*Delivery)
 		gotc <- d.Data
 	})
 	env.Go("send", func(ctx rt.Ctx) {
@@ -392,7 +392,7 @@ func TestLiveEnvNoPacingIsFast(t *testing.T) {
 	}
 	start := time.Now()
 	done := env.NewEvent()
-	env.Go("recv", func(ctx rt.Ctx) { c.Nodes[1].RecvQ.Pop(ctx) })
+	env.Go("recv", func(ctx rt.Ctx) { c.Nodes[1].RecvQ().Pop(ctx) })
 	env.Go("send", func(ctx rt.Ctx) {
 		c.Nodes[0].Rail(0).SendData(ctx, 1, make([]byte, 4<<20), done)
 		done.Wait(ctx)
@@ -413,7 +413,7 @@ func TestTimeScaleOnSim(t *testing.T) {
 	}
 	var done time.Duration
 	env.Go("recv", func(ctx rt.Ctx) {
-		d := c.Nodes[1].RecvQ.Pop(ctx).(*Delivery)
+		d := c.Nodes[1].RecvQ().Pop(ctx).(*Delivery)
 		ctx.Sleep(d.RecvCPU)
 		done = ctx.Now()
 	})
@@ -467,7 +467,7 @@ func TestPropertyIdleAtAccumulates(t *testing.T) {
 		})
 		env.Go("drain", func(ctx rt.Ctx) {
 			for range raw {
-				c.Nodes[1].RecvQ.Pop(ctx)
+				c.Nodes[1].RecvQ().Pop(ctx)
 			}
 		})
 		env.Run()

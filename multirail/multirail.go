@@ -11,9 +11,13 @@
 // predicted to win), large ones handshake and are striped over the rails
 // so that every chunk finishes at the same predicted instant.
 //
-// Two execution substrates are available: a deterministic virtual-time
-// simulation (default, reproducing the paper's testbed, see DESIGN.md)
-// and a wall-clock mode where real goroutines move real bytes.
+// Two byte-moving substrates are available behind the same engine: the
+// deterministic virtual-time simulation of the paper's testbed (default,
+// see DESIGN.md) and a live TCP fabric where every rail is its own TCP
+// connection moving real bytes on the wall clock (Config.Live or
+// Config.Fabric = FabricTCP; see internal/livenet). A live cluster can
+// host all nodes in one process (loopback) or one node per process
+// (Config.Distributed; see examples/tcp2proc).
 //
 // Quickstart:
 //
@@ -34,6 +38,8 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/livenet"
 	"repro/internal/model"
 	"repro/internal/rt"
 	"repro/internal/sampling"
@@ -42,6 +48,20 @@ import (
 	"repro/internal/trace"
 	"repro/internal/wire"
 )
+
+// Fabric kinds for Config.Fabric.
+const (
+	// FabricSim is the modeled fabric: analytic NIC profiles, virtual
+	// time (or paced wall-clock time when Live is set).
+	FabricSim = "sim"
+	// FabricTCP is the live fabric: one real TCP connection per
+	// (node pair, rail), always on the wall clock.
+	FabricTCP = "tcp"
+)
+
+// FabricStats aggregates a rail's fabric-level traffic counters (what
+// RailStats returns).
+type FabricStats = fabric.Stats
 
 // Re-exported building blocks. Aliases keep the public surface small
 // while the implementation lives in internal packages.
@@ -96,9 +116,35 @@ type Config struct {
 	// CoresPerNode is the per-node core count (default 4, the paper's
 	// dual dual-core Opterons).
 	CoresPerNode int
-	// Live selects wall-clock execution with real goroutines instead of
-	// the deterministic virtual-time simulation.
+	// Live selects wall-clock execution instead of the deterministic
+	// virtual-time simulation. Unless Fabric says otherwise, a live
+	// cluster runs on the TCP fabric and moves real bytes.
 	Live bool
+	// Fabric selects the byte-moving substrate: FabricSim or FabricTCP.
+	// Empty means FabricSim, or FabricTCP when Live is set. FabricTCP
+	// implies Live.
+	Fabric string
+	// ListenAddr is the TCP fabric's accept address (default
+	// "127.0.0.1:0", an ephemeral loopback port).
+	ListenAddr string
+	// TCPRails is the number of TCP rails joining every node pair
+	// (default 2). The TCP fabric ignores the Rails profiles.
+	TCPRails int
+	// TCPEagerMax caps eager payloads on TCP rails; larger messages take
+	// the rendezvous path (default 32 KiB).
+	TCPEagerMax int
+	// Distributed hosts only LocalNode in this process (TCP fabric
+	// only): it listens on ListenAddr for connections from higher-id
+	// nodes and dials Peers[j] for every lower-id node j. Calls on
+	// non-hosted node handles panic.
+	Distributed bool
+	// LocalNode is the node id this process hosts in Distributed mode.
+	LocalNode int
+	// Peers maps lower-id node ids to their listen addresses
+	// (Distributed mode). Note: without SamplingFrom, a distributed
+	// process calibrates its strategies on a loopback twin of the rails,
+	// which misstates real cross-host links.
+	Peers map[int]string
 	// TimeScale multiplies modeled durations (0: 1x in simulation, no
 	// pacing live).
 	TimeScale float64
@@ -129,11 +175,12 @@ type Config struct {
 // Cluster is a running multirail communication system.
 type Cluster struct {
 	cfg      Config
+	kind     string
 	env      rt.Env
 	sim      *rt.SimEnv // nil when live
 	live     *rt.LiveEnv
-	fabric   *simnet.Cluster
-	engines  []*core.Engine
+	fab      fabric.Fabric
+	engines  []*core.Engine // indexed by node id; nil when not hosted
 	profiles []*sampling.RailProfile
 
 	wg    sync.WaitGroup // user actors (live mode)
@@ -151,7 +198,21 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.CoresPerNode == 0 {
 		cfg.CoresPerNode = 4
 	}
-	c := &Cluster{cfg: cfg}
+	kind := cfg.Fabric
+	if kind == "" {
+		if cfg.Live {
+			kind = FabricTCP
+		} else {
+			kind = FabricSim
+		}
+	}
+	if kind == FabricTCP {
+		cfg.Live = true
+	}
+	if cfg.Distributed && kind != FabricTCP {
+		return nil, fmt.Errorf("multirail: distributed mode requires the %q fabric", FabricTCP)
+	}
+	c := &Cluster{cfg: cfg, kind: kind}
 	if cfg.Live {
 		c.live = rt.NewLive()
 		c.env = c.live
@@ -159,32 +220,42 @@ func New(cfg Config) (*Cluster, error) {
 		c.sim = rt.NewSim()
 		c.env = c.sim
 	}
-	fabric, err := simnet.New(c.env, simnet.Config{
-		Nodes:        cfg.Nodes,
-		Rails:        cfg.Rails,
-		CoresPerNode: cfg.CoresPerNode,
-		TimeScale:    cfg.TimeScale,
-	})
-	if err != nil {
-		return nil, err
-	}
-	c.fabric = fabric
-	// Sampling: from file, or benchmarked on a private simulated twin of
-	// the rails (the paper samples at launch; doing it on a twin keeps
-	// the user cluster's clock at zero).
-	if cfg.SamplingFrom != nil {
-		c.profiles, err = sampling.Load(cfg.SamplingFrom)
-	} else {
-		c.profiles, err = sampling.SampleProfiles(cfg.Rails, sampling.Config{
-			MinSize: cfg.SamplingMin,
-			MaxSize: cfg.SamplingMax,
+	var err error
+	switch kind {
+	case FabricSim:
+		c.fab, err = simnet.New(c.env, simnet.Config{
+			Nodes:        cfg.Nodes,
+			Rails:        cfg.Rails,
+			CoresPerNode: cfg.CoresPerNode,
+			TimeScale:    cfg.TimeScale,
 		})
+	case FabricTCP:
+		lcfg := livenet.Config{
+			Nodes:        cfg.Nodes,
+			Rails:        cfg.TCPRails,
+			CoresPerNode: cfg.CoresPerNode,
+			EagerMax:     cfg.TCPEagerMax,
+			ListenAddr:   cfg.ListenAddr,
+			Peers:        cfg.Peers,
+		}
+		if cfg.Distributed {
+			c.fab, err = livenet.NewDistributed(c.live, cfg.LocalNode, lcfg)
+		} else {
+			c.fab, err = livenet.NewLoopback(c.live, lcfg)
+		}
+	default:
+		err = fmt.Errorf("multirail: unknown fabric %q", kind)
 	}
 	if err != nil {
 		return nil, err
 	}
-	if len(c.profiles) != len(cfg.Rails) {
-		return nil, fmt.Errorf("multirail: sampling has %d rails, cluster has %d", len(c.profiles), len(cfg.Rails))
+	if c.profiles, err = c.sampleProfiles(kind); err != nil {
+		c.fab.Close()
+		return nil, err
+	}
+	if len(c.profiles) != c.fab.NumRails() {
+		c.fab.Close()
+		return nil, fmt.Errorf("multirail: sampling has %d rails, cluster has %d", len(c.profiles), c.fab.NumRails())
 	}
 	ecfg := core.Config{
 		Splitter:      cfg.Splitter,
@@ -196,14 +267,60 @@ func New(cfg Config) (*Cluster, error) {
 		ecfg.Eager = core.PolicyGreedy
 	}
 	for i := 0; i < cfg.Nodes; i++ {
-		eng, err := core.NewEngine(c.env, fabric.Nodes[i], c.profiles, ecfg)
-		if err != nil {
-			return nil, err
+		var eng *core.Engine
+		if !cfg.Distributed || i == cfg.LocalNode {
+			eng, err = core.NewEngine(c.env, c.fab.Node(i), c.profiles, ecfg)
+			if err != nil {
+				c.fab.Close()
+				return nil, err
+			}
 		}
 		c.engines = append(c.engines, eng)
 		c.nodes = append(c.nodes, &Node{cluster: c, id: i})
 	}
 	return c, nil
+}
+
+// sampleProfiles obtains the per-rail estimators: from a file, from the
+// paper's start-up benchmark on a simulated twin (sim fabric), or from a
+// genuine measurement pass over real TCP (tcp fabric).
+func (c *Cluster) sampleProfiles(kind string) ([]*sampling.RailProfile, error) {
+	if c.cfg.SamplingFrom != nil {
+		return sampling.Load(c.cfg.SamplingFrom)
+	}
+	scfg := sampling.Config{MinSize: c.cfg.SamplingMin, MaxSize: c.cfg.SamplingMax}
+	if kind != FabricTCP {
+		// The paper samples at launch; doing it on a private simulated
+		// twin keeps the user cluster's clock at zero.
+		return sampling.SampleProfiles(c.cfg.Rails, scfg)
+	}
+	// Live sampling measures the real rails. Keep the default ladder
+	// modest (start-up time is wall-clock) and take the best of a few
+	// iterations to reject scheduling noise.
+	if scfg.MaxSize == 0 {
+		scfg.MaxSize = 4 << 20
+	}
+	scfg.Iters = 3
+	if !c.cfg.Distributed {
+		return sampling.SampleLive(c.fab, scfg)
+	}
+	// A distributed process hosts one node, so it cannot ping-pong with
+	// itself: measure a loopback twin of the TCP rails instead. On real
+	// multi-host deployments the twin's loopback numbers misstate the
+	// rails' actual latency and bandwidth — supply SamplingFrom (a
+	// sampling file measured on the real network, see cmd/nmsample) for
+	// accurate thresholds and striping ratios.
+	twin, err := livenet.NewLoopback(rt.NewLive(), livenet.Config{
+		Nodes:        2,
+		Rails:        c.cfg.TCPRails,
+		CoresPerNode: c.cfg.CoresPerNode,
+		EagerMax:     c.cfg.TCPEagerMax,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("multirail: sampling twin: %w", err)
+	}
+	defer twin.Close()
+	return sampling.SampleLive(twin, scfg)
 }
 
 // Node returns the handle for node i.
@@ -213,7 +330,40 @@ func (c *Cluster) Node(i int) *Node { return c.nodes[i] }
 func (c *Cluster) Nodes() int { return len(c.nodes) }
 
 // Rails returns the number of rails.
-func (c *Cluster) Rails() int { return c.fabric.NRails() }
+func (c *Cluster) Rails() int { return c.fab.NumRails() }
+
+// Local returns the node id hosted by this process, or -1 when every
+// node is hosted (simulation or loopback).
+func (c *Cluster) Local() int {
+	if c.cfg.Distributed {
+		return c.cfg.LocalNode
+	}
+	return -1
+}
+
+// ListenAddr returns the TCP fabric's accept address (useful with the
+// default ephemeral port); empty for other fabrics.
+func (c *Cluster) ListenAddr() string {
+	if f, ok := c.fab.(*livenet.Fabric); ok {
+		return f.LocalAddr()
+	}
+	return ""
+}
+
+// FabricKind returns the resolved substrate (FabricSim or FabricTCP) —
+// what Config.Fabric, Live and the defaults actually selected.
+func (c *Cluster) FabricKind() string { return c.kind }
+
+// Err returns the first transport error the fabric observed (TCP read
+// or write failures), or nil. The modeled fabric never errors. Check it
+// after a live run that hung or came up short: transport loss is not
+// yet failed over to pending requests.
+func (c *Cluster) Err() error {
+	if f, ok := c.fab.(*livenet.Fabric); ok {
+		return f.Err()
+	}
+	return nil
+}
 
 // Go spawns an application actor.
 func (c *Cluster) Go(name string, fn func(Ctx)) {
@@ -239,11 +389,15 @@ func (c *Cluster) Run() {
 	c.wg.Wait()
 }
 
-// Close stops the engines and, in simulation, reclaims every actor.
+// Close stops the engines, tears down the fabric and, in simulation,
+// reclaims every actor.
 func (c *Cluster) Close() {
 	for _, e := range c.engines {
-		e.Stop()
+		if e != nil {
+			e.Stop()
+		}
 	}
+	c.fab.Close()
 	if c.sim != nil {
 		c.sim.Close()
 	}
@@ -267,17 +421,27 @@ func (c *Cluster) SaveSampling(w io.Writer) error {
 }
 
 // EngineStats returns node i's engine counters.
-func (c *Cluster) EngineStats(node int) EngineStats { return c.engines[node].Stats() }
+func (c *Cluster) EngineStats(node int) EngineStats { return c.engine(node).Stats() }
+
+// engine returns the engine hosted for a node, panicking with a clear
+// message for remote nodes of a distributed cluster.
+func (c *Cluster) engine(node int) *core.Engine {
+	e := c.engines[node]
+	if e == nil {
+		panic(fmt.Sprintf("multirail: node %d is not hosted by this process (distributed mode)", node))
+	}
+	return e
+}
 
 // RailIdleAt returns the predicted idle time of a node's rail (Fig 2's
 // input).
 func (c *Cluster) RailIdleAt(node, rail int) time.Duration {
-	return c.fabric.Nodes[node].Rail(rail).IdleAt()
+	return c.fab.Node(node).Rail(rail).IdleAt()
 }
 
 // RailStats returns the fabric counters of a node's rail.
-func (c *Cluster) RailStats(node, rail int) simnet.Stats {
-	return c.fabric.Nodes[node].Rail(rail).Stats()
+func (c *Cluster) RailStats(node, rail int) fabric.Stats {
+	return c.fab.Node(node).Rail(rail).Stats()
 }
 
 // Node is the per-node communication handle.
@@ -291,18 +455,18 @@ func (n *Node) ID() int { return n.id }
 
 // Isend submits a message to node `to` under `tag`; it never blocks.
 func (n *Node) Isend(to int, tag uint32, data []byte) *SendRequest {
-	return n.cluster.engines[n.id].Isend(to, tag, data)
+	return n.cluster.engine(n.id).Isend(to, tag, data)
 }
 
 // IsendV submits a gather vector (a list of buffers treated as one
 // logical payload) without blocking.
 func (n *Node) IsendV(to int, tag uint32, v IOVec) *SendRequest {
-	return n.cluster.engines[n.id].IsendV(to, tag, v)
+	return n.cluster.engine(n.id).IsendV(to, tag, v)
 }
 
 // Irecv posts a receive for a message from node `from` under `tag`.
 func (n *Node) Irecv(from int, tag uint32, buf []byte) *RecvRequest {
-	return n.cluster.engines[n.id].Irecv(from, tag, buf)
+	return n.cluster.engine(n.id).Irecv(from, tag, buf)
 }
 
 // Send submits and waits for local completion.
