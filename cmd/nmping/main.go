@@ -17,6 +17,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"repro/internal/stats"
 	"repro/internal/workload"
@@ -79,5 +80,11 @@ func main() {
 		oneway := workload.MedianOneWay(c, n, *iters)
 		fmt.Printf("%-10s %14.2f %14.0f\n",
 			stats.SizeLabel(n), oneway.Seconds()*1e6, workload.Bandwidth(n, oneway))
+	}
+	fmt.Printf("# rail traffic (node 0):\n")
+	states := c.RailStates(0)
+	for r, st := range c.RailStats(0) {
+		fmt.Printf("#   rail %d [%s]: %d msgs, %s, busy %v\n",
+			r, states[r], st.Messages, stats.SizeLabel(int(st.Bytes)), st.BusyTime.Round(time.Microsecond))
 	}
 }

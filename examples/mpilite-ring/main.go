@@ -71,7 +71,7 @@ func main() {
 
 	fmt.Println("\nrail traffic on node 0:")
 	for rail := 0; rail < c.Rails(); rail++ {
-		st := c.RailStats(0, rail)
+		st := c.RailStats(0)[rail]
 		fmt.Printf("  rail %d: %9d bytes, %d messages\n", rail, st.Bytes, st.Messages)
 	}
 }

@@ -42,7 +42,7 @@ func main() {
 		fmt.Printf("  flow %d (%7d B) finished at %v\n", r.Flow, r.Size, r.Finished)
 	}
 	for rail := 0; rail < c.Rails(); rail++ {
-		st := c.RailStats(0, rail)
+		st := c.RailStats(0)[rail]
 		fmt.Printf("  rail %d carried %d bytes in %d messages\n", rail, st.Bytes, st.Messages)
 	}
 }

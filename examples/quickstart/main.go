@@ -50,7 +50,7 @@ func main() {
 	}
 	fmt.Printf("payload intact: %v\n", ok)
 	for r := 0; r < c.Rails(); r++ {
-		st := c.RailStats(0, r)
+		st := c.RailStats(0)[r]
 		fmt.Printf("  rail %d carried %8d bytes in %d messages (busy %v)\n",
 			r, st.Bytes, st.Messages, st.BusyTime)
 	}

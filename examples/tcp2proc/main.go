@@ -120,7 +120,7 @@ func main() {
 		*role, elapsed.Round(time.Millisecond), st.EagerSent, st.EagerAggregated,
 		st.RdvSent, st.ChunksSent, stats.SizeLabel(int(st.BytesSent)))
 	for r := 0; r < c.Rails(); r++ {
-		rs := c.RailStats(local, r)
+		rs := c.RailStats(local)[r]
 		fmt.Printf("#   rail %d: %d msgs, %s sent\n", r, rs.Messages, stats.SizeLabel(int(rs.Bytes)))
 	}
 }

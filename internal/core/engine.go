@@ -95,16 +95,28 @@ type Engine struct {
 	profiles []*sampling.RailProfile
 	cfg      Config
 
-	mu        sync.Mutex
-	nextMsgID uint64
-	pending   []*SendRequest // submit list (paper: "waiting packs")
-	kicks     rt.Queue       // one token per submission
-	recvs     map[key][]*RecvRequest
-	unexpect  map[key][]*message
-	partials  map[uint64]*partial     // in-flight striped messages by id
-	rdvOut    map[uint64]*SendRequest // awaiting CTS
-	rdvQueued map[key][]*queuedRTS    // RTS before matching Irecv
-	stats     Stats
+	healthQ rt.Queue // rail state transitions (nil = stop nudge)
+
+	mu          sync.Mutex
+	nextMsgID   uint64
+	pending     []*SendRequest // submit list (paper: "waiting packs")
+	kicks       rt.Queue       // one token per submission
+	recvs       map[key][]*RecvRequest
+	unexpect    map[key][]*message
+	partials    map[uint64]*partial    // in-flight striped messages by id
+	rdvOut      map[uint64]*pendingRdv // awaiting CTS
+	rdvQueued   map[key][]*queuedRTS   // RTS before matching Irecv
+	outstanding map[ackKey]*unit       // sent units awaiting receiver acks
+	seen        map[seenKey]struct{}   // receiver-side duplicate window
+	seenQ       []seenKey              // eviction order for seen
+	stats       Stats
+}
+
+// pendingRdv is a rendezvous awaiting its CTS, remembering the rail the
+// RTS travelled on so it can be replayed if that rail dies.
+type pendingRdv struct {
+	req  *SendRequest
+	rail int
 }
 
 // key identifies a matching queue.
@@ -136,6 +148,7 @@ type Stats struct {
 	ChunksSent      uint64
 	BytesSent       uint64
 	Unexpected      uint64
+	FailedOver      uint64 // transfer units re-planned off dead rails
 }
 
 // NewEngine builds and starts the engine for one node. profiles must
@@ -152,21 +165,25 @@ func NewEngine(env rt.Env, node fabric.Node, profiles []*sampling.RailProfile, c
 		cores = node.Cores()
 	}
 	e := &Engine{
-		env:       env,
-		node:      node,
-		profiles:  profiles,
-		cfg:       cfg,
-		kicks:     env.NewQueue(),
-		recvs:     make(map[key][]*RecvRequest),
-		unexpect:  make(map[key][]*message),
-		partials:  make(map[uint64]*partial),
-		rdvOut:    make(map[uint64]*SendRequest),
-		rdvQueued: make(map[key][]*queuedRTS),
+		env:         env,
+		node:        node,
+		profiles:    profiles,
+		cfg:         cfg,
+		kicks:       env.NewQueue(),
+		recvs:       make(map[key][]*RecvRequest),
+		unexpect:    make(map[key][]*message),
+		partials:    make(map[uint64]*partial),
+		rdvOut:      make(map[uint64]*pendingRdv),
+		rdvQueued:   make(map[key][]*queuedRTS),
+		outstanding: make(map[ackKey]*unit),
+		seen:        make(map[seenKey]struct{}),
 	}
 	e.sched = marcel.New(env, cores)
 	e.pm = pioman.New(env, node, e.sched, cfg.Pioman)
 	e.pm.Start(e.handle)
+	e.healthQ = node.Health().Subscribe()
 	env.Go(fmt.Sprintf("nmad-submit-%d", node.ID()), e.submitLoop)
+	env.Go(fmt.Sprintf("nmad-health-%d", node.ID()), e.healthLoop)
 	return e, nil
 }
 
@@ -189,6 +206,7 @@ func (e *Engine) Stop() {
 	e.pm.Stop()
 	e.sched.Shutdown()
 	e.kicks.Push(nil)
+	e.healthQ.Push(nil)
 }
 
 func (e *Engine) msgID() uint64 {
@@ -196,7 +214,17 @@ func (e *Engine) msgID() uint64 {
 	return e.nextMsgID
 }
 
-// railViews snapshots the strategy's view of every rail.
+// newID allocates a fresh id outside a held lock. Container ids share
+// the message-id namespace, so an (id, offset) ack key can never name
+// both a container and a chunk.
+func (e *Engine) newID() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.msgID()
+}
+
+// railViews snapshots the strategy's view of every rail, marking
+// non-Up rails so every splitter excludes them.
 func (e *Engine) railViews() []strategy.RailView {
 	views := make([]strategy.RailView, e.node.NumRails())
 	for i := range views {
@@ -205,6 +233,7 @@ func (e *Engine) railViews() []strategy.RailView {
 			Est:      e.profiles[i],
 			IdleAt:   e.node.Rail(i).IdleAt(),
 			EagerMax: e.profiles[i].EagerMax,
+			Down:     e.node.Rail(i).State() != fabric.RailUp,
 		}
 	}
 	return views

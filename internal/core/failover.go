@@ -1,0 +1,333 @@
+package core
+
+import (
+	"repro/internal/fabric"
+	"repro/internal/rt"
+	"repro/internal/strategy"
+	"repro/internal/trace"
+	"repro/internal/wire"
+)
+
+// This file is the engine half of the rail-health subsystem: every
+// transfer unit (eager container, rendezvous or parallel-eager chunk)
+// stays registered as outstanding until the receiver acknowledges it,
+// and when a rail goes Down — a NIC died mid-message — the engine
+// re-plans the unacknowledged units of that rail onto the surviving
+// rails by re-invoking the strategy with a filtered rail view. The
+// receiver tolerates the resulting duplicates: reassembly ignores
+// already-covered ranges and a bounded window of recently seen unit ids
+// drops whole-unit replays.
+
+// seenCap bounds the receiver's duplicate-detection window per engine.
+// Replays only happen within a failover window (sender resends as soon
+// as the rail dies), so a few thousand ids of memory is ample.
+const seenCap = 4096
+
+// ackKey identifies one in-flight transfer unit awaiting its ack.
+type ackKey struct {
+	id     uint64 // container id (eager) or message id (chunks)
+	offset uint64 // chunk offset; 0 for containers
+}
+
+// unit is one transfer unit retained until acknowledged: an eager
+// container (frame kept verbatim — payloads are copied into the
+// container at encode time) or a data chunk (resent from the request's
+// buffer).
+type unit struct {
+	key  ackKey
+	to   int
+	rail int
+
+	frame []byte         // eager container frame; nil marks a chunk
+	reqs  []*SendRequest // container: requests riding it
+
+	req       *SendRequest // chunk: owning request
+	off, size int          // chunk location in req.Data
+}
+
+func (u *unit) isChunk() bool { return u.frame == nil }
+
+// seenKey identifies a receiver-side unit for duplicate suppression.
+type seenKey struct {
+	from int
+	id   uint64
+}
+
+// registerContainer records an eager container as outstanding until its
+// ack arrives.
+func (e *Engine) registerContainer(id uint64, to, rail int, frame []byte, reqs []*SendRequest) {
+	for _, r := range reqs {
+		r.addAcks(1)
+	}
+	e.mu.Lock()
+	e.outstanding[ackKey{id, 0}] = &unit{
+		key: ackKey{id, 0}, to: to, rail: rail,
+		frame: frame, reqs: append([]*SendRequest(nil), reqs...),
+	}
+	e.mu.Unlock()
+}
+
+// registerChunk records a data chunk (rendezvous or parallel eager) as
+// outstanding until its ack arrives.
+func (e *Engine) registerChunk(req *SendRequest, to, rail, off, size int) {
+	req.addAcks(1)
+	k := ackKey{req.msgID, uint64(off)}
+	e.mu.Lock()
+	e.outstanding[k] = &unit{key: k, to: to, rail: rail, req: req, off: off, size: size}
+	e.mu.Unlock()
+}
+
+// onAck retires an acknowledged unit and advances the owning requests'
+// remote completion.
+func (e *Engine) onAck(h wire.Header) {
+	k := ackKey{h.MsgID, h.Offset}
+	e.mu.Lock()
+	u := e.outstanding[k]
+	delete(e.outstanding, k)
+	e.mu.Unlock()
+	if u == nil {
+		return // duplicate ack, or ack for a unit replanned meanwhile
+	}
+	if u.isChunk() {
+		u.req.ackDone()
+		return
+	}
+	for _, r := range u.reqs {
+		r.ackDone()
+	}
+}
+
+// seenAddLocked records a receiver-side unit id, evicting the oldest
+// entry beyond the window. Returns false if the id was already seen.
+// Caller holds e.mu.
+func (e *Engine) seenAddLocked(k seenKey) bool {
+	if _, dup := e.seen[k]; dup {
+		return false
+	}
+	e.seen[k] = struct{}{}
+	e.seenQ = append(e.seenQ, k)
+	if len(e.seenQ) > seenCap {
+		delete(e.seen, e.seenQ[0])
+		e.seenQ = e.seenQ[1:]
+	}
+	return true
+}
+
+// markSeen is seenAddLocked for callers not holding e.mu.
+func (e *Engine) markSeen(from int, id uint64) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.seenAddLocked(seenKey{from, id})
+}
+
+// ackUnit acknowledges one received transfer unit to its sender over a
+// healthy rail (the unit's own rail may be the one that just died).
+func (e *Engine) ackUnit(ctx rt.Ctx, from int, id, offset uint64) {
+	rail := e.ackRail()
+	e.node.Rail(rail).SendControl(ctx, from, wire.EncodeAck(uint8(rail), id, offset), 0, 0)
+}
+
+// ackRail picks the first Up rail (falling back to rail 0 when none is).
+func (e *Engine) ackRail() int {
+	for i := 0; i < e.node.NumRails(); i++ {
+		if e.node.Rail(i).State() == fabric.RailUp {
+			return i
+		}
+	}
+	return 0
+}
+
+// upViews returns the strategy views of the strictly-Up rails.
+func (e *Engine) upViews() []strategy.RailView {
+	views := e.railViews()
+	up := views[:0]
+	for _, v := range views {
+		if !v.Down {
+			up = append(up, v)
+		}
+	}
+	return up
+}
+
+// healthLoop is the engine's rail-health actor: it consumes the node's
+// state-transition feed and re-plans in-flight work when rails die (or
+// retries stranded work when one comes back).
+func (e *Engine) healthLoop(ctx rt.Ctx) {
+	for {
+		item := e.healthQ.Pop(ctx)
+		if item == nil {
+			return // Stop
+		}
+		ev := item.(*fabric.RailEvent)
+		switch ev.State {
+		case fabric.RailDown:
+			e.trace(trace.RailLost, 0, ev.Rail, 0, ev.Reason)
+			e.replan(ctx)
+		case fabric.RailUp:
+			// A recovered rail can carry units stranded while every
+			// rail was down.
+			e.replan(ctx)
+		}
+	}
+}
+
+// replan moves every outstanding unit, pending RTS and pending CTS that
+// sits on a non-Up rail onto surviving rails. With no survivors the
+// work stays put and is retried on the next RailUp transition.
+func (e *Engine) replan(ctx rt.Ctx) {
+	views := e.upViews()
+	if len(views) == 0 {
+		return
+	}
+	alive := make(map[int]bool, len(views))
+	for _, v := range views {
+		alive[v.Index] = true
+	}
+	e.mu.Lock()
+	var units []*unit
+	for _, u := range e.outstanding {
+		if !alive[u.rail] {
+			units = append(units, u)
+		}
+	}
+	type rdvResend struct {
+		msgID uint64
+		p     *pendingRdv
+	}
+	var rts []rdvResend
+	for id, p := range e.rdvOut {
+		if !alive[p.rail] {
+			rts = append(rts, rdvResend{id, p})
+		}
+	}
+	type ctsResend struct {
+		msgID uint64
+		pa    *partial
+	}
+	var cts []ctsResend
+	for id, pa := range e.partials {
+		if pa.rdv && !alive[pa.ctsRail] {
+			cts = append(cts, ctsResend{id, pa})
+		}
+	}
+	e.mu.Unlock()
+	for _, u := range units {
+		if u.isChunk() {
+			e.resendChunk(ctx, u, views)
+		} else {
+			e.resendContainer(ctx, u, views)
+		}
+	}
+	for _, r := range rts {
+		e.resendRTS(ctx, r.msgID, r.p, views)
+	}
+	for _, c := range cts {
+		e.resendCTS(ctx, c.msgID, c.pa, views)
+	}
+}
+
+// resendContainer replays an eager container on the best surviving rail
+// that accepts a frame of its size.
+func (e *Engine) resendContainer(ctx rt.Ctx, u *unit, views []strategy.RailView) {
+	fit := make([]strategy.RailView, 0, len(views))
+	for _, v := range views {
+		if m := e.node.Rail(v.Index).Profile().MaxMsg; m > 0 && len(u.frame) > m {
+			continue
+		}
+		fit = append(fit, v)
+	}
+	if len(fit) == 0 {
+		return
+	}
+	pick := strategy.SingleRail{}.Split(len(u.frame), e.env.Now(), fit)
+	rail := pick[0].Rail
+	e.mu.Lock()
+	if e.outstanding[u.key] != u {
+		e.mu.Unlock()
+		return // acked while we were deciding
+	}
+	u.rail = rail
+	e.stats.FailedOver++
+	e.mu.Unlock()
+	// The frame is resent verbatim: its header rail byte still names
+	// the dead rail, but that field is diagnostics-only and the slice
+	// may alias an in-flight transport write, so it must not be touched.
+	e.trace(trace.Resent, u.key.id, rail, len(u.frame), "container failover")
+	e.node.Rail(rail).SendEager(ctx, u.to, u.frame)
+}
+
+// resendChunk re-plans one lost chunk's byte range by re-invoking the
+// configured splitter over the surviving rails, registering the
+// resulting sub-chunks as fresh outstanding units.
+func (e *Engine) resendChunk(ctx rt.Ctx, u *unit, views []strategy.RailView) {
+	chunks := e.cfg.Splitter.Split(u.size, e.env.Now(), views)
+	if len(chunks) == 0 {
+		return
+	}
+	e.mu.Lock()
+	if e.outstanding[u.key] != u {
+		e.mu.Unlock()
+		return // acked while we were deciding
+	}
+	delete(e.outstanding, u.key)
+	newUnits := make([]*unit, 0, len(chunks))
+	for _, c := range chunks {
+		k := ackKey{u.key.id, uint64(u.off + c.Offset)}
+		nu := &unit{key: k, to: u.to, rail: c.Rail, req: u.req, off: u.off + c.Offset, size: c.Size}
+		e.outstanding[k] = nu
+		newUnits = append(newUnits, nu)
+	}
+	e.stats.FailedOver++
+	e.mu.Unlock()
+	// The old unit's ack slot is retired only after the replacements
+	// are counted, so the request's remote completion cannot fire early.
+	u.req.addAcks(len(newUnits))
+	u.req.ackDone()
+	for _, nu := range newUnits {
+		frame := wire.EncodeData(uint8(nu.rail), u.req.Tag, u.key.id, nu.off,
+			u.req.Data[nu.off:nu.off+nu.size], len(u.req.Data))
+		e.trace(trace.Resent, u.key.id, nu.rail, nu.size, "chunk failover")
+		e.node.Rail(nu.rail).SendData(ctx, u.to, frame, nil)
+	}
+}
+
+// resendRTS replays a rendezvous announcement whose rail died before
+// the CTS arrived. The receiver answers duplicates idempotently.
+func (e *Engine) resendRTS(ctx rt.Ctx, msgID uint64, p *pendingRdv, views []strategy.RailView) {
+	pick := strategy.SingleRail{}.Split(wire.HeaderSize, e.env.Now(), views)
+	rail := pick[0].Rail
+	e.mu.Lock()
+	if e.rdvOut[msgID] != p {
+		e.mu.Unlock()
+		return // CTS arrived while we were deciding
+	}
+	p.rail = rail
+	e.mu.Unlock()
+	prof := e.node.Rail(rail).Profile()
+	rts := wire.EncodeControl(wire.KindRTS, uint8(rail), p.req.Tag, msgID, uint64(len(p.req.Data)))
+	e.trace(trace.RTSSent, msgID, rail, len(p.req.Data), "failover")
+	e.node.Rail(rail).SendControl(ctx, p.req.To, rts, prof.SendOverhead, prof.RecvOverhead)
+}
+
+// resendCTS replays a clear-to-send whose rail died; a duplicate CTS is
+// ignored by the sender (rdvOut already cleared).
+func (e *Engine) resendCTS(ctx rt.Ctx, msgID uint64, pa *partial, views []strategy.RailView) {
+	pick := strategy.SingleRail{}.Split(wire.HeaderSize, e.env.Now(), views)
+	rail := pick[0].Rail
+	e.mu.Lock()
+	if e.partials[msgID] != pa {
+		e.mu.Unlock()
+		return // completed while we were deciding
+	}
+	pa.ctsRail = rail
+	e.mu.Unlock()
+	e.sendCTS(pa.from, rail, pa.tag, msgID)
+}
+
+// OutstandingUnits reports how many transfer units await receiver acks
+// (tests and diagnostics).
+func (e *Engine) OutstandingUnits() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return len(e.outstanding)
+}

@@ -13,11 +13,13 @@ import (
 // posted receive buffer (rendezvous) or into a temporary buffer
 // (unexpected striped eager).
 type partial struct {
-	re   *wire.Reassembly
-	req  *RecvRequest // nil while unexpected
-	from int
-	tag  uint32
-	buf  []byte
+	re      *wire.Reassembly
+	req     *RecvRequest // nil while unexpected
+	from    int
+	tag     uint32
+	buf     []byte
+	rdv     bool // announced via RTS (a CTS was sent)
+	ctsRail int  // rail the CTS travelled on (replayed if it dies)
 }
 
 // Irecv posts a receive. It never blocks; matching happens against
@@ -38,7 +40,7 @@ func (e *Engine) Irecv(from int, tag uint32, buf []byte) *RecvRequest {
 	if q := e.rdvQueued[k]; len(q) > 0 {
 		rts := q[0]
 		e.rdvQueued[k] = q[1:]
-		empty, err := e.attachRdv(req, rts.msgID, rts.total)
+		empty, err := e.attachRdv(req, rts.msgID, rts.total, rts.rail)
 		e.mu.Unlock()
 		if err != nil {
 			req.complete(0, err)
@@ -56,10 +58,11 @@ func (e *Engine) Irecv(from int, tag uint32, buf []byte) *RecvRequest {
 	return req
 }
 
-// attachRdv registers a reassembly straight into the posted buffer. The
+// attachRdv registers a reassembly straight into the posted buffer.
+// ctsRail is the rail the CTS will travel on (tracked for replay). The
 // caller holds e.mu and must complete the request itself when empty is
 // true (zero-length message), after releasing the lock.
-func (e *Engine) attachRdv(req *RecvRequest, msgID uint64, total int) (empty bool, err error) {
+func (e *Engine) attachRdv(req *RecvRequest, msgID uint64, total, ctsRail int) (empty bool, err error) {
 	if total > len(req.Buf) {
 		return false, fmt.Errorf("core: message of %d bytes exceeds receive buffer %d", total, len(req.Buf))
 	}
@@ -70,7 +73,8 @@ func (e *Engine) attachRdv(req *RecvRequest, msgID uint64, total int) (empty boo
 	if total == 0 {
 		return true, nil
 	}
-	e.partials[msgID] = &partial{re: re, req: req, from: req.From, tag: req.Tag, buf: req.Buf}
+	e.partials[msgID] = &partial{re: re, req: req, from: req.From, tag: req.Tag, buf: req.Buf,
+		rdv: true, ctsRail: ctsRail}
 	return false, nil
 }
 
@@ -86,7 +90,10 @@ func (e *Engine) sendCTS(to, rail int, tag uint32, msgID uint64) {
 }
 
 // handle is the progression handler: it runs on a pioman actor for every
-// delivery, in arrival order.
+// delivery, in arrival order. Eager containers and data chunks are
+// acknowledged back to the sender — duplicates included, since a replay
+// means the sender never saw the first ack — which is what lets the
+// sender retire (or fail over) its outstanding units.
 func (e *Engine) handle(ctx rt.Ctx, d *fabric.Delivery) {
 	h, _, err := wire.DecodeHeader(d.Data)
 	if err != nil {
@@ -98,8 +105,16 @@ func (e *Engine) handle(ctx rt.Ctx, d *fabric.Delivery) {
 		if err != nil {
 			return
 		}
-		for _, p := range pkts {
-			e.deliverEager(d.From, p)
+		// h.MsgID is the container id. A replayed container (its rail
+		// died after delivery but before the ack crossed) must not
+		// deliver its packets twice.
+		if h.MsgID == 0 || e.markSeen(d.From, h.MsgID) {
+			for _, p := range pkts {
+				e.deliverEager(d.From, p)
+			}
+		}
+		if h.MsgID != 0 {
+			e.ackUnit(ctx, d.From, h.MsgID, 0)
 		}
 	case wire.KindData:
 		hdr, payload, err := wire.DecodeData(d.Data)
@@ -107,10 +122,13 @@ func (e *Engine) handle(ctx rt.Ctx, d *fabric.Delivery) {
 			return
 		}
 		e.deliverChunk(d.From, hdr, payload)
+		e.ackUnit(ctx, d.From, hdr.MsgID, hdr.Offset)
 	case wire.KindRTS:
 		e.handleRTS(d.From, int(h.Rail), h)
 	case wire.KindCTS:
 		e.onCTS(h.MsgID)
+	case wire.KindAck:
+		e.onAck(h)
 	}
 }
 
@@ -138,6 +156,13 @@ func (e *Engine) deliverChunk(from int, h wire.Header, payload []byte) {
 	e.mu.Lock()
 	pa := e.partials[h.MsgID]
 	if pa == nil {
+		if _, dup := e.seen[seenKey{from, h.MsgID}]; dup {
+			// Late replay of a chunk whose message already completed
+			// (the ack raced a rail failure): drop it — the handler
+			// still re-acks the unit.
+			e.mu.Unlock()
+			return
+		}
 		// Unexpected striped eager message: reassemble into a temporary
 		// buffer, matching a posted receive if one exists.
 		buf := make([]byte, h.TotalLen)
@@ -166,6 +191,7 @@ func (e *Engine) deliverChunk(from int, h wire.Header, payload []byte) {
 		return
 	}
 	delete(e.partials, h.MsgID)
+	e.seenAddLocked(seenKey{from, h.MsgID})
 	req := pa.req
 	if req == nil {
 		// Completed with no posted receive: queue as unexpected.
@@ -185,13 +211,40 @@ func (e *Engine) deliverChunk(from int, h wire.Header, payload []byte) {
 }
 
 // handleRTS matches a rendezvous announcement against posted receives.
+// Duplicate announcements — the sender replays its RTS when the rail it
+// travelled on dies before the CTS returns — are answered idempotently
+// instead of matching a second receive.
 func (e *Engine) handleRTS(from, rail int, h wire.Header) {
 	k := key{from, h.Tag}
 	e.mu.Lock()
+	if _, dup := e.seen[seenKey{from, h.MsgID}]; dup {
+		// Replay of an RTS whose message already completed (a delayed
+		// duplicate from the failover path): matching it against a
+		// fresh receive would hang that receive forever — the sender
+		// ignores the CTS of a rendezvous it already finished.
+		e.mu.Unlock()
+		return
+	}
+	if pa := e.partials[h.MsgID]; pa != nil && pa.rdv && pa.from == from {
+		// Already matched: the first CTS (or the rail it used) was
+		// lost. Answer again on the replay's rail, which the sender
+		// chose among its survivors.
+		pa.ctsRail = rail
+		e.mu.Unlock()
+		e.sendCTS(from, rail, h.Tag, h.MsgID)
+		return
+	}
+	for _, qd := range e.rdvQueued[k] {
+		if qd.msgID == h.MsgID {
+			qd.rail = rail // still unmatched: just note the fresher rail
+			e.mu.Unlock()
+			return
+		}
+	}
 	if q := e.recvs[k]; len(q) > 0 {
 		req := q[0]
 		e.recvs[k] = q[1:]
-		empty, err := e.attachRdv(req, h.MsgID, int(h.TotalLen))
+		empty, err := e.attachRdv(req, h.MsgID, int(h.TotalLen), rail)
 		e.mu.Unlock()
 		if err != nil {
 			req.complete(0, err)

@@ -17,14 +17,23 @@ type SendRequest struct {
 	Data []byte
 
 	done  rt.Event
+	acked rt.Event
 	msgID uint64
 
-	mu      sync.Mutex
-	pending int // outstanding chunks before Done fires
+	mu         sync.Mutex
+	pending    int // outstanding chunks before Done fires
+	ackPending int // outstanding unit acks before RemoteDone fires
 }
 
 // Done returns the completion event.
 func (r *SendRequest) Done() rt.Event { return r.done }
+
+// RemoteDone returns the remote-completion event: it fires when the
+// receiver has acknowledged every transfer unit of the message, i.e.
+// nothing of it can still be lost to a dying rail. Until then the
+// payload buffer must stay untouched — the failover path re-sends lost
+// chunks from it.
+func (r *SendRequest) RemoteDone() rt.Event { return r.acked }
 
 // Wait blocks the calling actor until the send completes locally.
 func (r *SendRequest) Wait(ctx rt.Ctx) { r.done.Wait(ctx) }
@@ -46,6 +55,24 @@ func (r *SendRequest) chunkDone() {
 	r.mu.Unlock()
 	if fire {
 		r.done.Fire()
+	}
+}
+
+func (r *SendRequest) addAcks(n int) {
+	r.mu.Lock()
+	r.ackPending += n
+	r.mu.Unlock()
+}
+
+// ackDone decrements the outstanding-ack count, firing RemoteDone at
+// zero.
+func (r *SendRequest) ackDone() {
+	r.mu.Lock()
+	r.ackPending--
+	fire := r.ackPending == 0
+	r.mu.Unlock()
+	if fire {
+		r.acked.Fire()
 	}
 }
 

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"testing"
 	"time"
 
@@ -54,30 +55,58 @@ func TestStaleCTSIgnored(t *testing.T) {
 	}
 }
 
-// A duplicate chunk (same offset twice) fails the affected receive but
-// leaves the engine serviceable.
-func TestDuplicateChunkFailsReceiveOnly(t *testing.T) {
+// A duplicate chunk (same offset twice) is idempotent: the failover
+// path re-sends chunks whose rail died before the ack crossed, so an
+// exact replay must neither fail the receive nor complete it early.
+func TestDuplicateChunkIsIdempotent(t *testing.T) {
 	env, eng := pair(t, Config{})
-	var dupErr error
-	var laterOK bool
+	var n int
+	var rerr error
+	buf := make([]byte, 1024)
 	env.Go("app", func(ctx rt.Ctx) {
-		rr := eng[1].Irecv(0, 1, make([]byte, 1024))
-		chunk := wire.EncodeData(0, 1, 0xABC, 0, make([]byte, 512), 1024)
-		inject(eng[1], 0, chunk)
-		inject(eng[1], 0, chunk) // duplicate offset 0
-		_, dupErr = rr.Wait(ctx)
-		// Engine still works afterwards.
-		rr2 := eng[1].Irecv(0, 2, make([]byte, 16))
-		eng[0].Isend(1, 2, []byte("ok"))
-		n, err := rr2.Wait(ctx)
-		laterOK = n == 2 && err == nil
+		rr := eng[1].Irecv(0, 1, buf)
+		head := wire.EncodeData(0, 1, 0xABC, 0, bytes.Repeat([]byte{'h'}, 512), 1024)
+		inject(eng[1], 0, head)
+		inject(eng[1], 0, head) // replayed offset 0: ignored
+		ctx.Sleep(time.Millisecond)
+		if rr.Done().Fired() {
+			t.Error("duplicate chunk completed the message early")
+		}
+		inject(eng[1], 1, wire.EncodeData(1, 1, 0xABC, 512, bytes.Repeat([]byte{'t'}, 512), 1024))
+		n, rerr = rr.Wait(ctx)
 	})
 	env.Run()
-	if dupErr == nil {
-		t.Fatal("duplicate chunk not reported")
+	if rerr != nil || n != 1024 {
+		t.Fatalf("n=%d err=%v", n, rerr)
 	}
-	if !laterOK {
-		t.Fatal("engine wedged after duplicate chunk")
+	if buf[0] != 'h' || buf[1023] != 't' {
+		t.Fatalf("payload corrupted: %q...%q", buf[0], buf[1023])
+	}
+}
+
+// A chunk replayed after its message completed is dropped instead of
+// opening a ghost reassembly that would swallow a later receive.
+func TestLateChunkReplayAfterCompletionIgnored(t *testing.T) {
+	env, eng := pair(t, Config{})
+	env.Go("app", func(ctx rt.Ctx) {
+		rr := eng[1].Irecv(0, 1, make([]byte, 8))
+		chunk := wire.EncodeData(0, 1, 0x99, 0, []byte("complete"), 8)
+		inject(eng[1], 0, chunk)
+		if n, err := rr.Wait(ctx); err != nil || n != 8 {
+			t.Errorf("first delivery n=%d err=%v", n, err)
+		}
+		inject(eng[1], 0, chunk) // late replay of the whole unit
+		ctx.Sleep(time.Millisecond)
+		// A fresh receive must still match fresh traffic, not the ghost.
+		rr2 := eng[1].Irecv(0, 1, make([]byte, 16))
+		eng[0].Isend(1, 1, []byte("fresh"))
+		if n, err := rr2.Wait(ctx); err != nil || n != 5 {
+			t.Errorf("post-replay receive n=%d err=%v", n, err)
+		}
+	})
+	env.Run()
+	if st := eng[1].Stats(); st.Unexpected != 0 {
+		t.Fatalf("replay queued as unexpected: %+v", st)
 	}
 }
 

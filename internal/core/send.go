@@ -15,7 +15,7 @@ import (
 // list and the submit actor — activated like NewMadeleine's scheduler
 // when the transfer layer can accept work — plans and executes it.
 func (e *Engine) Isend(to int, tag uint32, data []byte) *SendRequest {
-	req := &SendRequest{To: to, Tag: tag, Data: data, done: e.env.NewEvent()}
+	req := &SendRequest{To: to, Tag: tag, Data: data, done: e.env.NewEvent(), acked: e.env.NewEvent()}
 	e.mu.Lock()
 	req.msgID = e.msgID()
 	e.pending = append(e.pending, req)
@@ -105,8 +105,10 @@ func (e *Engine) sendEagerGreedy(ctx rt.Ctx, to int, batch []*SendRequest) {
 	assign := strategy.AssignGreedy(sizes, e.env.Now(), e.railViews())
 	for i, r := range batch {
 		rail := assign[i]
-		frame := wire.EncodeEager(uint8(rail), []wire.Packet{{Tag: r.Tag, MsgID: r.msgID, Payload: r.Data}})
+		cid := e.newID()
+		frame := wire.EncodeEagerID(cid, uint8(rail), []wire.Packet{{Tag: r.Tag, MsgID: r.msgID, Payload: r.Data}})
 		r.addPending(1)
+		e.registerContainer(cid, to, rail, frame, []*SendRequest{r})
 		e.trace(trace.EagerSent, r.msgID, rail, len(r.Data), "greedy")
 		e.node.Rail(rail).SendEager(ctx, to, frame)
 		e.bumpEager(1, 0, 0, len(r.Data))
@@ -158,10 +160,12 @@ func (e *Engine) sendEagerAggregate(ctx rt.Ctx, to int, batch []*SendRequest) {
 			total += len(r.Data)
 			i++
 		}
-		frame := wire.EncodeEager(uint8(rail), pkts)
+		cid := e.newID()
+		frame := wire.EncodeEagerID(cid, uint8(rail), pkts)
 		for _, r := range group {
 			r.addPending(1)
 		}
+		e.registerContainer(cid, to, rail, frame, group)
 		e.trace(trace.EagerSent, group[0].msgID, rail, total, fmt.Sprintf("%d packets aggregated", len(group)))
 		e.node.Rail(rail).SendEager(ctx, to, frame)
 		agg := 0
@@ -182,6 +186,12 @@ func (e *Engine) sendEagerAggregate(ctx rt.Ctx, to int, batch []*SendRequest) {
 // then resume its computation".
 func (e *Engine) sendEagerParallel(r *SendRequest, to int, plan strategy.EagerPlan) {
 	r.addPending(len(plan.Chunks))
+	// Register every chunk before the first tasklet can run: a chunk
+	// delivered and acked while its siblings are still being encoded
+	// must not fire RemoteDone early.
+	for _, c := range plan.Chunks {
+		e.registerChunk(r, to, c.Rail, c.Offset, c.Size)
+	}
 	e.trace(trace.Decision, r.msgID, -1, len(r.Data),
 		fmt.Sprintf("parallel eager: %d chunks, predicted %v", len(plan.Chunks), plan.Predicted))
 	for _, c := range plan.Chunks {
@@ -210,15 +220,16 @@ func (e *Engine) bumpEager(sent, agg, par, bytes int) {
 }
 
 // startRendezvous sends the RTS on the best small-message rail and parks
-// the request until the CTS arrives.
+// the request until the CTS arrives. The rail is remembered so the RTS
+// can be replayed if it dies before the CTS comes back.
 func (e *Engine) startRendezvous(ctx rt.Ctx, r *SendRequest) {
-	e.mu.Lock()
-	e.rdvOut[r.msgID] = r
-	e.stats.RdvSent++
-	e.mu.Unlock()
 	rails := e.railViews()
 	pick := strategy.SingleRail{}.Split(wire.HeaderSize, e.env.Now(), rails)
 	rail := pick[0].Rail
+	e.mu.Lock()
+	e.rdvOut[r.msgID] = &pendingRdv{req: r, rail: rail}
+	e.stats.RdvSent++
+	e.mu.Unlock()
 	prof := e.node.Rail(rail).Profile()
 	rts := wire.EncodeControl(wire.KindRTS, uint8(rail), r.Tag, r.msgID, uint64(len(r.Data)))
 	e.trace(trace.RTSSent, r.msgID, rail, len(r.Data), "")
@@ -230,18 +241,22 @@ func (e *Engine) startRendezvous(ctx rt.Ctx, r *SendRequest) {
 // actor posts the chunk DMAs.
 func (e *Engine) onCTS(msgID uint64) {
 	e.mu.Lock()
-	r := e.rdvOut[msgID]
+	p := e.rdvOut[msgID]
 	delete(e.rdvOut, msgID)
 	e.mu.Unlock()
-	if r == nil {
+	if p == nil {
 		return
 	}
+	r := p.req
 	chunks := e.cfg.Splitter.Split(len(r.Data), e.env.Now(), e.railViews())
 	e.mu.Lock()
 	e.stats.ChunksSent += uint64(len(chunks))
 	e.stats.BytesSent += uint64(len(r.Data))
 	e.mu.Unlock()
 	r.addPending(len(chunks))
+	for _, c := range chunks {
+		e.registerChunk(r, r.To, c.Rail, c.Offset, c.Size)
+	}
 	e.trace(trace.Decision, msgID, -1, len(r.Data),
 		fmt.Sprintf("%s: %d chunks", e.cfg.Splitter.Name(), len(chunks)))
 	e.env.Go(fmt.Sprintf("rdv-send-%d", msgID), func(ctx rt.Ctx) {

@@ -20,6 +20,7 @@
 package fabric
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/model"
@@ -54,6 +55,76 @@ type Stats struct {
 	LastStart time.Duration
 }
 
+// RailState is the health of one rail. Rails are a dynamic set: a NIC
+// can die mid-message (livenet: broken TCP connection; simnet: injected
+// fault) or be unplugged deliberately. The engine excludes non-Up rails
+// from scheduling decisions and re-plans unacknowledged transfer units
+// when a rail goes Down.
+type RailState int
+
+const (
+	// RailUp: the rail is believed healthy and schedulable.
+	RailUp RailState = iota
+	// RailSuspect: a transport fault was observed and recovery (bounded
+	// reconnect) is being attempted. No new work is scheduled on it, but
+	// in-flight transfers are not yet re-planned.
+	RailSuspect
+	// RailDown: the rail is dead (recovery exhausted, fault injected, or
+	// administratively disabled). Outstanding work is re-planned onto
+	// surviving rails.
+	RailDown
+)
+
+func (s RailState) String() string {
+	switch s {
+	case RailUp:
+		return "up"
+	case RailSuspect:
+		return "suspect"
+	case RailDown:
+		return "down"
+	default:
+		return fmt.Sprintf("RailState(%d)", int(s))
+	}
+}
+
+// RailEvent is one rail state transition, delivered to Health
+// subscribers in transition order.
+type RailEvent struct {
+	// Node is the node whose rail changed.
+	Node int
+	// Rail is the rail index.
+	Rail int
+	// State is the new state.
+	State RailState
+	// At is the fabric time of the transition.
+	At time.Duration
+	// Reason describes the cause ("connection lost", "fault injection",
+	// "admin", "reconnected", ...).
+	Reason string
+}
+
+// Health is a node's rail-health surface: per-rail state, a state-change
+// notification feed, and administrative control for planned hot-unplug.
+// Implemented by internal/railhealth.Tracker for both fabrics.
+type Health interface {
+	// State returns the current state of one rail.
+	State(rail int) RailState
+	// States returns a snapshot of every rail's state.
+	States() []RailState
+	// Subscribe returns a fresh queue that receives a *RailEvent for
+	// every subsequent state transition. Each subscriber owns its queue
+	// (single consumer); push nil yourself as a stop nudge when the
+	// consuming actor should exit.
+	Subscribe() rt.Queue
+	// Disable administratively forces the rail Down (planned hot-unplug).
+	// Transport-level recovery cannot bring it back; Enable can.
+	Disable(rail int, reason string)
+	// Enable lifts an administrative Disable (and, on fabrics that can,
+	// triggers reconnection of dead links). The rail returns to Up.
+	Enable(rail int)
+}
+
 // Rail is one NIC (or one TCP lane): a serialised send engine with a
 // performance profile and an idleness horizon.
 type Rail interface {
@@ -70,6 +141,9 @@ type Rail interface {
 	IdleAt() time.Duration
 	// Busy reports whether the send engine currently has work.
 	Busy() bool
+	// State returns the rail's current health state. Strategies must not
+	// place new work on non-Up rails.
+	State() RailState
 	// Stats returns a snapshot of the traffic counters.
 	Stats() Stats
 	// SendEager transmits an eager (PIO) container. It may block the
@@ -98,6 +172,8 @@ type Node interface {
 	// RecvQ returns the queue *Delivery items are pushed to. A nil item
 	// is the conventional stop nudge for parked consumers.
 	RecvQ() rt.Queue
+	// Health returns the node's rail-health surface.
+	Health() Health
 	// Cores returns the number of cores the node exposes to the
 	// communication system.
 	Cores() int

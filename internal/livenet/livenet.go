@@ -41,6 +41,7 @@ import (
 
 	"repro/internal/fabric"
 	"repro/internal/model"
+	"repro/internal/railhealth"
 	"repro/internal/rt"
 )
 
@@ -91,6 +92,14 @@ type Config struct {
 	// DialTimeout bounds connection establishment, including retries
 	// while a peer's listener is still coming up (default 10s).
 	DialTimeout time.Duration
+	// ReconnectAttempts bounds how often a dead link is re-established
+	// before its rail is declared Down (default 3; negative disables
+	// reconnection entirely). While attempts run the rail is Suspect and
+	// receives no new work.
+	ReconnectAttempts int
+	// ReconnectDelay is the pause before each reconnect attempt
+	// (default 100ms).
+	ReconnectDelay time.Duration
 }
 
 func (c *Config) defaults() {
@@ -111,6 +120,12 @@ func (c *Config) defaults() {
 	}
 	if c.DialTimeout <= 0 {
 		c.DialTimeout = 10 * time.Second
+	}
+	if c.ReconnectAttempts == 0 {
+		c.ReconnectAttempts = 3
+	}
+	if c.ReconnectDelay <= 0 {
+		c.ReconnectDelay = 100 * time.Millisecond
 	}
 }
 
@@ -195,6 +210,9 @@ func newFabric(env *rt.LiveEnv, cfg Config, local int) *Fabric {
 		n := &Node{f: f, id: i, hosted: hosted}
 		if hosted {
 			n.recvq = env.NewQueue()
+			n.health = railhealth.New(env, i, cfg.Rails)
+			n.killed = make([]bool, cfg.Rails)
+			n.health.SetOnEnable(func(rail int) { f.enableRail(n, rail) })
 			for r := 0; r < cfg.Rails; r++ {
 				n.rails = append(n.rails, &Rail{
 					node:  n,
@@ -288,13 +306,27 @@ func (f *Fabric) fail(err error) {
 	f.mu.Unlock()
 }
 
-func (f *Fabric) track(c net.Conn) {
+// track adopts a connection into the fabric's lifecycle, reserving its
+// writer and reader WaitGroup slots. It refuses (returning false and
+// closing the socket) when the fabric is closing: Close observes the
+// closed flag under f.mu before it waits on the groups, so a racing
+// reconnect can never Add after the Waits began — a WaitGroup misuse
+// that panics.
+func (f *Fabric) track(c net.Conn) bool {
 	if tc, ok := c.(*net.TCPConn); ok {
 		tc.SetNoDelay(true)
 	}
 	f.mu.Lock()
+	if f.closed.Load() {
+		f.mu.Unlock()
+		c.Close()
+		return false
+	}
 	f.conns = append(f.conns, c)
+	f.wg.Add(1)
+	f.writers.Add(1)
 	f.mu.Unlock()
+	return true
 }
 
 // listen binds the accept socket (or adopts a pre-bound one).
@@ -351,32 +383,55 @@ func (f *Fabric) connectDistributed() error {
 	return f.waitAccepts(accepted, expect)
 }
 
-// acceptN accepts and registers n handshaking connections in the
-// background, reporting completion (or the first error) on the returned
-// channel and closing the listener when done.
+// acceptN accepts and registers handshaking connections in the
+// background, reporting initial-mesh completion (or the first startup
+// error) on the returned channel. The loop then keeps accepting until
+// the fabric closes, so a dead link's peer can re-dial and replace it —
+// the accept half of rail recovery and hot-replug.
 func (f *Fabric) acceptN(n int) chan error {
 	done := make(chan error, 1)
 	if n == 0 {
 		done <- nil
-		return done
 	}
 	f.wg.Add(1)
 	go func() {
 		defer f.wg.Done()
-		defer f.ln.Close()
-		for k := 0; k < n; k++ {
+		remaining := n
+		for {
 			conn, err := f.ln.Accept()
 			if err != nil {
-				done <- fmt.Errorf("livenet: accept: %w", err)
-				return
+				if remaining > 0 {
+					done <- fmt.Errorf("livenet: accept: %w", err)
+				}
+				return // listener closed: fabric shutting down
 			}
-			if err := f.acceptLink(conn); err != nil {
-				conn.Close()
-				done <- err
-				return
+			if remaining > 0 {
+				// Startup: the dialers are our own peers; a serial
+				// handshake keeps the mesh bring-up simple.
+				if err := f.acceptLink(conn); err != nil {
+					conn.Close()
+					done <- err
+					return
+				}
+				remaining--
+				if remaining == 0 {
+					done <- nil
+				}
+				continue
 			}
+			// Post-startup (reconnects): handshake concurrently so a
+			// stray client stuck in its hello cannot starve a real
+			// re-dial past the recovery budget, and drop bad hellos
+			// without poisoning Err — any TCP client can reach an open
+			// listener, and that is not a fabric fault.
+			f.wg.Add(1)
+			go func(conn net.Conn) {
+				defer f.wg.Done()
+				if err := f.acceptLink(conn); err != nil {
+					conn.Close()
+				}
+			}(conn)
 		}
-		done <- nil
 	}()
 	return done
 }
@@ -398,7 +453,6 @@ func (f *Fabric) waitAccepts(accepted chan error, expect int) error {
 // dialer may start before the listener.
 func (f *Fabric) dialLink(addr string, src, dst, r int) error {
 	deadline := time.Now().Add(f.cfg.DialTimeout)
-	var conn net.Conn
 	var err error
 	for {
 		remain := time.Until(deadline)
@@ -411,11 +465,19 @@ func (f *Fabric) dialLink(addr string, src, dst, r int) error {
 		// remain must stay positive: net.DialTimeout treats a
 		// non-positive timeout as "no timeout" and could block for the
 		// OS connect limit instead of our deadline.
-		conn, err = net.DialTimeout("tcp", addr, remain)
-		if err == nil {
-			break
+		if err = f.dialOnce(addr, src, dst, r, remain); err == nil {
+			return nil
 		}
 		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// dialOnce makes a single connection attempt and, on success, completes
+// the hello handshake and registers the link.
+func (f *Fabric) dialOnce(addr string, src, dst, r int, timeout time.Duration) error {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return err
 	}
 	var hello [helloSize]byte
 	copy(hello[:], helloMagic[:])
@@ -456,19 +518,31 @@ func (f *Fabric) acceptLink(conn net.Conn) error {
 }
 
 // register installs conn as `owner`'s rail-r link to `peer` and starts
-// its writer and reader goroutines.
+// its writer and reader goroutines. Replacing a dead link resamples the
+// rail (the throughput EWMA restarts from scratch — a reconnected path
+// may not perform like the old one) and reports it back Up.
 func (f *Fabric) register(conn net.Conn, owner, peer, r int) {
-	f.track(conn)
+	if !f.track(conn) {
+		return // fabric closing: the socket was refused and closed
+	}
 	node := f.nodes[owner]
 	rail := node.rails[r]
-	l := &link{conn: conn, out: make(chan outFrame, 64)}
+	l := &link{conn: conn, out: make(chan outFrame, 64), owner: owner, peer: peer, rail: r}
 	rail.mu.Lock()
+	prev := rail.links[peer]
 	rail.links[peer] = l
+	if prev != nil {
+		rail.rate = initialRate // resample on the fresh connection
+	}
 	rail.mu.Unlock()
-	f.wg.Add(1)
-	f.writers.Add(1)
 	go f.writeLoop(l)
-	go f.readLoop(conn, node, peer, r)
+	go f.readLoop(node, l)
+	if prev != nil {
+		f.mu.Lock()
+		node.killed[r] = false
+		f.mu.Unlock()
+		node.health.Report(r, fabric.RailUp, "reconnected")
+	}
 }
 
 // outFrame is one queued wire frame.
@@ -491,8 +565,12 @@ func (of outFrame) finish(wrote time.Duration, written bool) {
 // link is one endpoint of the TCP connection joining a node pair on one
 // rail.
 type link struct {
-	conn net.Conn
-	out  chan outFrame
+	conn  net.Conn
+	out   chan outFrame
+	owner int // hosted node this endpoint belongs to
+	peer  int // remote node of the connection
+	rail  int
+	dead  atomic.Bool // set by the first reader/writer observing death
 }
 
 // writeLoop drains a link's queue onto its connection. Each frame is a
@@ -513,11 +591,12 @@ func (f *Fabric) writeLoop(l *link) {
 			if err != nil {
 				// Record the failure and kill the connection so both
 				// ends' readers observe it instead of waiting on bytes
-				// that will never arrive. In-flight requests are not
-				// failed over to other rails: transport loss surfaces
-				// through Fabric.Err, not through request errors.
+				// that will never arrive; then start rail recovery. The
+				// engine re-plans the unacknowledged units of this rail
+				// onto survivors once it goes Down.
 				f.fail(fmt.Errorf("livenet: write: %w", err))
 				l.conn.Close()
+				f.linkDown(l, fmt.Sprintf("write error: %v", err), true)
 			}
 		case <-f.closedCh:
 			// Drain pending frames, firing their events so no sender
@@ -549,10 +628,13 @@ func drainLink(l *link) {
 	}
 }
 
-// readLoop decodes length-prefixed frames from conn into deliveries for
-// node (which received them from peer on rail r).
-func (f *Fabric) readLoop(conn net.Conn, node *Node, peer, r int) {
+// readLoop decodes length-prefixed frames from the link's connection
+// into deliveries for node (which received them from l.peer on l.rail).
+// Any read failure — including a goodbye-less EOF from a dying peer —
+// starts rail recovery.
+func (f *Fabric) readLoop(node *Node, l *link) {
 	defer f.wg.Done()
+	conn, peer, r := l.conn, l.peer, l.rail
 	var lenbuf [4]byte
 	for {
 		if _, err := io.ReadFull(conn, lenbuf[:]); err != nil {
@@ -561,24 +643,30 @@ func (f *Fabric) readLoop(conn net.Conn, node *Node, peer, r int) {
 				// the peer died — the most common failure; record it so
 				// Err explains a hung run instead of returning nil.
 				f.fail(fmt.Errorf("livenet: node %d rail %d: connection lost: %w", peer, r, err))
+				f.linkDown(l, fmt.Sprintf("connection to node %d lost: %v", peer, err), true)
 			}
 			return
 		}
 		n := binary.LittleEndian.Uint32(lenbuf[:])
 		if n == goodbye {
-			return // peer shut down gracefully: not an error
+			// Peer shut down gracefully: not an error, and not worth
+			// reconnect attempts — the rail is gone on purpose.
+			f.linkDown(l, fmt.Sprintf("node %d shut down", peer), false)
+			return
 		}
 		if n > maxFrame {
 			// Kill the connection so the peer's writer fails fast
 			// instead of filling a socket nobody drains.
 			f.fail(fmt.Errorf("livenet: frame of %d bytes exceeds limit", n))
 			conn.Close()
+			f.linkDown(l, "oversized frame", false)
 			return
 		}
 		data := make([]byte, n)
 		if _, err := io.ReadFull(conn, data); err != nil {
 			if !f.closed.Load() {
 				f.fail(fmt.Errorf("livenet: read: %w", err))
+				f.linkDown(l, fmt.Sprintf("read error: %v", err), true)
 			}
 			return
 		}
@@ -591,6 +679,153 @@ func (f *Fabric) readLoop(conn net.Conn, node *Node, peer, r int) {
 	}
 }
 
+// linkDown reacts (once per link) to a dead connection: the rail turns
+// Suspect while bounded reconnect attempts run, then Down if they fail;
+// rails killed by FailRail or dead on purpose go straight Down.
+func (f *Fabric) linkDown(l *link, reason string, recover bool) {
+	if !l.dead.CompareAndSwap(false, true) {
+		return
+	}
+	if f.closed.Load() {
+		return
+	}
+	node := f.nodes[l.owner]
+	if !recover || f.cfg.ReconnectAttempts < 0 || f.railKilled(l.owner, l.rail) {
+		node.health.Report(l.rail, fabric.RailDown, reason)
+		return
+	}
+	if node.health.Report(l.rail, fabric.RailSuspect, reason) {
+		f.goReconnect(node, l, reason)
+	}
+}
+
+// goReconnect runs the bounded reconnect-and-resample loop for one dead
+// link. The dialing side of the pair (higher node id, mirroring the
+// initial mesh) re-dials; the accepting side waits for the peer to
+// re-dial through the persistent accept loop. Success re-registers the
+// link (register reports Up and resets the rate estimate); exhaustion
+// reports Down, which triggers the engine's re-planning.
+func (f *Fabric) goReconnect(node *Node, l *link, reason string) {
+	f.wg.Add(1)
+	go func() {
+		defer f.wg.Done()
+		rail := node.rails[l.rail]
+		addr := f.peerAddr(l.peer)
+		for a := 0; a < f.cfg.ReconnectAttempts; a++ {
+			select {
+			case <-f.closedCh:
+				return
+			case <-time.After(f.cfg.ReconnectDelay):
+			}
+			if f.railKilled(node.id, l.rail) {
+				return
+			}
+			if rail.link(l.peer) != l {
+				return // accept side already replaced it
+			}
+			if node.id > l.peer && addr != "" {
+				if err := f.dialOnce(addr, node.id, l.peer, l.rail, f.cfg.ReconnectDelay+time.Second); err == nil {
+					return
+				}
+			}
+		}
+		if rail.link(l.peer) == l {
+			node.health.Report(l.rail, fabric.RailDown,
+				fmt.Sprintf("%s; %d reconnect attempts failed", reason, f.cfg.ReconnectAttempts))
+		}
+	}()
+}
+
+// peerAddr returns the address to re-dial a peer at, or "" when this
+// side cannot dial it (accepting side of a distributed pair).
+func (f *Fabric) peerAddr(peer int) string {
+	if f.local < 0 {
+		if f.ln == nil {
+			return ""
+		}
+		return f.ln.Addr().String() // loopback: everything via our listener
+	}
+	return f.cfg.Peers[peer]
+}
+
+func (f *Fabric) railKilled(node, rail int) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.nodes[node].killed[rail]
+}
+
+// FailRail hard-kills rail r as a chaos hook: the NIC is declared dead,
+// reconnection is suppressed on every hosted endpoint of the lane, and
+// the rail's TCP connections are closed abruptly (no goodbye) so peers
+// observe a genuine mid-message death.
+func (f *Fabric) FailRail(node, rail int) {
+	f.mu.Lock()
+	for _, n := range f.nodes {
+		if n.hosted {
+			n.killed[rail] = true
+		}
+	}
+	f.mu.Unlock()
+	// Closing any hosted endpoint of the lane kills the TCP connection
+	// for both ends; close every hosted one so the kill also works when
+	// `node` is a remote id (distributed mode).
+	for _, hn := range f.nodes {
+		if !hn.hosted {
+			continue
+		}
+		r := hn.rails[rail]
+		r.mu.Lock()
+		conns := make([]net.Conn, 0, len(r.links))
+		for _, l := range r.links {
+			conns = append(conns, l.conn)
+		}
+		r.mu.Unlock()
+		for _, c := range conns {
+			c.Close()
+		}
+	}
+	reason := fmt.Sprintf("rail %d killed", rail)
+	for _, hn := range f.nodes {
+		if hn.hosted {
+			hn.health.Report(rail, fabric.RailDown, reason)
+		}
+	}
+}
+
+// DropLink abruptly severs one TCP connection (owner side) without
+// suppressing recovery: the transport notices, turns the rail Suspect
+// and re-establishes it within the bounded reconnect budget. Test hook
+// for the recovery path.
+func (f *Fabric) DropLink(node, peer, rail int) {
+	n := f.nodes[node]
+	if !n.hosted {
+		return
+	}
+	if l := n.rails[rail].link(peer); l != nil {
+		l.conn.Close()
+	}
+}
+
+// enableRail is the tracker's OnEnable hook: clear the kill flag and
+// re-establish any dead dialing-side links of the rail.
+func (f *Fabric) enableRail(n *Node, rail int) {
+	f.mu.Lock()
+	n.killed[rail] = false
+	f.mu.Unlock()
+	r := n.rails[rail]
+	r.mu.Lock()
+	var deads []*link
+	for _, l := range r.links {
+		if l.dead.Load() {
+			deads = append(deads, l)
+		}
+	}
+	r.mu.Unlock()
+	for _, l := range deads {
+		f.goReconnect(n, l, "re-enabled")
+	}
+}
+
 // Node is one endpoint of the live fabric.
 type Node struct {
 	f      *Fabric
@@ -598,6 +833,8 @@ type Node struct {
 	hosted bool
 	rails  []*Rail
 	recvq  rt.Queue
+	health *railhealth.Tracker
+	killed []bool // reconnection suppressed (FailRail); guarded by f.mu
 }
 
 // ID returns the node's index.
@@ -616,6 +853,13 @@ func (n *Node) Rail(i int) fabric.Rail {
 func (n *Node) RecvQ() rt.Queue {
 	n.mustHost()
 	return n.recvq
+}
+
+// Health returns the rail-health tracker. It panics on a non-hosted
+// node.
+func (n *Node) Health() fabric.Health {
+	n.mustHost()
+	return n.health
 }
 
 // Cores returns the configured core count.
@@ -647,6 +891,16 @@ func (r *Rail) Index() int { return r.index }
 // Profile returns the rail's synthetic profile: zero modeled costs (real
 // costs elapse on the wall clock) with the configured EagerMax.
 func (r *Rail) Profile() *model.Profile { return r.prof }
+
+// link returns the current link to peer (nil before registration).
+func (r *Rail) link(peer int) *link {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.links[peer]
+}
+
+// State returns the rail's health state.
+func (r *Rail) State() fabric.RailState { return r.node.health.State(r.index) }
 
 // Stats returns a snapshot of the traffic counters.
 func (r *Rail) Stats() fabric.Stats {

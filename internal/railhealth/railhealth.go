@@ -1,0 +1,170 @@
+// Package railhealth tracks the health of a node's rails. It is the
+// shared implementation of the fabric.Health contract used by both
+// fabrics: internal/livenet reports transport faults and reconnections
+// into it, internal/simnet drives it from deterministic fault injection
+// (FailRail), and internal/core subscribes to its transition feed to
+// re-plan in-flight transfers when a rail dies.
+//
+// State machine per rail:
+//
+//	Up ──fault──▶ Suspect ──recovery exhausted──▶ Down
+//	 ▲               │                              │
+//	 └──reconnected──┘              Enable / repair─┘
+//
+// An administrative Disable (planned hot-unplug) forces Down and pins
+// the rail there: transport-level reports cannot resurrect it until
+// Enable lifts the pin. All transitions are published, in order, to
+// every subscriber queue.
+package railhealth
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/fabric"
+	"repro/internal/rt"
+)
+
+// Tracker is one node's rail-health state (implements fabric.Health).
+type Tracker struct {
+	env  rt.Env
+	node int
+
+	mu       sync.Mutex
+	states   []fabric.RailState
+	reasons  []string
+	admin    []bool // pinned Down by Disable
+	subs     []rt.Queue
+	onEnable func(rail int)
+}
+
+// New returns a tracker for a node with nrails rails, all Up.
+func New(env rt.Env, node, nrails int) *Tracker {
+	return &Tracker{
+		env:     env,
+		node:    node,
+		states:  make([]fabric.RailState, nrails),
+		reasons: make([]string, nrails),
+		admin:   make([]bool, nrails),
+	}
+}
+
+// SetOnEnable registers a fabric hook invoked (outside the tracker lock)
+// after Enable lifts an administrative pin — livenet uses it to kick
+// reconnection of links that died while the rail was disabled.
+func (t *Tracker) SetOnEnable(fn func(rail int)) {
+	t.mu.Lock()
+	t.onEnable = fn
+	t.mu.Unlock()
+}
+
+// State returns the current state of one rail.
+func (t *Tracker) State(rail int) fabric.RailState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.states[rail]
+}
+
+// States returns a snapshot of every rail's state.
+func (t *Tracker) States() []fabric.RailState {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]fabric.RailState(nil), t.states...)
+}
+
+// Reason returns the cause recorded with the rail's last transition.
+func (t *Tracker) Reason(rail int) string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.reasons[rail]
+}
+
+// Subscribe returns a fresh queue receiving a *fabric.RailEvent per
+// subsequent transition. The caller is the queue's single consumer.
+func (t *Tracker) Subscribe() rt.Queue {
+	q := t.env.NewQueue()
+	t.mu.Lock()
+	t.subs = append(t.subs, q)
+	t.mu.Unlock()
+	return q
+}
+
+// Report records a transport-observed transition (fault, recovery). It
+// is a no-op — returning false — when the state is unchanged or the rail
+// is administratively pinned Down.
+func (t *Tracker) Report(rail int, s fabric.RailState, reason string) bool {
+	t.mu.Lock()
+	if t.admin[rail] || t.states[rail] == s {
+		t.mu.Unlock()
+		return false
+	}
+	t.set(rail, s, reason)
+	return true // set released the lock
+}
+
+// Disable administratively forces the rail Down and pins it there
+// (planned hot-unplug). Idempotent.
+func (t *Tracker) Disable(rail int, reason string) {
+	if reason == "" {
+		reason = "admin"
+	}
+	t.mu.Lock()
+	if t.admin[rail] {
+		t.mu.Unlock()
+		return
+	}
+	t.admin[rail] = true
+	if t.states[rail] == fabric.RailDown {
+		t.reasons[rail] = reason
+		t.mu.Unlock()
+		return
+	}
+	t.set(rail, fabric.RailDown, reason)
+}
+
+// Enable lifts an administrative pin (or repairs an injected fault) and
+// returns the rail to Up, notifying subscribers. The fabric's OnEnable
+// hook then runs, so transports can re-establish dead links.
+func (t *Tracker) Enable(rail int) {
+	t.mu.Lock()
+	t.admin[rail] = false
+	hook := t.onEnable
+	if t.states[rail] == fabric.RailUp {
+		t.mu.Unlock()
+	} else {
+		t.set(rail, fabric.RailUp, "enabled")
+	}
+	if hook != nil {
+		hook(rail)
+	}
+}
+
+// AdminDown reports whether the rail is pinned Down by Disable.
+func (t *Tracker) AdminDown(rail int) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.admin[rail]
+}
+
+// set applies a transition and publishes it. Called with t.mu held;
+// releases it (events are pushed outside the lock so subscriber queues
+// never nest under it).
+func (t *Tracker) set(rail int, s fabric.RailState, reason string) {
+	t.states[rail] = s
+	t.reasons[rail] = reason
+	subs := append([]rt.Queue(nil), t.subs...)
+	ev := &fabric.RailEvent{Node: t.node, Rail: rail, State: s, At: t.env.Now(), Reason: reason}
+	t.mu.Unlock()
+	for _, q := range subs {
+		q.Push(ev)
+	}
+}
+
+// String renders the tracker for diagnostics.
+func (t *Tracker) String() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return fmt.Sprintf("railhealth{node=%d states=%v}", t.node, t.states)
+}
+
+var _ fabric.Health = (*Tracker)(nil)

@@ -1,0 +1,113 @@
+package railhealth
+
+import (
+	"testing"
+
+	"repro/internal/fabric"
+	"repro/internal/rt"
+)
+
+func drain(q rt.Queue) []*fabric.RailEvent {
+	var out []*fabric.RailEvent
+	for {
+		v, ok := q.TryPop()
+		if !ok {
+			return out
+		}
+		out = append(out, v.(*fabric.RailEvent))
+	}
+}
+
+func TestInitialStateIsUp(t *testing.T) {
+	tr := New(rt.NewLive(), 0, 3)
+	for r, s := range tr.States() {
+		if s != fabric.RailUp {
+			t.Fatalf("rail %d starts %v", r, s)
+		}
+	}
+}
+
+func TestReportPublishesTransitions(t *testing.T) {
+	tr := New(rt.NewLive(), 2, 2)
+	q := tr.Subscribe()
+	if !tr.Report(1, fabric.RailSuspect, "read error") {
+		t.Fatal("transition rejected")
+	}
+	if !tr.Report(1, fabric.RailDown, "reconnect exhausted") {
+		t.Fatal("transition rejected")
+	}
+	evs := drain(q)
+	if len(evs) != 2 {
+		t.Fatalf("%d events, want 2", len(evs))
+	}
+	if evs[0].State != fabric.RailSuspect || evs[1].State != fabric.RailDown {
+		t.Fatalf("events %v %v", evs[0], evs[1])
+	}
+	if evs[0].Node != 2 || evs[0].Rail != 1 {
+		t.Fatalf("event addressed %d/%d", evs[0].Node, evs[0].Rail)
+	}
+	if tr.State(1) != fabric.RailDown || tr.Reason(1) != "reconnect exhausted" {
+		t.Fatalf("state %v reason %q", tr.State(1), tr.Reason(1))
+	}
+}
+
+func TestUnchangedReportIsSuppressed(t *testing.T) {
+	tr := New(rt.NewLive(), 0, 1)
+	q := tr.Subscribe()
+	if tr.Report(0, fabric.RailUp, "still up") {
+		t.Fatal("no-change transition accepted")
+	}
+	if len(drain(q)) != 0 {
+		t.Fatal("no-change transition published")
+	}
+}
+
+func TestDisablePinsAgainstTransportReports(t *testing.T) {
+	tr := New(rt.NewLive(), 0, 2)
+	q := tr.Subscribe()
+	tr.Disable(0, "maintenance")
+	if tr.State(0) != fabric.RailDown || !tr.AdminDown(0) {
+		t.Fatalf("disable: state %v admin %v", tr.State(0), tr.AdminDown(0))
+	}
+	// A transport "recovery" must not resurrect a disabled rail.
+	if tr.Report(0, fabric.RailUp, "reconnected") {
+		t.Fatal("report overrode admin pin")
+	}
+	if tr.State(0) != fabric.RailDown {
+		t.Fatalf("pinned rail is %v", tr.State(0))
+	}
+	tr.Enable(0)
+	if tr.State(0) != fabric.RailUp || tr.AdminDown(0) {
+		t.Fatalf("enable: state %v admin %v", tr.State(0), tr.AdminDown(0))
+	}
+	evs := drain(q)
+	if len(evs) != 2 || evs[0].State != fabric.RailDown || evs[1].State != fabric.RailUp {
+		t.Fatalf("events %v", evs)
+	}
+}
+
+func TestEnableHookRuns(t *testing.T) {
+	tr := New(rt.NewLive(), 0, 1)
+	var hooked []int
+	tr.SetOnEnable(func(rail int) { hooked = append(hooked, rail) })
+	tr.Disable(0, "")
+	tr.Enable(0)
+	if len(hooked) != 1 || hooked[0] != 0 {
+		t.Fatalf("hook calls %v", hooked)
+	}
+}
+
+// Transitions work identically in virtual time (simnet drives the
+// tracker from fault-injection callbacks).
+func TestTrackerOnSimEnv(t *testing.T) {
+	env := rt.NewSim()
+	defer env.Close()
+	tr := New(env, 0, 2)
+	q := tr.Subscribe()
+	env.After(0, func() { tr.Report(1, fabric.RailDown, "fault injection") })
+	env.Run()
+	evs := drain(q)
+	if len(evs) != 1 || evs[0].State != fabric.RailDown {
+		t.Fatalf("events %v", evs)
+	}
+}

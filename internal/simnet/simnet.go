@@ -36,6 +36,7 @@ import (
 
 	"repro/internal/fabric"
 	"repro/internal/model"
+	"repro/internal/railhealth"
 	"repro/internal/rt"
 )
 
@@ -105,7 +106,8 @@ func New(env rt.Env, cfg Config) (*Cluster, error) {
 	}
 	c := &Cluster{env: env, cfg: cfg, scale: scale, pace: pace}
 	for i := 0; i < cfg.Nodes; i++ {
-		n := &Node{id: i, cluster: c, recvq: env.NewQueue()}
+		n := &Node{id: i, cluster: c, recvq: env.NewQueue(),
+			health: railhealth.New(env, i, len(cfg.Rails))}
 		for r, prof := range cfg.Rails {
 			n.Rails = append(n.Rails, &Rail{
 				node:   n,
@@ -137,6 +139,23 @@ func (c *Cluster) NumRails() int { return len(c.cfg.Rails) }
 // Close is a no-op: the modeled fabric holds no transport resources.
 func (c *Cluster) Close() error { return nil }
 
+// FailRail injects a deterministic rail fault: at virtual time `at` the
+// lane is declared dead cluster-wide — rail r goes Down on every node,
+// exactly as every peer of a dying NIC observes its link break — and any
+// frame still in flight on that rail at `at` is lost. node names the
+// failing NIC's owner (recorded in the event reason); the loss itself is
+// pairwise, so all trackers transition. Failover is therefore testable
+// in virtual time: schedule the fault mid-transfer and the engines
+// re-plan unacknowledged work onto the surviving rails.
+func (c *Cluster) FailRail(node, rail int, at time.Duration) {
+	reason := fmt.Sprintf("fault injection: NIC %d/%d died", node, rail)
+	rt.AfterFunc(c.env, at, func() {
+		for _, n := range c.Nodes {
+			n.health.Report(rail, fabric.RailDown, reason)
+		}
+	})
+}
+
 // d scales a modeled duration into slept time.
 func (c *Cluster) d(t time.Duration) time.Duration {
 	if !c.pace {
@@ -156,6 +175,7 @@ type Node struct {
 	id      int
 	recvq   rt.Queue
 	cluster *Cluster
+	health  *railhealth.Tracker
 }
 
 // ID returns the node's index in the cluster.
@@ -169,6 +189,9 @@ func (n *Node) Rail(i int) fabric.Rail { return n.Rails[i] }
 
 // RecvQ returns the queue *Delivery items are pushed to.
 func (n *Node) RecvQ() rt.Queue { return n.recvq }
+
+// Health returns the node's rail-health tracker.
+func (n *Node) Health() fabric.Health { return n.health }
 
 // Cores returns the node's core count.
 func (n *Node) Cores() int { return n.cluster.cfg.CoresPerNode }
@@ -197,6 +220,9 @@ func (r *Rail) Profile() *model.Profile { return r.prof }
 
 // Node returns the owning node.
 func (r *Rail) Node() *Node { return r.node }
+
+// State returns the rail's health state.
+func (r *Rail) State() fabric.RailState { return r.node.health.State(r.index) }
 
 // Stats returns a snapshot of the traffic counters.
 func (r *Rail) Stats() Stats {
@@ -243,11 +269,21 @@ func (r *Rail) deliver(to int, d *Delivery, after time.Duration) {
 	c := r.node.cluster
 	dst := c.Nodes[to]
 	d.SentAt = c.env.Now()
-	if after <= 0 {
+	// The frame lands only if the lane is still alive when the last byte
+	// arrives: a NIC that dies (FailRail) or is unplugged mid-flight —
+	// on either end — takes the frame with it. This is the loss the
+	// engine's ack-and-replan machinery recovers from.
+	push := func() {
+		if r.State() == fabric.RailDown || dst.health.State(r.index) == fabric.RailDown {
+			return
+		}
 		dst.recvq.Push(d)
+	}
+	if after <= 0 {
+		push()
 		return
 	}
-	c.env.After(after, func() { dst.recvq.Push(d) })
+	c.env.After(after, push)
 }
 
 // SendEager transmits an eager (PIO) message. It blocks the calling actor

@@ -5,6 +5,7 @@ import (
 	"testing/quick"
 	"time"
 
+	"repro/internal/fabric"
 	"repro/internal/model"
 	"repro/internal/rt"
 )
@@ -475,5 +476,54 @@ func TestPropertyIdleAtAccumulates(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// FailRail is deterministic in virtual time: a frame in flight on the
+// failing rail at the fault instant is lost, frames on the surviving
+// rail (and frames that landed before the fault) are not.
+func TestFailRailDropsInFlightFrames(t *testing.T) {
+	env, c := twoNodeSim(t, model.PaperTestbed())
+	// Rail 0 dies 1ns into the run: the eager frame posted at t=0 is
+	// still crossing the wire (host copy + latency take microseconds).
+	c.FailRail(0, 0, time.Nanosecond)
+	var got []*Delivery
+	env.Go("recv", func(ctx rt.Ctx) {
+		for i := 0; i < 1; i++ {
+			d, _ := recvOne(ctx, c.Nodes[1])
+			got = append(got, d)
+		}
+	})
+	env.Go("send", func(ctx rt.Ctx) {
+		c.Nodes[0].Rails[0].SendEager(ctx, 1, []byte("lost"))
+		c.Nodes[0].Rails[1].SendEager(ctx, 1, []byte("kept"))
+	})
+	env.Run()
+	if len(got) != 1 || got[0].Rail != 1 || string(got[0].Data) != "kept" {
+		t.Fatalf("deliveries %v", got)
+	}
+	if st := c.Nodes[0].Rails[0].State(); st != fabric.RailDown {
+		t.Fatalf("failed rail state %v", st)
+	}
+	if st := c.Nodes[1].Rails[0].State(); st != fabric.RailDown {
+		t.Fatalf("lane not down on the peer: %v", st)
+	}
+	if st := c.Nodes[0].Rails[1].State(); st != fabric.RailUp {
+		t.Fatalf("surviving rail state %v", st)
+	}
+}
+
+// Health events flow to subscribers at the fault's virtual time.
+func TestFailRailNotifiesSubscribers(t *testing.T) {
+	env, c := twoNodeSim(t, model.PaperTestbed())
+	q := c.Nodes[0].Health().Subscribe()
+	c.FailRail(0, 1, 250*time.Microsecond)
+	var ev *fabric.RailEvent
+	env.Go("watch", func(ctx rt.Ctx) {
+		ev = q.Pop(ctx).(*fabric.RailEvent)
+	})
+	env.Run()
+	if ev == nil || ev.Rail != 1 || ev.State != fabric.RailDown || ev.At != 250*time.Microsecond {
+		t.Fatalf("event %+v", ev)
 	}
 }

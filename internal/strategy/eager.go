@@ -34,6 +34,7 @@ type EagerPlan struct {
 // (1) — beats the best single-rail aggregation, which makes tiny
 // messages stay on one rail (Fig 9's < 4 KB regime).
 func PlanEager(n int, now time.Duration, rails []RailView, idleCores int, offloadCost time.Duration) EagerPlan {
+	rails = Usable(rails)
 	single := SingleRail{}.Split(n, now, rails)
 	plan := EagerPlan{
 		Parallel:  false,

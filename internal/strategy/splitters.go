@@ -20,6 +20,7 @@ func (SingleRail) Split(n int, now time.Duration, rails []RailView) []Chunk {
 	if n == 0 {
 		return nil
 	}
+	rails = Usable(rails)
 	best := 0
 	bestT := rails[0].Completion(now, n)
 	for i := 1; i < len(rails); i++ {
@@ -42,6 +43,7 @@ func (IsoSplit) Split(n int, now time.Duration, rails []RailView) []Chunk {
 	if n == 0 {
 		return nil
 	}
+	rails = Usable(rails)
 	k := len(rails)
 	if k > n {
 		k = n // at most one byte per chunk
@@ -85,6 +87,7 @@ func (h HeteroSplit) Split(n int, now time.Duration, rails []RailView) []Chunk {
 	if n == 0 {
 		return nil
 	}
+	rails = Usable(rails)
 	minChunk := h.MinChunk
 	if minChunk < 1 {
 		minChunk = 1
@@ -254,6 +257,7 @@ func (r *RatioSplit) Split(n int, now time.Duration, rails []RailView) []Chunk {
 	if n == 0 {
 		return nil
 	}
+	rails = Usable(rails)
 	// Deterministic order: rails as given.
 	chunks := make([]Chunk, 0, len(rails))
 	off := 0
@@ -284,6 +288,7 @@ func (r *RatioSplit) Split(n int, now time.Duration, rails []RailView) []Chunk {
 // horizon is then advanced by that packet's transfer time. It returns the
 // chosen rail index for each packet.
 func AssignGreedy(sizes []int, now time.Duration, rails []RailView) []int {
+	rails = Usable(rails)
 	horizon := make(map[int]time.Duration, len(rails))
 	order := make([]int, len(rails))
 	for i, r := range rails {

@@ -54,6 +54,33 @@ type RailView struct {
 	IdleAt time.Duration
 	// EagerMax is the rail's eager payload limit (0 = none).
 	EagerMax int
+	// Down marks a rail that is not schedulable (Suspect or Down in the
+	// fabric's health tracker). Every splitter excludes such rails; the
+	// zero value keeps a bare RailView usable.
+	Down bool
+}
+
+// Usable returns the rails a strategy may place work on: those not
+// marked Down. When every rail is Down it returns rails unchanged — the
+// engine decides separately whether to send at all, and a last-resort
+// decision over dead rails is still a valid (droppable) decision.
+func Usable(rails []RailView) []RailView {
+	up := 0
+	for i := range rails {
+		if !rails[i].Down {
+			up++
+		}
+	}
+	if up == len(rails) || up == 0 {
+		return rails
+	}
+	out := make([]RailView, 0, up)
+	for i := range rails {
+		if !rails[i].Down {
+			out = append(out, rails[i])
+		}
+	}
+	return out
 }
 
 // wait returns how long the rail keeps us waiting beyond now.

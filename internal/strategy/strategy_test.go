@@ -498,3 +498,53 @@ func TestPropertyHeteroEqualCompletion(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Every splitter excludes rails marked Down (the rail-health view of a
+// dying NIC): no chunk may land on one while a usable rail remains.
+func TestSplittersExcludeDownRails(t *testing.T) {
+	rails := testbed()
+	rails[0].Down = true // kill the high-bandwidth rail
+	splitters := []Splitter{SingleRail{}, IsoSplit{}, HeteroSplit{}, NewRatioSplit(1<<20, testbed())}
+	for _, s := range splitters {
+		for _, n := range []int{4, 64 << 10, 4 << 20} {
+			chunks := s.Split(n, 0, rails)
+			if err := Validate(n, chunks); err != nil {
+				t.Fatalf("%s/%d: %v", s.Name(), n, err)
+			}
+			for _, c := range chunks {
+				if c.Rail == 0 {
+					t.Fatalf("%s placed %d bytes on the Down rail: %+v", s.Name(), n, chunks)
+				}
+			}
+		}
+	}
+}
+
+// AssignGreedy and PlanEager honour the Down mark too.
+func TestEagerPathsExcludeDownRails(t *testing.T) {
+	rails := testbed()
+	rails[1].Down = true
+	assign := AssignGreedy([]int{64, 64, 64}, 0, rails)
+	for i, r := range assign {
+		if r == 1 {
+			t.Fatalf("greedy packet %d on the Down rail", i)
+		}
+	}
+	plan := PlanEager(16<<10, 0, rails, 4, model.OffloadSyncCost)
+	for _, c := range plan.Chunks {
+		if c.Rail == 1 {
+			t.Fatalf("eager plan used the Down rail: %+v", plan.Chunks)
+		}
+	}
+}
+
+// With every rail Down the strategies fall back to the full set: the
+// engine decides separately whether to send, and a decision must exist.
+func TestAllDownFallsBackToAll(t *testing.T) {
+	rails := testbed()
+	rails[0].Down, rails[1].Down = true, true
+	chunks := HeteroSplit{}.Split(1<<20, 0, rails)
+	if err := Validate(1<<20, chunks); err != nil {
+		t.Fatal(err)
+	}
+}

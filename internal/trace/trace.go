@@ -37,12 +37,17 @@ const (
 	Delivered
 	// Completed: the sender's request completed locally.
 	Completed
+	// RailLost: a rail went Down (Note holds the reason; MsgID is 0).
+	RailLost
+	// Resent: a transfer unit was re-planned onto a surviving rail.
+	Resent
 )
 
 var kindNames = map[Kind]string{
 	Submit: "submit", Decision: "decision", EagerSent: "eager-sent",
 	OffloadStart: "offload", RTSSent: "rts", CTSSent: "cts",
 	ChunkPosted: "chunk", Delivered: "delivered", Completed: "completed",
+	RailLost: "rail-down", Resent: "resent",
 }
 
 func (k Kind) String() string {

@@ -1,16 +1,24 @@
 package wire
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+)
 
 // Reassembly collects the chunks of one logical message striped across
-// several rails and reports completion. Chunks may arrive in any order and
-// on any rail; overlapping or out-of-range chunks are rejected.
+// several rails and reports completion. Chunks may arrive in any order
+// and on any rail. Overlapping and duplicate chunks are tolerated — the
+// failover path re-sends a chunk whose rail died before it was
+// acknowledged, so the same byte range can legitimately arrive twice
+// (with identical bytes, both copies coming from the sender's buffer);
+// only out-of-range chunks are rejected.
 type Reassembly struct {
 	msgID    uint64
 	buf      []byte
 	total    int
 	received int
-	seen     []span
+	chunks   int
+	seen     []span // sorted, non-overlapping, merged
 }
 
 type span struct{ off, end int }
@@ -28,28 +36,65 @@ func NewReassembly(msgID uint64, buf []byte, totalLen int) (*Reassembly, error) 
 func (r *Reassembly) MsgID() uint64 { return r.msgID }
 
 // Add copies one chunk into place. It returns true when the message is
-// complete. Duplicate or overlapping chunks return an error.
+// complete. Ranges already covered by earlier chunks count nothing
+// toward completion (duplicates are idempotent).
 func (r *Reassembly) Add(offset int, chunk []byte) (bool, error) {
 	end := offset + len(chunk)
 	if offset < 0 || end > r.total {
 		return false, fmt.Errorf("wire: chunk [%d,%d) outside message of %d bytes", offset, end, r.total)
 	}
-	for _, s := range r.seen {
-		if offset < s.end && s.off < end {
-			return false, fmt.Errorf("wire: chunk [%d,%d) overlaps [%d,%d)", offset, end, s.off, s.end)
+	copy(r.buf[offset:end], chunk)
+	r.chunks++
+	r.merge(span{offset, end})
+	return r.Done(), nil
+}
+
+// merge folds s into the sorted span set, counting only newly covered
+// bytes into received.
+func (r *Reassembly) merge(s span) {
+	if s.off == s.end {
+		return
+	}
+	// Locate the first existing span that ends after s starts.
+	i := sort.Search(len(r.seen), func(i int) bool { return r.seen[i].end >= s.off })
+	merged := s
+	j := i
+	fresh := s.end - s.off
+	for ; j < len(r.seen) && r.seen[j].off <= merged.end; j++ {
+		fresh -= overlap(s, r.seen[j])
+		if r.seen[j].off < merged.off {
+			merged.off = r.seen[j].off
+		}
+		if r.seen[j].end > merged.end {
+			merged.end = r.seen[j].end
 		}
 	}
-	copy(r.buf[offset:end], chunk)
-	r.seen = append(r.seen, span{offset, end})
-	r.received += len(chunk)
-	return r.Done(), nil
+	out := append(r.seen[:i:i], merged)
+	r.seen = append(out, r.seen[j:]...)
+	r.received += fresh
+}
+
+// overlap returns how many bytes a and b share.
+func overlap(a, b span) int {
+	off, end := a.off, a.end
+	if b.off > off {
+		off = b.off
+	}
+	if b.end < end {
+		end = b.end
+	}
+	if end <= off {
+		return 0
+	}
+	return end - off
 }
 
 // Done reports whether every byte has arrived.
 func (r *Reassembly) Done() bool { return r.received == r.total }
 
-// Received returns the number of bytes received so far.
+// Received returns the number of distinct bytes received so far.
 func (r *Reassembly) Received() int { return r.received }
 
-// Chunks returns how many chunks have been accepted.
-func (r *Reassembly) Chunks() int { return len(r.seen) }
+// Chunks returns how many chunks have been accepted (duplicates
+// included).
+func (r *Reassembly) Chunks() int { return r.chunks }

@@ -133,9 +133,23 @@ func AggregateSize(pkts []Packet) int {
 }
 
 // EncodeEager builds an eager container carrying pkts on the given rail.
-// It panics if pkts is empty or exceeds 65535 entries (the engine never
-// aggregates that many).
+// The container id defaults to the packet's MsgID for single-packet
+// containers; use EncodeEagerID when the container must be individually
+// acknowledgeable (failover resend tracking).
 func EncodeEager(rail uint8, pkts []Packet) []byte {
+	var id uint64
+	if len(pkts) == 1 {
+		id = pkts[0].MsgID
+	}
+	return EncodeEagerID(id, rail, pkts)
+}
+
+// EncodeEagerID builds an eager container with an explicit container id
+// carried in the header's MsgID field. The id identifies the container —
+// not its packets — so the receiver can acknowledge it as one unit. It
+// panics if pkts is empty or exceeds 65535 entries (the engine never
+// aggregates that many).
+func EncodeEagerID(id uint64, rail uint8, pkts []Packet) []byte {
 	if len(pkts) == 0 || len(pkts) > 0xFFFF {
 		panic(fmt.Sprintf("wire: invalid eager packet count %d", len(pkts)))
 	}
@@ -143,10 +157,9 @@ func EncodeEager(rail uint8, pkts []Packet) []byte {
 	for _, p := range pkts {
 		total += uint64(len(p.Payload))
 	}
-	h := Header{Kind: KindEager, Rail: rail, Count: uint16(len(pkts)), TotalLen: total}
+	h := Header{Kind: KindEager, Rail: rail, Count: uint16(len(pkts)), TotalLen: total, MsgID: id}
 	if len(pkts) == 1 {
 		h.Tag = pkts[0].Tag
-		h.MsgID = pkts[0].MsgID
 	}
 	out := h.Encode(make([]byte, 0, AggregateSize(pkts)))
 	var entry [entryHeaderSize]byte
@@ -193,6 +206,15 @@ func DecodeEager(b []byte) ([]Packet, error) {
 // EncodeControl builds an RTS/CTS/Ack control message.
 func EncodeControl(kind Kind, rail uint8, tag uint32, msgID, totalLen uint64) []byte {
 	h := Header{Kind: kind, Rail: rail, Tag: tag, MsgID: msgID, TotalLen: totalLen}
+	return h.Encode(nil)
+}
+
+// EncodeAck builds the acknowledgement for one transfer unit: an eager
+// container (offset 0, msgID = container id) or a rendezvous/parallel
+// chunk (msgID, offset). The sender retires the matching outstanding
+// unit; unacknowledged units are re-planned when their rail dies.
+func EncodeAck(rail uint8, msgID, offset uint64) []byte {
+	h := Header{Kind: KindAck, Rail: rail, MsgID: msgID, Offset: offset}
 	return h.Encode(nil)
 }
 

@@ -262,17 +262,56 @@ func TestReassemblyOutOfOrder(t *testing.T) {
 	}
 }
 
-func TestReassemblyRejectsOverlapAndRange(t *testing.T) {
-	r, _ := NewReassembly(3, make([]byte, 10), 10)
+// Overlapping and duplicate chunks are idempotent — the failover path
+// re-sends chunks whose rail died before the ack — while out-of-range
+// chunks stay rejected.
+func TestReassemblyToleratesOverlapRejectsRange(t *testing.T) {
+	buf := make([]byte, 10)
+	r, _ := NewReassembly(3, buf, 10)
 	r.Add(0, []byte("aaaa"))
-	if _, err := r.Add(2, []byte("bb")); err == nil {
-		t.Fatal("overlap accepted")
+	if done, err := r.Add(2, []byte("aabb")); err != nil || done {
+		t.Fatalf("overlap: done=%v err=%v", done, err)
+	}
+	if r.Received() != 6 {
+		t.Fatalf("received %d after overlapping add, want 6", r.Received())
+	}
+	if done, err := r.Add(0, []byte("aaaa")); err != nil || done {
+		t.Fatalf("exact duplicate: done=%v err=%v", done, err)
+	}
+	if r.Received() != 6 {
+		t.Fatalf("received %d after duplicate, want 6", r.Received())
+	}
+	done, err := r.Add(6, []byte("cccc"))
+	if err != nil || !done {
+		t.Fatalf("final add: done=%v err=%v", done, err)
+	}
+	if string(buf) != "aaaabbcccc" {
+		t.Fatalf("buf %q", buf)
 	}
 	if _, err := r.Add(8, []byte("ccc")); err == nil {
 		t.Fatal("out-of-range accepted")
 	}
 	if _, err := r.Add(-1, []byte("x")); err == nil {
 		t.Fatal("negative offset accepted")
+	}
+}
+
+// A chunk bridging two disjoint received ranges counts only its fresh
+// bytes (the resplit-after-resplit shape of double failover).
+func TestReassemblyBridgingChunk(t *testing.T) {
+	buf := make([]byte, 12)
+	r, _ := NewReassembly(9, buf, 12)
+	r.Add(0, []byte("abcd"))
+	r.Add(8, []byte("ijkl"))
+	if r.Received() != 8 {
+		t.Fatalf("received %d", r.Received())
+	}
+	done, err := r.Add(2, []byte("cdefghij"))
+	if err != nil || !done {
+		t.Fatalf("bridge: done=%v err=%v", done, err)
+	}
+	if string(buf) != "abcdefghijkl" {
+		t.Fatalf("buf %q", buf)
 	}
 }
 

@@ -186,29 +186,37 @@ func (r *Rank) Barrier(ctx multirail.Ctx) error {
 }
 
 // AllreduceSum sums the float64 vector across all ranks; every rank
-// returns the same result. Rank 0 reduces and broadcasts (sufficient for
-// the examples; the point-to-point legs ride the multirail engine).
+// returns the same result. The reduce phase runs along a binomial tree
+// toward rank 0 — log2(P) rounds with partial sums combined on the way
+// up, the mirror image of Bcast — so rank 0 is no longer a linear
+// O(P) receive bottleneck; the broadcast phase then reuses the same
+// collective machinery. Every leg rides the multirail engine.
 func (r *Rank) AllreduceSum(ctx multirail.Ctx, in []float64) ([]float64, error) {
 	size := r.w.Size()
 	seq := r.w.nextSeq(r.id)
 	out := append([]float64(nil), in...)
-	enc := encodeFloats(in)
-	if r.id == 0 {
-		buf := make([]byte, len(enc))
-		for src := 1; src < size; src++ {
-			if _, err := r.w.c.Node(0).Recv(ctx, src, collTag(opAllreduce, seq, 0), buf); err != nil {
-				return nil, err
-			}
-			vals, err := decodeFloats(buf, len(in))
-			if err != nil {
-				return nil, err
-			}
-			for i, v := range vals {
-				out[i] += v
-			}
+	buf := make([]byte, 8*len(in))
+	for mask, round := 1, 0; mask < size; mask, round = mask<<1, round+1 {
+		if r.id&mask != 0 {
+			// This subtree is fully reduced: hand the partial sum to
+			// the parent and leave the reduce phase.
+			r.w.c.Node(r.id).Send(ctx, r.id-mask, collTag(opAllreduce, seq, round), encodeFloats(out))
+			break
 		}
-	} else {
-		r.w.c.Node(r.id).Send(ctx, 0, collTag(opAllreduce, seq, 0), enc)
+		src := r.id + mask
+		if src >= size {
+			continue
+		}
+		if _, err := r.w.c.Node(r.id).Recv(ctx, src, collTag(opAllreduce, seq, round), buf); err != nil {
+			return nil, err
+		}
+		vals, err := decodeFloats(buf, len(in))
+		if err != nil {
+			return nil, err
+		}
+		for i, v := range vals {
+			out[i] += v
+		}
 	}
 	// Broadcast the reduction with the same collective machinery.
 	res := encodeFloats(out)

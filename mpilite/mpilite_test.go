@@ -139,7 +139,7 @@ func TestBcastLargeUsesMultirail(t *testing.T) {
 		t.Fatalf("%d ranks got the payload", oks)
 	}
 	// The 2MB legs must have been striped over both rails.
-	if c.RailStats(0, 1).Bytes == 0 {
+	if c.RailStats(0)[1].Bytes == 0 {
 		t.Fatal("bcast did not use the second rail")
 	}
 }

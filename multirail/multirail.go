@@ -63,6 +63,19 @@ const (
 // RailStats returns).
 type FabricStats = fabric.Stats
 
+// RailState is the health of one rail: RailUp, RailSuspect (transport
+// fault observed, bounded recovery running) or RailDown (dead or
+// administratively unplugged). See the "Fault tolerance" section of the
+// README for the failover semantics.
+type RailState = fabric.RailState
+
+// Rail states (re-exported from the fabric contract).
+const (
+	RailUp      = fabric.RailUp
+	RailSuspect = fabric.RailSuspect
+	RailDown    = fabric.RailDown
+)
+
 // Re-exported building blocks. Aliases keep the public surface small
 // while the implementation lives in internal packages.
 type (
@@ -170,6 +183,12 @@ type Config struct {
 	// Tracer, when non-nil, receives every engine's per-message timeline
 	// (use NewTraceCollector for an in-memory sink).
 	Tracer Tracer
+	// OnRailDown, when non-nil, is called (once per hosted node and
+	// transition, from a cluster actor) whenever a rail goes Down — a
+	// NIC died, its recovery budget ran out, or it was unplugged with
+	// DisableRail. The engines have already begun re-planning in-flight
+	// work when it fires; the callback is for monitoring and alerting.
+	OnRailDown func(node, rail int, reason string)
 }
 
 // Cluster is a running multirail communication system.
@@ -183,8 +202,9 @@ type Cluster struct {
 	engines  []*core.Engine // indexed by node id; nil when not hosted
 	profiles []*sampling.RailProfile
 
-	wg    sync.WaitGroup // user actors (live mode)
-	nodes []*Node
+	wg       sync.WaitGroup // user actors (live mode)
+	nodes    []*Node
+	healthQs []rt.Queue // OnRailDown watcher queues (nil-nudged at Close)
 }
 
 // New builds, samples and starts a cluster.
@@ -277,8 +297,30 @@ func New(cfg Config) (*Cluster, error) {
 		}
 		c.engines = append(c.engines, eng)
 		c.nodes = append(c.nodes, &Node{cluster: c, id: i})
+		if cfg.OnRailDown != nil && (!cfg.Distributed || i == cfg.LocalNode) {
+			c.watchRails(i)
+		}
 	}
 	return c, nil
+}
+
+// watchRails runs an actor that forwards a hosted node's Down
+// transitions to Config.OnRailDown.
+func (c *Cluster) watchRails(node int) {
+	q := c.fab.Node(node).Health().Subscribe()
+	c.healthQs = append(c.healthQs, q)
+	c.env.Go(fmt.Sprintf("rail-watch-%d", node), func(ctx rt.Ctx) {
+		for {
+			item := q.Pop(ctx)
+			if item == nil {
+				return
+			}
+			ev := item.(*fabric.RailEvent)
+			if ev.State == fabric.RailDown {
+				c.cfg.OnRailDown(ev.Node, ev.Rail, ev.Reason)
+			}
+		}
+	})
 }
 
 // sampleProfiles obtains the per-rail estimators: from a file, from the
@@ -355,9 +397,10 @@ func (c *Cluster) ListenAddr() string {
 func (c *Cluster) FabricKind() string { return c.kind }
 
 // Err returns the first transport error the fabric observed (TCP read
-// or write failures), or nil. The modeled fabric never errors. Check it
-// after a live run that hung or came up short: transport loss is not
-// yet failed over to pending requests.
+// or write failures), or nil. The modeled fabric never errors. A
+// non-nil Err does not imply data loss: in-flight work on a rail that
+// died is re-planned onto the survivors (see README, "Fault
+// tolerance") — it is the diagnostic for why a rail went Down.
 func (c *Cluster) Err() error {
 	if f, ok := c.fab.(*livenet.Fabric); ok {
 		return f.Err()
@@ -396,6 +439,9 @@ func (c *Cluster) Close() {
 		if e != nil {
 			e.Stop()
 		}
+	}
+	for _, q := range c.healthQs {
+		q.Push(nil)
 	}
 	c.fab.Close()
 	if c.sim != nil {
@@ -439,9 +485,46 @@ func (c *Cluster) RailIdleAt(node, rail int) time.Duration {
 	return c.fab.Node(node).Rail(rail).IdleAt()
 }
 
-// RailStats returns the fabric counters of a node's rail.
-func (c *Cluster) RailStats(node, rail int) fabric.Stats {
-	return c.fab.Node(node).Rail(rail).Stats()
+// RailStats returns the fabric traffic counters of every rail of a
+// node, indexed by rail. The failover tests read it to assert that the
+// bytes of a message whose rail died moved to the survivors.
+func (c *Cluster) RailStats(node int) []FabricStats {
+	n := c.fab.Node(node)
+	out := make([]FabricStats, n.NumRails())
+	for r := range out {
+		out[r] = n.Rail(r).Stats()
+	}
+	return out
+}
+
+// RailStates returns the health of every rail of a node, indexed by
+// rail.
+func (c *Cluster) RailStates(node int) []RailState {
+	return c.fab.Node(node).Health().States()
+}
+
+// DisableRail hot-unplugs a rail on every hosted node (planned
+// maintenance): the rail goes Down, the strategies stop using it, and
+// in-flight transfer units on it are re-planned onto the survivors. In
+// distributed mode only the local node's side is disabled — run the
+// call in every process for a cluster-wide unplug.
+func (c *Cluster) DisableRail(rail int) {
+	for i, eng := range c.engines {
+		if eng != nil {
+			c.fab.Node(i).Health().Disable(rail, "admin: DisableRail")
+		}
+	}
+}
+
+// EnableRail re-plugs a rail disabled with DisableRail on every hosted
+// node (and asks the fabric to re-establish dead links, on fabrics that
+// can).
+func (c *Cluster) EnableRail(rail int) {
+	for i, eng := range c.engines {
+		if eng != nil {
+			c.fab.Node(i).Health().Enable(rail)
+		}
+	}
 }
 
 // Node is the per-node communication handle.

@@ -2,8 +2,10 @@ package multirail_test
 
 import (
 	"bytes"
+	"fmt"
 	"math/rand"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -52,10 +54,10 @@ func TestQuickstartFlow(t *testing.T) {
 	if st.RdvSent != 1 {
 		t.Fatalf("1MB should use rendezvous: %+v", st)
 	}
-	if rs := c.RailStats(0, 0); rs.Bytes == 0 {
+	if rs := c.RailStats(0)[0]; rs.Bytes == 0 {
 		t.Fatal("rail 0 carried nothing: hetero-split should use both rails")
 	}
-	if rs := c.RailStats(0, 1); rs.Bytes == 0 {
+	if rs := c.RailStats(0)[1]; rs.Bytes == 0 {
 		t.Fatal("rail 1 carried nothing: hetero-split should use both rails")
 	}
 }
@@ -304,5 +306,71 @@ func TestTracerThroughPublicAPI(t *testing.T) {
 		if !strings.Contains(b.String(), want) {
 			t.Errorf("trace dump missing %q", want)
 		}
+	}
+}
+
+// Planned hot-unplug through the public API: DisableRail takes the rail
+// out of every strategy decision (it carries nothing), OnRailDown fires
+// for every hosted node, and EnableRail brings the rail back into the
+// stripe.
+func TestHotUnplugAndReplug(t *testing.T) {
+	var mu sync.Mutex
+	var downs []string
+	c, err := multirail.New(multirail.Config{
+		OnRailDown: func(node, rail int, reason string) {
+			mu.Lock()
+			downs = append(downs, fmt.Sprintf("n%d/r%d", node, rail))
+			mu.Unlock()
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for node := 0; node < 2; node++ {
+		for r, s := range c.RailStates(node) {
+			if s != multirail.RailUp {
+				t.Fatalf("node %d rail %d starts %v", node, r, s)
+			}
+		}
+	}
+	n := 4 << 20
+	payload := make([]byte, n)
+	rand.New(rand.NewSource(21)).Read(payload)
+	buf := make([]byte, n)
+	c.Go("app", func(ctx multirail.Ctx) {
+		c.DisableRail(1)
+		if got := c.RailStates(0)[1]; got != multirail.RailDown {
+			t.Errorf("disabled rail state %v", got)
+		}
+		rr := c.Node(1).Irecv(0, 1, buf)
+		c.Node(0).Isend(1, 1, payload)
+		if got, err := rr.Wait(ctx); err != nil || got != n {
+			t.Errorf("unplugged recv n=%d err=%v", got, err)
+		}
+		if b := c.RailStats(0)[1].Bytes; b != 0 {
+			t.Errorf("disabled rail carried %d bytes", b)
+		}
+		c.EnableRail(1)
+		if got := c.RailStates(0)[1]; got != multirail.RailUp {
+			t.Errorf("re-enabled rail state %v", got)
+		}
+		rr = c.Node(1).Irecv(0, 2, buf)
+		c.Node(0).Isend(1, 2, payload)
+		if got, err := rr.Wait(ctx); err != nil || got != n {
+			t.Errorf("replugged recv n=%d err=%v", got, err)
+		}
+	})
+	c.Run()
+	if !bytes.Equal(buf, payload) {
+		t.Fatal("payload corrupted")
+	}
+	if b := c.RailStats(0)[1].Bytes; b == 0 {
+		t.Fatal("re-enabled rail carried nothing; striping should resume")
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(downs) != 2 {
+		t.Fatalf("OnRailDown calls %v, want one per node", downs)
 	}
 }
