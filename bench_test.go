@@ -253,6 +253,51 @@ func BenchmarkEagerMessageRate(b *testing.B) {
 	}
 }
 
+// BenchmarkManyFlows is the multicore-progression contention bench: N
+// concurrent tagged flows (N goroutines × N tags) hammer one node pair
+// on both fabrics. On the live TCP fabric ns/op is wall time, so MB/s
+// is real throughput and must scale with GOMAXPROCS (run with
+// `-cpu 1,4` to see the sharded engine spread over cores); on the
+// simulated fabric ns/op only measures the single-threaded harness.
+// Compare against the single-flow pingpong benches for the no-regression
+// side of the trade.
+func BenchmarkManyFlows(b *testing.B) {
+	const flows = 8
+	msgs := 48
+	if testing.Short() {
+		msgs = 8
+	}
+	fabrics := []struct {
+		name string
+		cfg  multirail.Config
+	}{
+		{"sim", multirail.Config{}},
+		{"tcp", multirail.Config{Live: true, SamplingMax: 1 << 20}},
+	}
+	sizes := []struct {
+		name string
+		n    int
+	}{
+		{"eager-8KB", 8 << 10},
+		{"rdv-256KB", 256 << 10},
+	}
+	for _, fab := range fabrics {
+		for _, sz := range sizes {
+			b.Run(fmt.Sprintf("%s/%s", fab.name, sz.name), func(b *testing.B) {
+				c := mustCluster(b, fab.cfg)
+				workload.ManyFlows(c, flows, 2, sz.n) // warm-up
+				b.SetBytes(int64(flows * msgs * sz.n))
+				b.ResetTimer()
+				var virt time.Duration
+				for i := 0; i < b.N; i++ {
+					virt = workload.ManyFlows(c, flows, msgs, sz.n)
+				}
+				b.ReportMetric(virt.Seconds()*1e6, "virtual-us/op")
+			})
+		}
+	}
+}
+
 // --- Substrate micro-benches (host performance, no virtual metrics) ---
 
 // BenchmarkDESThroughput measures raw event dispatch.

@@ -33,9 +33,12 @@ func main() {
 	rails := flag.Int("rails", 2, "TCP rail count (live mode)")
 	samplingFile := flag.String("sampling", "", "load sampling from file (see cmd/nmsample)")
 	traceOne := flag.Bool("trace", false, "dump the engine timeline of one max-size transfer")
+	showStats := flag.Bool("stats", false, "print per-shard and per-worker engine stats after the sweep")
+	workers := flag.Int("workers", 0, "progression workers per node (0: one per core)")
+	shards := flag.Int("shards", 0, "flow shards per node (0: 4x workers)")
 	flag.Parse()
 
-	cfg := multirail.Config{Live: *live, TCPRails: *rails}
+	cfg := multirail.Config{Live: *live, TCPRails: *rails, Workers: *workers, Shards: *shards}
 	var collector *multirail.TraceCollector
 	if *traceOne {
 		collector = multirail.NewTraceCollector()
@@ -87,4 +90,33 @@ func main() {
 		fmt.Printf("#   rail %d [%s]: %d msgs, %s, busy %v\n",
 			r, states[r], st.Messages, stats.SizeLabel(int(st.Bytes)), st.BusyTime.Round(time.Microsecond))
 	}
+	if *showStats {
+		for node := 0; node < c.Nodes(); node++ {
+			printEngineStats(node, c.EngineStats(node))
+		}
+	}
+}
+
+// printEngineStats dumps one node's engine counters with the per-worker
+// and per-shard breakdown of the multicore progression subsystem, so
+// contention (every flow piling on one shard or one worker) is
+// observable in the field.
+func printEngineStats(node int, st multirail.EngineStats) {
+	fmt.Printf("# engine stats (node %d): eager=%d aggregated=%d parallel=%d rdv=%d chunks=%d bytes=%s unexpected=%d failedover=%d\n",
+		node, st.EagerSent, st.EagerAggregated, st.EagerParallel, st.RdvSent,
+		st.ChunksSent, stats.SizeLabel(int(st.BytesSent)), st.Unexpected, st.FailedOver)
+	for w, ws := range st.Workers {
+		fmt.Printf("#   worker %d: %d tasks, busy %v, %d queued\n",
+			w, ws.Tasks, ws.BusyTime.Round(time.Microsecond), ws.Queued)
+	}
+	active := 0
+	for s, sh := range st.Shards {
+		if sh.Matched == 0 && sh.Unexpected == 0 && sh.Recvs == 0 && sh.Partials == 0 {
+			continue
+		}
+		active++
+		fmt.Printf("#   shard %d: matched=%d unexpected=%d posted-recvs=%d partials=%d\n",
+			s, sh.Matched, sh.Unexpected, sh.Recvs, sh.Partials)
+	}
+	fmt.Printf("#   %d/%d shards active\n", active, len(st.Shards))
 }

@@ -109,7 +109,15 @@ func main() {
 			}
 			fmt.Printf("# server: verified %d eager messages and a %s rendezvous\n",
 				burst, stats.SizeLabel(bigSz))
-			me.Send(ctx, remote, tagReply, big)
+			sr := me.Isend(remote, tagReply, big)
+			sr.Wait(ctx)
+			// Wait for the client to acknowledge every transfer unit
+			// before this process exits: local completion only means the
+			// bytes reached the kernel, and closing the fabric while the
+			// peer is still reading can reset the connections and destroy
+			// the reply in flight (the peer would then wait forever — a
+			// dead process cannot fail over).
+			sr.RemoteDone().Wait(ctx)
 		}
 	})
 	c.Run()

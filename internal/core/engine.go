@@ -11,6 +11,19 @@
 // through offloaded tasklets (internal/marcel). Event detection is
 // delegated to the progression engine (internal/pioman).
 //
+// Multicore progression (internal/progress): the engine's state is
+// sharded by flow so concurrent flows never contend on one lock —
+// matching tables (posted receives, unexpected messages, queued RTS,
+// reassemblies) shard by (peer, tag) hash, unacked transfer units and
+// pending rendezvous shard by (peer, unit id) hash (a container ack
+// carries no single tag). A per-core worker pool executes all engine
+// work: sends are aggregated off the caller's goroutine through
+// per-destination submit queues flushed by workers, and on live fabrics
+// deliveries are fed to the workers directly (eager packets and RTS on
+// their flow's worker, preserving matching order; chunks of one striped
+// message spread across workers, copying into the receive buffer in
+// parallel).
+//
 // Protocols:
 //
 //   - Eager: payloads up to the sampled rendezvous threshold are sent
@@ -26,16 +39,20 @@
 //
 // Matching is by (source, tag) in completion order; concurrent messages
 // on one (source, tag) pair may overtake each other — use distinct tags
-// for concurrent flows, as the examples do.
+// for concurrent flows, as the examples do. Distinct (source, tag)
+// pairs are independent: they live in separate shards and progress on
+// separate workers.
 package core
 
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/fabric"
 	"repro/internal/marcel"
 	"repro/internal/pioman"
+	"repro/internal/progress"
 	"repro/internal/rt"
 	"repro/internal/sampling"
 	"repro/internal/strategy"
@@ -81,6 +98,19 @@ type Config struct {
 	Pioman pioman.Config
 	// Cores overrides the number of cores (default: cluster setting).
 	Cores int
+	// Workers is the progression/submit worker count (default: Cores).
+	// Every worker is one actor of the engine's progress pool; flushes
+	// and deliveries for distinct flows run on distinct workers.
+	Workers int
+	// Shards is the flow-shard count for the matching/pending/unacked
+	// tables (default: smallest power of two >= 4*Workers, min 8).
+	// Rounded up to a power of two.
+	Shards int
+	// DirectProgress routes deliveries through the progress worker pool
+	// instead of handling them inline on the progression actor: the live
+	// multicore path. Off for the modeled simulator, whose per-delivery
+	// CPU charges belong on the progression actor.
+	DirectProgress bool
 	// Tracer, when non-nil, receives the per-message timeline (the role
 	// FxT tracing plays for the original library).
 	Tracer trace.Tracer
@@ -97,19 +127,40 @@ type Engine struct {
 
 	healthQ rt.Queue // rail state transitions (nil = stop nudge)
 
+	pool *progress.Pool                    // per-core workers: all engine work
+	sub  *progress.Submitter[*SendRequest] // per-destination submit queues
+	seen *progress.Dedup                   // receiver-side duplicate window
+
+	nextMsgID atomic.Uint64
+
+	flowMask uint32
+	flows    []flowShard // matching state, sharded by (peer, tag) hash
+	unitMask uint32
+	units    []unitShard // sender state, sharded by (peer, unit id) hash
+
+	stats engineCounters
+}
+
+// flowShard holds one shard of the receiver-side matching state. Every
+// key (from, tag) hashing to this shard stores all of its queues here,
+// so one lock covers one flow's match decision.
+type flowShard struct {
+	mu        sync.Mutex
+	recvs     map[key][]*RecvRequest
+	unexpect  map[key][]*message
+	rdvQueued map[key][]*queuedRTS // RTS before matching Irecv
+	partials  map[pkey]*partial    // in-flight striped messages
+
+	// Per-shard counters (ShardStats).
+	matched    uint64
+	unexpected uint64
+}
+
+// unitShard holds one shard of the sender-side in-flight state.
+type unitShard struct {
 	mu          sync.Mutex
-	nextMsgID   uint64
-	pending     []*SendRequest // submit list (paper: "waiting packs")
-	kicks       rt.Queue       // one token per submission
-	recvs       map[key][]*RecvRequest
-	unexpect    map[key][]*message
-	partials    map[uint64]*partial    // in-flight striped messages by id
 	rdvOut      map[uint64]*pendingRdv // awaiting CTS
-	rdvQueued   map[key][]*queuedRTS   // RTS before matching Irecv
 	outstanding map[ackKey]*unit       // sent units awaiting receiver acks
-	seen        map[seenKey]struct{}   // receiver-side duplicate window
-	seenQ       []seenKey              // eviction order for seen
-	stats       Stats
 }
 
 // pendingRdv is a rendezvous awaiting its CTS, remembering the rail the
@@ -123,6 +174,13 @@ type pendingRdv struct {
 type key struct {
 	from int
 	tag  uint32
+}
+
+// pkey identifies a reassembly: message ids are sender-local, so the
+// sender is part of the identity.
+type pkey struct {
+	from int
+	id   uint64
 }
 
 // message is a complete unexpected message awaiting a matching Irecv.
@@ -139,6 +197,19 @@ type queuedRTS struct {
 	from  int
 }
 
+// engineCounters aggregates engine activity with per-counter atomics so
+// concurrent workers never serialise on a stats lock.
+type engineCounters struct {
+	eagerSent       atomic.Uint64
+	eagerAggregated atomic.Uint64
+	eagerParallel   atomic.Uint64
+	rdvSent         atomic.Uint64
+	chunksSent      atomic.Uint64
+	bytesSent       atomic.Uint64
+	unexpected      atomic.Uint64
+	failedOver      atomic.Uint64
+}
+
 // Stats counts engine activity (inputs to EXPERIMENTS.md).
 type Stats struct {
 	EagerSent       uint64
@@ -149,6 +220,20 @@ type Stats struct {
 	BytesSent       uint64
 	Unexpected      uint64
 	FailedOver      uint64 // transfer units re-planned off dead rails
+
+	// Shards reports per flow-shard matching activity — the field view
+	// of where contention (or its absence) lives.
+	Shards []ShardStats
+	// Workers reports per progress-worker activity.
+	Workers []progress.WorkerStats
+}
+
+// ShardStats counts one flow shard's matching activity.
+type ShardStats struct {
+	Matched    uint64 // deliveries matched to a posted receive
+	Unexpected uint64 // deliveries queued as unexpected
+	Recvs      int    // receives currently posted
+	Partials   int    // striped messages currently reassembling
 }
 
 // NewEngine builds and starts the engine for one node. profiles must
@@ -164,25 +249,44 @@ func NewEngine(env rt.Env, node fabric.Node, profiles []*sampling.RailProfile, c
 	if cores <= 0 {
 		cores = node.Cores()
 	}
-	e := &Engine{
-		env:         env,
-		node:        node,
-		profiles:    profiles,
-		cfg:         cfg,
-		kicks:       env.NewQueue(),
-		recvs:       make(map[key][]*RecvRequest),
-		unexpect:    make(map[key][]*message),
-		partials:    make(map[uint64]*partial),
-		rdvOut:      make(map[uint64]*pendingRdv),
-		rdvQueued:   make(map[key][]*queuedRTS),
-		outstanding: make(map[ackKey]*unit),
-		seen:        make(map[seenKey]struct{}),
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = cores
 	}
+	shards := progress.Shards(cfg.Shards, max(8, 4*workers))
+	e := &Engine{
+		env:      env,
+		node:     node,
+		profiles: profiles,
+		cfg:      cfg,
+		flowMask: uint32(shards - 1),
+		flows:    make([]flowShard, shards),
+		unitMask: uint32(shards - 1),
+		units:    make([]unitShard, shards),
+		seen:     progress.NewDedup(shards, seenCap),
+	}
+	for i := range e.flows {
+		s := &e.flows[i]
+		s.recvs = make(map[key][]*RecvRequest)
+		s.unexpect = make(map[key][]*message)
+		s.rdvQueued = make(map[key][]*queuedRTS)
+		s.partials = make(map[pkey]*partial)
+	}
+	for i := range e.units {
+		s := &e.units[i]
+		s.rdvOut = make(map[uint64]*pendingRdv)
+		s.outstanding = make(map[ackKey]*unit)
+	}
+	e.pool = progress.NewPool(env, fmt.Sprintf("nmad-progress-%d", node.ID()), workers)
+	e.sub = progress.NewSubmitter[*SendRequest](e.pool, e.flushDest)
 	e.sched = marcel.New(env, cores)
-	e.pm = pioman.New(env, node, e.sched, cfg.Pioman)
+	pcfg := cfg.Pioman
+	if cfg.DirectProgress {
+		pcfg.Dispatch = e.dispatch
+	}
+	e.pm = pioman.New(env, node, e.sched, pcfg)
 	e.pm.Start(e.handle)
 	e.healthQ = node.Health().Subscribe()
-	env.Go(fmt.Sprintf("nmad-submit-%d", node.ID()), e.submitLoop)
 	env.Go(fmt.Sprintf("nmad-health-%d", node.ID()), e.healthLoop)
 	return e, nil
 }
@@ -193,34 +297,69 @@ func (e *Engine) NodeID() int { return e.node.ID() }
 // Scheduler exposes the core scheduler (tests, examples).
 func (e *Engine) Scheduler() *marcel.Scheduler { return e.sched }
 
-// Stats returns a snapshot of the engine counters.
+// Workers returns the progress-pool worker count.
+func (e *Engine) Workers() int { return e.pool.Size() }
+
+// NumShards returns the flow-shard count.
+func (e *Engine) NumShards() int { return len(e.flows) }
+
+// flow returns the shard owning a (peer, tag) flow.
+func (e *Engine) flow(from int, tag uint32) *flowShard {
+	return &e.flows[progress.FlowKey(from, tag)&e.flowMask]
+}
+
+// unit returns the shard owning a (peer, unit id) pair.
+func (e *Engine) unit(peer int, id uint64) *unitShard {
+	return &e.units[progress.UnitKey(peer, id)&e.unitMask]
+}
+
+// Stats returns a snapshot of the engine counters, including per-shard
+// and per-worker breakdowns.
 func (e *Engine) Stats() Stats {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.stats
+	st := Stats{
+		EagerSent:       e.stats.eagerSent.Load(),
+		EagerAggregated: e.stats.eagerAggregated.Load(),
+		EagerParallel:   e.stats.eagerParallel.Load(),
+		RdvSent:         e.stats.rdvSent.Load(),
+		ChunksSent:      e.stats.chunksSent.Load(),
+		BytesSent:       e.stats.bytesSent.Load(),
+		Unexpected:      e.stats.unexpected.Load(),
+		FailedOver:      e.stats.failedOver.Load(),
+	}
+	st.Shards = make([]ShardStats, len(e.flows))
+	for i := range e.flows {
+		s := &e.flows[i]
+		s.mu.Lock()
+		recvs := 0
+		for _, q := range s.recvs {
+			recvs += len(q)
+		}
+		st.Shards[i] = ShardStats{
+			Matched:    s.matched,
+			Unexpected: s.unexpected,
+			Recvs:      recvs,
+			Partials:   len(s.partials),
+		}
+		s.mu.Unlock()
+	}
+	st.Workers = e.pool.Stats()
+	return st
 }
 
 // Stop halts progression and the core workers. In a simulation the
-// submit actor is reclaimed when the simulator closes.
+// parked actors are reclaimed when the simulator closes.
 func (e *Engine) Stop() {
 	e.pm.Stop()
 	e.sched.Shutdown()
-	e.kicks.Push(nil)
+	e.pool.Stop()
 	e.healthQ.Push(nil)
 }
 
-func (e *Engine) msgID() uint64 {
-	e.nextMsgID++
-	return e.nextMsgID
-}
-
-// newID allocates a fresh id outside a held lock. Container ids share
+// newID allocates a fresh message/container id. Container ids share
 // the message-id namespace, so an (id, offset) ack key can never name
 // both a container and a chunk.
 func (e *Engine) newID() uint64 {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.msgID()
+	return e.nextMsgID.Add(1)
 }
 
 // railViews snapshots the strategy's view of every rail, marking

@@ -16,7 +16,9 @@ import (
 // rails by re-invoking the strategy with a filtered rail view. The
 // receiver tolerates the resulting duplicates: reassembly ignores
 // already-covered ranges and a bounded window of recently seen unit ids
-// drops whole-unit replays.
+// drops whole-unit replays. Outstanding units live in the unit shards
+// (keyed by (peer, unit id) hash), so registration and retirement of
+// concurrent flows never contend on one lock.
 
 // seenCap bounds the receiver's duplicate-detection window per engine.
 // Replays only happen within a failover window (sender resends as soon
@@ -47,24 +49,19 @@ type unit struct {
 
 func (u *unit) isChunk() bool { return u.frame == nil }
 
-// seenKey identifies a receiver-side unit for duplicate suppression.
-type seenKey struct {
-	from int
-	id   uint64
-}
-
 // registerContainer records an eager container as outstanding until its
 // ack arrives.
 func (e *Engine) registerContainer(id uint64, to, rail int, frame []byte, reqs []*SendRequest) {
 	for _, r := range reqs {
 		r.addAcks(1)
 	}
-	e.mu.Lock()
-	e.outstanding[ackKey{id, 0}] = &unit{
+	us := e.unit(to, id)
+	us.mu.Lock()
+	us.outstanding[ackKey{id, 0}] = &unit{
 		key: ackKey{id, 0}, to: to, rail: rail,
 		frame: frame, reqs: append([]*SendRequest(nil), reqs...),
 	}
-	e.mu.Unlock()
+	us.mu.Unlock()
 }
 
 // registerChunk records a data chunk (rendezvous or parallel eager) as
@@ -72,19 +69,22 @@ func (e *Engine) registerContainer(id uint64, to, rail int, frame []byte, reqs [
 func (e *Engine) registerChunk(req *SendRequest, to, rail, off, size int) {
 	req.addAcks(1)
 	k := ackKey{req.msgID, uint64(off)}
-	e.mu.Lock()
-	e.outstanding[k] = &unit{key: k, to: to, rail: rail, req: req, off: off, size: size}
-	e.mu.Unlock()
+	us := e.unit(to, req.msgID)
+	us.mu.Lock()
+	us.outstanding[k] = &unit{key: k, to: to, rail: rail, req: req, off: off, size: size}
+	us.mu.Unlock()
 }
 
 // onAck retires an acknowledged unit and advances the owning requests'
-// remote completion.
-func (e *Engine) onAck(h wire.Header) {
+// remote completion. from is the acknowledging node — the unit's
+// destination.
+func (e *Engine) onAck(from int, h wire.Header) {
 	k := ackKey{h.MsgID, h.Offset}
-	e.mu.Lock()
-	u := e.outstanding[k]
-	delete(e.outstanding, k)
-	e.mu.Unlock()
+	us := e.unit(from, h.MsgID)
+	us.mu.Lock()
+	u := us.outstanding[k]
+	delete(us.outstanding, k)
+	us.mu.Unlock()
 	if u == nil {
 		return // duplicate ack, or ack for a unit replanned meanwhile
 	}
@@ -95,29 +95,6 @@ func (e *Engine) onAck(h wire.Header) {
 	for _, r := range u.reqs {
 		r.ackDone()
 	}
-}
-
-// seenAddLocked records a receiver-side unit id, evicting the oldest
-// entry beyond the window. Returns false if the id was already seen.
-// Caller holds e.mu.
-func (e *Engine) seenAddLocked(k seenKey) bool {
-	if _, dup := e.seen[k]; dup {
-		return false
-	}
-	e.seen[k] = struct{}{}
-	e.seenQ = append(e.seenQ, k)
-	if len(e.seenQ) > seenCap {
-		delete(e.seen, e.seenQ[0])
-		e.seenQ = e.seenQ[1:]
-	}
-	return true
-}
-
-// markSeen is seenAddLocked for callers not holding e.mu.
-func (e *Engine) markSeen(from int, id uint64) bool {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.seenAddLocked(seenKey{from, id})
 }
 
 // ackUnit acknowledges one received transfer unit to its sender over a
@@ -172,8 +149,9 @@ func (e *Engine) healthLoop(ctx rt.Ctx) {
 }
 
 // replan moves every outstanding unit, pending RTS and pending CTS that
-// sits on a non-Up rail onto surviving rails. With no survivors the
-// work stays put and is retried on the next RailUp transition.
+// sits on a non-Up rail onto surviving rails, sweeping all shards. With
+// no survivors the work stays put and is retried on the next RailUp
+// transition.
 func (e *Engine) replan(ctx rt.Ctx) {
 	views := e.upViews()
 	if len(views) == 0 {
@@ -183,34 +161,42 @@ func (e *Engine) replan(ctx rt.Ctx) {
 	for _, v := range views {
 		alive[v.Index] = true
 	}
-	e.mu.Lock()
 	var units []*unit
-	for _, u := range e.outstanding {
-		if !alive[u.rail] {
-			units = append(units, u)
-		}
-	}
 	type rdvResend struct {
 		msgID uint64
 		p     *pendingRdv
 	}
 	var rts []rdvResend
-	for id, p := range e.rdvOut {
-		if !alive[p.rail] {
-			rts = append(rts, rdvResend{id, p})
+	for i := range e.units {
+		us := &e.units[i]
+		us.mu.Lock()
+		for _, u := range us.outstanding {
+			if !alive[u.rail] {
+				units = append(units, u)
+			}
 		}
+		for id, p := range us.rdvOut {
+			if !alive[p.rail] {
+				rts = append(rts, rdvResend{id, p})
+			}
+		}
+		us.mu.Unlock()
 	}
 	type ctsResend struct {
-		msgID uint64
-		pa    *partial
+		pk pkey
+		pa *partial
 	}
 	var cts []ctsResend
-	for id, pa := range e.partials {
-		if pa.rdv && !alive[pa.ctsRail] {
-			cts = append(cts, ctsResend{id, pa})
+	for i := range e.flows {
+		s := &e.flows[i]
+		s.mu.Lock()
+		for pk, pa := range s.partials {
+			if pa.rdv && !alive[pa.ctsRail] {
+				cts = append(cts, ctsResend{pk, pa})
+			}
 		}
+		s.mu.Unlock()
 	}
-	e.mu.Unlock()
 	for _, u := range units {
 		if u.isChunk() {
 			e.resendChunk(ctx, u, views)
@@ -222,7 +208,7 @@ func (e *Engine) replan(ctx rt.Ctx) {
 		e.resendRTS(ctx, r.msgID, r.p, views)
 	}
 	for _, c := range cts {
-		e.resendCTS(ctx, c.msgID, c.pa, views)
+		e.resendCTS(ctx, c.pk, c.pa, views)
 	}
 }
 
@@ -241,14 +227,15 @@ func (e *Engine) resendContainer(ctx rt.Ctx, u *unit, views []strategy.RailView)
 	}
 	pick := strategy.SingleRail{}.Split(len(u.frame), e.env.Now(), fit)
 	rail := pick[0].Rail
-	e.mu.Lock()
-	if e.outstanding[u.key] != u {
-		e.mu.Unlock()
+	us := e.unit(u.to, u.key.id)
+	us.mu.Lock()
+	if us.outstanding[u.key] != u {
+		us.mu.Unlock()
 		return // acked while we were deciding
 	}
 	u.rail = rail
-	e.stats.FailedOver++
-	e.mu.Unlock()
+	us.mu.Unlock()
+	e.stats.failedOver.Add(1)
 	// The frame is resent verbatim: its header rail byte still names
 	// the dead rail, but that field is diagnostics-only and the slice
 	// may alias an in-flight transport write, so it must not be touched.
@@ -264,21 +251,22 @@ func (e *Engine) resendChunk(ctx rt.Ctx, u *unit, views []strategy.RailView) {
 	if len(chunks) == 0 {
 		return
 	}
-	e.mu.Lock()
-	if e.outstanding[u.key] != u {
-		e.mu.Unlock()
+	us := e.unit(u.to, u.key.id)
+	us.mu.Lock()
+	if us.outstanding[u.key] != u {
+		us.mu.Unlock()
 		return // acked while we were deciding
 	}
-	delete(e.outstanding, u.key)
+	delete(us.outstanding, u.key)
 	newUnits := make([]*unit, 0, len(chunks))
 	for _, c := range chunks {
 		k := ackKey{u.key.id, uint64(u.off + c.Offset)}
 		nu := &unit{key: k, to: u.to, rail: c.Rail, req: u.req, off: u.off + c.Offset, size: c.Size}
-		e.outstanding[k] = nu
+		us.outstanding[k] = nu
 		newUnits = append(newUnits, nu)
 	}
-	e.stats.FailedOver++
-	e.mu.Unlock()
+	us.mu.Unlock()
+	e.stats.failedOver.Add(1)
 	// The old unit's ack slot is retired only after the replacements
 	// are counted, so the request's remote completion cannot fire early.
 	u.req.addAcks(len(newUnits))
@@ -296,13 +284,14 @@ func (e *Engine) resendChunk(ctx rt.Ctx, u *unit, views []strategy.RailView) {
 func (e *Engine) resendRTS(ctx rt.Ctx, msgID uint64, p *pendingRdv, views []strategy.RailView) {
 	pick := strategy.SingleRail{}.Split(wire.HeaderSize, e.env.Now(), views)
 	rail := pick[0].Rail
-	e.mu.Lock()
-	if e.rdvOut[msgID] != p {
-		e.mu.Unlock()
+	us := e.unit(p.req.To, msgID)
+	us.mu.Lock()
+	if us.rdvOut[msgID] != p {
+		us.mu.Unlock()
 		return // CTS arrived while we were deciding
 	}
 	p.rail = rail
-	e.mu.Unlock()
+	us.mu.Unlock()
 	prof := e.node.Rail(rail).Profile()
 	rts := wire.EncodeControl(wire.KindRTS, uint8(rail), p.req.Tag, msgID, uint64(len(p.req.Data)))
 	e.trace(trace.RTSSent, msgID, rail, len(p.req.Data), "failover")
@@ -311,23 +300,29 @@ func (e *Engine) resendRTS(ctx rt.Ctx, msgID uint64, p *pendingRdv, views []stra
 
 // resendCTS replays a clear-to-send whose rail died; a duplicate CTS is
 // ignored by the sender (rdvOut already cleared).
-func (e *Engine) resendCTS(ctx rt.Ctx, msgID uint64, pa *partial, views []strategy.RailView) {
+func (e *Engine) resendCTS(ctx rt.Ctx, pk pkey, pa *partial, views []strategy.RailView) {
 	pick := strategy.SingleRail{}.Split(wire.HeaderSize, e.env.Now(), views)
 	rail := pick[0].Rail
-	e.mu.Lock()
-	if e.partials[msgID] != pa {
-		e.mu.Unlock()
+	s := e.flow(pa.from, pa.tag)
+	s.mu.Lock()
+	if s.partials[pk] != pa {
+		s.mu.Unlock()
 		return // completed while we were deciding
 	}
 	pa.ctsRail = rail
-	e.mu.Unlock()
-	e.sendCTS(pa.from, rail, pa.tag, msgID)
+	s.mu.Unlock()
+	e.sendCTS(pa.from, rail, pa.tag, pk.id)
 }
 
 // OutstandingUnits reports how many transfer units await receiver acks
 // (tests and diagnostics).
 func (e *Engine) OutstandingUnits() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return len(e.outstanding)
+	n := 0
+	for i := range e.units {
+		us := &e.units[i]
+		us.mu.Lock()
+		n += len(us.outstanding)
+		us.mu.Unlock()
+	}
+	return n
 }

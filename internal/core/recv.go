@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/fabric"
+	"repro/internal/progress"
 	"repro/internal/rt"
 	"repro/internal/trace"
 	"repro/internal/wire"
@@ -11,7 +12,10 @@ import (
 
 // partial is a striped message being reassembled: either directly into a
 // posted receive buffer (rendezvous) or into a temporary buffer
-// (unexpected striped eager).
+// (unexpected striped eager). It lives in the flow shard of its
+// (sender, tag) pair; the shard lock guards everything but the byte
+// copies, which claim disjoint ranges and run outside the lock so
+// several workers can copy chunks of one large message in parallel.
 type partial struct {
 	re      *wire.Reassembly
 	req     *RecvRequest // nil while unexpected
@@ -20,28 +24,55 @@ type partial struct {
 	buf     []byte
 	rdv     bool // announced via RTS (a CTS was sent)
 	ctsRail int  // rail the CTS travelled on (replayed if it dies)
+
+	inflight []wire.Span // ranges being copied outside the shard lock
+}
+
+// overlapsInflight reports whether [off, end) touches a range another
+// worker is currently copying.
+func (pa *partial) overlapsInflight(off, end int) bool {
+	for _, r := range pa.inflight {
+		if off < r.End && r.Off < end {
+			return true
+		}
+	}
+	return false
+}
+
+// release removes one claimed range.
+func (pa *partial) release(off, end int) {
+	for i, r := range pa.inflight {
+		if r.Off == off && r.End == end {
+			pa.inflight = append(pa.inflight[:i], pa.inflight[i+1:]...)
+			return
+		}
+	}
 }
 
 // Irecv posts a receive. It never blocks; matching happens against
-// queued unexpected messages first.
+// queued unexpected messages first. Only the shard of (from, tag) is
+// touched — receives for other flows proceed in parallel.
 func (e *Engine) Irecv(from int, tag uint32, buf []byte) *RecvRequest {
 	req := &RecvRequest{From: from, Tag: tag, Buf: buf, done: e.env.NewEvent()}
 	k := key{from, tag}
-	e.mu.Lock()
+	s := e.flow(from, tag)
+	s.mu.Lock()
 	// 1. A complete unexpected message?
-	if q := e.unexpect[k]; len(q) > 0 {
+	if q := s.unexpect[k]; len(q) > 0 {
 		m := q[0]
-		e.unexpect[k] = q[1:]
-		e.mu.Unlock()
+		s.unexpect[k] = q[1:]
+		s.matched++
+		s.mu.Unlock()
 		e.deliverTo(req, m.msgID, m.data)
 		return req
 	}
 	// 2. A rendezvous waiting for its buffer?
-	if q := e.rdvQueued[k]; len(q) > 0 {
+	if q := s.rdvQueued[k]; len(q) > 0 {
 		rts := q[0]
-		e.rdvQueued[k] = q[1:]
-		empty, err := e.attachRdv(req, rts.msgID, rts.total, rts.rail)
-		e.mu.Unlock()
+		s.rdvQueued[k] = q[1:]
+		s.matched++
+		empty, err := e.attachRdv(s, req, rts.msgID, rts.total, rts.rail)
+		s.mu.Unlock()
 		if err != nil {
 			req.complete(0, err)
 			return req
@@ -53,16 +84,17 @@ func (e *Engine) Irecv(from int, tag uint32, buf []byte) *RecvRequest {
 		return req
 	}
 	// 3. Queue the receive.
-	e.recvs[k] = append(e.recvs[k], req)
-	e.mu.Unlock()
+	s.recvs[k] = append(s.recvs[k], req)
+	s.mu.Unlock()
 	return req
 }
 
 // attachRdv registers a reassembly straight into the posted buffer.
 // ctsRail is the rail the CTS will travel on (tracked for replay). The
-// caller holds e.mu and must complete the request itself when empty is
-// true (zero-length message), after releasing the lock.
-func (e *Engine) attachRdv(req *RecvRequest, msgID uint64, total, ctsRail int) (empty bool, err error) {
+// caller holds s.mu — the shard owning (req.From, req.Tag) — and must
+// complete the request itself when empty is true (zero-length message),
+// after releasing the lock.
+func (e *Engine) attachRdv(s *flowShard, req *RecvRequest, msgID uint64, total, ctsRail int) (empty bool, err error) {
 	if total > len(req.Buf) {
 		return false, fmt.Errorf("core: message of %d bytes exceeds receive buffer %d", total, len(req.Buf))
 	}
@@ -73,8 +105,8 @@ func (e *Engine) attachRdv(req *RecvRequest, msgID uint64, total, ctsRail int) (
 	if total == 0 {
 		return true, nil
 	}
-	e.partials[msgID] = &partial{re: re, req: req, from: req.From, tag: req.Tag, buf: req.Buf,
-		rdv: true, ctsRail: ctsRail}
+	s.partials[pkey{req.From, msgID}] = &partial{re: re, req: req, from: req.From, tag: req.Tag,
+		buf: req.Buf, rdv: true, ctsRail: ctsRail}
 	return false, nil
 }
 
@@ -89,11 +121,12 @@ func (e *Engine) sendCTS(to, rail int, tag uint32, msgID uint64) {
 	})
 }
 
-// handle is the progression handler: it runs on a pioman actor for every
-// delivery, in arrival order. Eager containers and data chunks are
-// acknowledged back to the sender — duplicates included, since a replay
-// means the sender never saw the first ack — which is what lets the
-// sender retire (or fail over) its outstanding units.
+// handle is the inline progression handler (the modeled simulator's
+// path): it runs on a pioman actor for every delivery, in arrival
+// order. Eager containers and data chunks are acknowledged back to the
+// sender — duplicates included, since a replay means the sender never
+// saw the first ack — which is what lets the sender retire (or fail
+// over) its outstanding units.
 func (e *Engine) handle(ctx rt.Ctx, d *fabric.Delivery) {
 	h, _, err := wire.DecodeHeader(d.Data)
 	if err != nil {
@@ -108,7 +141,7 @@ func (e *Engine) handle(ctx rt.Ctx, d *fabric.Delivery) {
 		// h.MsgID is the container id. A replayed container (its rail
 		// died after delivery but before the ack crossed) must not
 		// deliver its packets twice.
-		if h.MsgID == 0 || e.markSeen(d.From, h.MsgID) {
+		if h.MsgID == 0 || e.seen.Mark(d.From, h.MsgID) {
 			for _, p := range pkts {
 				e.deliverEager(d.From, p)
 			}
@@ -126,41 +159,126 @@ func (e *Engine) handle(ctx rt.Ctx, d *fabric.Delivery) {
 	case wire.KindRTS:
 		e.handleRTS(d.From, int(h.Rail), h)
 	case wire.KindCTS:
-		e.onCTS(h.MsgID)
+		e.onCTS(d.From, h.MsgID)
 	case wire.KindAck:
-		e.onAck(h)
+		e.onAck(d.From, h)
 	}
 }
 
-// deliverEager matches one complete logical packet.
+// dispatch is the multicore progression path: it classifies one
+// delivery and hands the engine work to the progress pool. Eager
+// packets and RTS go to their flow's worker — same flow, same worker,
+// same order — so matching order is preserved per (source, tag); data
+// chunks spread across workers keyed by offset (reassembly accepts any
+// order — this is the parallel striped copy); CTS and acks go to the
+// owning unit's worker. dispatch runs on the transport's reader
+// goroutine (or a pioman detection actor) and never blocks.
+func (e *Engine) dispatch(d *fabric.Delivery) {
+	h, _, err := wire.DecodeHeader(d.Data)
+	if err != nil {
+		return
+	}
+	from := d.From
+	switch h.Kind {
+	case wire.KindEager:
+		pkts, err := wire.DecodeEager(d.Data)
+		if err != nil {
+			return
+		}
+		if h.MsgID == 0 || e.seen.Mark(from, h.MsgID) {
+			for _, p := range pkts {
+				p := p
+				e.pool.Submit(progress.FlowKey(from, p.Tag), progress.Task{
+					Name: "eager",
+					Run:  func(rt.Ctx) { e.deliverEager(from, p) },
+				})
+			}
+		}
+		if h.MsgID != 0 {
+			// The container is safely in receiver memory (its packets are
+			// queued on in-process workers), so it can no longer be lost
+			// to a dying rail: ack now, from a worker.
+			id := h.MsgID
+			e.pool.Submit(progress.UnitKey(from, id), progress.Task{
+				Name: "ack",
+				Run:  func(ctx rt.Ctx) { e.ackUnit(ctx, from, id, 0) },
+			})
+		}
+	case wire.KindData:
+		hdr, payload, err := wire.DecodeData(d.Data)
+		if err != nil {
+			return
+		}
+		e.pool.Submit(progress.ChunkKey(from, hdr.Tag, hdr.Offset), progress.Task{
+			Name: "chunk",
+			Run: func(ctx rt.Ctx) {
+				e.deliverChunk(from, hdr, payload)
+				e.ackUnit(ctx, from, hdr.MsgID, hdr.Offset)
+			},
+		})
+	case wire.KindRTS:
+		rail := int(h.Rail)
+		e.pool.Submit(progress.FlowKey(from, h.Tag), progress.Task{
+			Name: "rts",
+			Run:  func(rt.Ctx) { e.handleRTS(from, rail, h) },
+		})
+	case wire.KindCTS:
+		e.pool.Submit(progress.UnitKey(from, h.MsgID), progress.Task{
+			Name: "cts",
+			Run:  func(rt.Ctx) { e.onCTS(from, h.MsgID) },
+		})
+	case wire.KindAck:
+		e.pool.Submit(progress.UnitKey(from, h.MsgID), progress.Task{
+			Name: "onack",
+			Run:  func(rt.Ctx) { e.onAck(from, h) },
+		})
+	}
+}
+
+// deliverEager matches one complete logical packet under its flow's
+// shard lock.
 func (e *Engine) deliverEager(from int, p wire.Packet) {
 	k := key{from, p.Tag}
-	e.mu.Lock()
-	if q := e.recvs[k]; len(q) > 0 {
+	s := e.flow(from, p.Tag)
+	s.mu.Lock()
+	if q := s.recvs[k]; len(q) > 0 {
 		req := q[0]
-		e.recvs[k] = q[1:]
-		e.mu.Unlock()
+		s.recvs[k] = q[1:]
+		s.matched++
+		s.mu.Unlock()
 		e.deliverTo(req, p.MsgID, p.Payload)
 		return
 	}
 	data := append([]byte(nil), p.Payload...) // the container may be reused
-	e.unexpect[k] = append(e.unexpect[k], &message{msgID: p.MsgID, data: data})
-	e.stats.Unexpected++
-	e.mu.Unlock()
+	s.unexpect[k] = append(s.unexpect[k], &message{msgID: p.MsgID, data: data})
+	s.unexpected++
+	s.mu.Unlock()
+	e.stats.unexpected.Add(1)
 }
 
 // deliverChunk routes a striped chunk into its reassembly, creating an
 // unexpected one on first contact if no rendezvous pre-registered it.
+//
+// The byte copy of a fresh, uncontended range runs OUTSIDE the shard
+// lock: the range is claimed (inflight), copied, then committed — so
+// chunks of one large message arriving on different rails are copied
+// into the receive buffer by several workers at once. Overlapping
+// ranges (failover replays, which re-split a lost chunk's range) copy
+// only their still-missing, unclaimed bytes under the lock; the
+// overlapped bytes are identical on every copy, all originating from
+// the sender's one buffer.
 func (e *Engine) deliverChunk(from int, h wire.Header, payload []byte) {
 	k := key{from, h.Tag}
-	e.mu.Lock()
-	pa := e.partials[h.MsgID]
+	pk := pkey{from, h.MsgID}
+	s := e.flow(from, h.Tag)
+	s.mu.Lock()
+	pa := s.partials[pk]
 	if pa == nil {
-		if _, dup := e.seen[seenKey{from, h.MsgID}]; dup {
+		if e.seen.Seen(from, h.MsgID) {
 			// Late replay of a chunk whose message already completed
 			// (the ack raced a rail failure): drop it — the handler
 			// still re-acks the unit.
-			e.mu.Unlock()
+			s.mu.Unlock()
 			return
 		}
 		// Unexpected striped eager message: reassemble into a temporary
@@ -168,39 +286,61 @@ func (e *Engine) deliverChunk(from int, h wire.Header, payload []byte) {
 		buf := make([]byte, h.TotalLen)
 		re, err := wire.NewReassembly(h.MsgID, buf, int(h.TotalLen))
 		if err != nil {
-			e.mu.Unlock()
+			s.mu.Unlock()
 			return
 		}
 		pa = &partial{re: re, from: from, tag: h.Tag, buf: buf}
-		if q := e.recvs[k]; len(q) > 0 {
+		if q := s.recvs[k]; len(q) > 0 {
 			pa.req = q[0]
-			e.recvs[k] = q[1:]
+			s.recvs[k] = q[1:]
+			s.matched++
 		}
-		e.partials[h.MsgID] = pa
+		s.partials[pk] = pa
 	}
-	done, err := pa.re.Add(int(h.Offset), payload)
-	if err != nil {
-		e.mu.Unlock()
+	off, end := int(h.Offset), int(h.Offset)+len(payload)
+	if off < 0 || end > pa.re.Total() {
+		s.mu.Unlock()
 		if pa.req != nil {
-			pa.req.complete(0, err)
+			pa.req.complete(0, fmt.Errorf("wire: chunk [%d,%d) outside message of %d bytes", off, end, pa.re.Total()))
 		}
 		return
 	}
-	if !done {
-		e.mu.Unlock()
+	if gaps := pa.re.Missing(off, len(payload)); len(gaps) == 1 &&
+		gaps[0] == (wire.Span{Off: off, End: end}) && !pa.overlapsInflight(off, end) {
+		// Exclusive fresh range: the parallel striped copy.
+		pa.inflight = append(pa.inflight, wire.Span{Off: off, End: end})
+		s.mu.Unlock()
+		copy(pa.buf[off:end], payload)
+		s.mu.Lock()
+		pa.release(off, end)
+		pa.re.Mark(off, len(payload))
+	} else {
+		// Duplicate or partially covered range: copy only the missing
+		// bytes another worker is not already writing, under the lock.
+		for _, g := range gaps {
+			if pa.overlapsInflight(g.Off, g.End) {
+				continue // identical bytes already being written
+			}
+			copy(pa.buf[g.Off:g.End], payload[g.Off-off:g.End-off])
+			pa.re.Mark(g.Off, g.End-g.Off)
+		}
+	}
+	if !pa.re.Done() {
+		s.mu.Unlock()
 		return
 	}
-	delete(e.partials, h.MsgID)
-	e.seenAddLocked(seenKey{from, h.MsgID})
+	delete(s.partials, pk)
+	e.seen.Mark(from, h.MsgID)
 	req := pa.req
 	if req == nil {
 		// Completed with no posted receive: queue as unexpected.
-		e.unexpect[k] = append(e.unexpect[k], &message{msgID: h.MsgID, data: pa.buf})
-		e.stats.Unexpected++
-		e.mu.Unlock()
+		s.unexpect[k] = append(s.unexpect[k], &message{msgID: h.MsgID, data: pa.buf})
+		s.unexpected++
+		s.mu.Unlock()
+		e.stats.unexpected.Add(1)
 		return
 	}
-	e.mu.Unlock()
+	s.mu.Unlock()
 	if req.Buf != nil && len(pa.buf) > 0 && &req.Buf[0] == &pa.buf[0] {
 		// Rendezvous path: bytes already in place.
 		e.trace(trace.Delivered, h.MsgID, -1, pa.re.Received(), "rendezvous")
@@ -216,36 +356,39 @@ func (e *Engine) deliverChunk(from int, h wire.Header, payload []byte) {
 // instead of matching a second receive.
 func (e *Engine) handleRTS(from, rail int, h wire.Header) {
 	k := key{from, h.Tag}
-	e.mu.Lock()
-	if _, dup := e.seen[seenKey{from, h.MsgID}]; dup {
+	pk := pkey{from, h.MsgID}
+	s := e.flow(from, h.Tag)
+	s.mu.Lock()
+	if e.seen.Seen(from, h.MsgID) {
 		// Replay of an RTS whose message already completed (a delayed
 		// duplicate from the failover path): matching it against a
 		// fresh receive would hang that receive forever — the sender
 		// ignores the CTS of a rendezvous it already finished.
-		e.mu.Unlock()
+		s.mu.Unlock()
 		return
 	}
-	if pa := e.partials[h.MsgID]; pa != nil && pa.rdv && pa.from == from {
+	if pa := s.partials[pk]; pa != nil && pa.rdv {
 		// Already matched: the first CTS (or the rail it used) was
 		// lost. Answer again on the replay's rail, which the sender
 		// chose among its survivors.
 		pa.ctsRail = rail
-		e.mu.Unlock()
+		s.mu.Unlock()
 		e.sendCTS(from, rail, h.Tag, h.MsgID)
 		return
 	}
-	for _, qd := range e.rdvQueued[k] {
+	for _, qd := range s.rdvQueued[k] {
 		if qd.msgID == h.MsgID {
 			qd.rail = rail // still unmatched: just note the fresher rail
-			e.mu.Unlock()
+			s.mu.Unlock()
 			return
 		}
 	}
-	if q := e.recvs[k]; len(q) > 0 {
+	if q := s.recvs[k]; len(q) > 0 {
 		req := q[0]
-		e.recvs[k] = q[1:]
-		empty, err := e.attachRdv(req, h.MsgID, int(h.TotalLen), rail)
-		e.mu.Unlock()
+		s.recvs[k] = q[1:]
+		s.matched++
+		empty, err := e.attachRdv(s, req, h.MsgID, int(h.TotalLen), rail)
+		s.mu.Unlock()
 		if err != nil {
 			req.complete(0, err)
 			return
@@ -256,9 +399,9 @@ func (e *Engine) handleRTS(from, rail int, h wire.Header) {
 		e.sendCTS(from, rail, h.Tag, h.MsgID)
 		return
 	}
-	e.rdvQueued[k] = append(e.rdvQueued[k],
+	s.rdvQueued[k] = append(s.rdvQueued[k],
 		&queuedRTS{msgID: h.MsgID, total: int(h.TotalLen), rail: rail, from: from})
-	e.mu.Unlock()
+	s.mu.Unlock()
 }
 
 // deliverTo copies a complete payload into the request's buffer and

@@ -11,21 +11,20 @@ import (
 	"repro/internal/wire"
 )
 
-// Isend submits a message. It never blocks: the request joins the submit
-// list and the submit actor — activated like NewMadeleine's scheduler
-// when the transfer layer can accept work — plans and executes it.
+// Isend submits a message. It never blocks and does no engine work on
+// the caller's goroutine: the request joins its destination's submit
+// queue and a progress worker — activated like NewMadeleine's scheduler
+// when an eager packet is about to be emitted — plans and executes the
+// flush, aggregating whatever accumulated for that destination.
 func (e *Engine) Isend(to int, tag uint32, data []byte) *SendRequest {
 	req := &SendRequest{To: to, Tag: tag, Data: data, done: e.env.NewEvent(), acked: e.env.NewEvent()}
-	e.mu.Lock()
-	req.msgID = e.msgID()
-	e.pending = append(e.pending, req)
-	e.mu.Unlock()
+	req.msgID = e.newID()
 	e.trace(trace.Submit, req.msgID, -1, len(data), "")
 	if e.cfg.Tracer != nil {
 		id, n := req.msgID, len(data)
 		req.done.OnFire(func() { e.trace(trace.Completed, id, -1, n, "") })
 	}
-	e.kicks.Push(struct{}{})
+	e.sub.Put(to, req)
 	return req
 }
 
@@ -46,41 +45,24 @@ func (e *Engine) IsendV(to int, tag uint32, v wire.IOVec) *SendRequest {
 	return e.Isend(to, tag, data)
 }
 
-// submitLoop is the engine's sender core: it drains the submit list,
-// invoking the strategy "just before managing the emission of an eager
-// packet" and starting rendezvous handshakes for large ones.
-func (e *Engine) submitLoop(ctx rt.Ctx) {
-	for {
-		if e.kicks.Pop(ctx) == nil {
-			return // Stop
-		}
-		thr := e.eagerThreshold()
-		e.mu.Lock()
-		if len(e.pending) == 0 {
-			e.mu.Unlock()
+// flushDest drains one destination's submit queue on a progress worker:
+// eager packets become one aggregation batch, large messages start
+// their rendezvous handshakes. It runs with no queue or shard lock held
+// — a rail write that blocks inside stalls only this destination's
+// worker, never the callers and never other destinations (see the
+// slow-rail regression test).
+func (e *Engine) flushDest(ctx rt.Ctx, to int, batch []*SendRequest) {
+	thr := e.eagerThreshold()
+	var eagers []*SendRequest
+	for _, r := range batch {
+		if len(r.Data) <= thr {
+			eagers = append(eagers, r)
 			continue
 		}
-		head := e.pending[0]
-		if len(head.Data) <= thr {
-			// Drain every eager packet for the same destination: they
-			// become one aggregation batch.
-			var batch []*SendRequest
-			rest := e.pending[:0]
-			for _, r := range e.pending {
-				if len(r.Data) <= thr && r.To == head.To {
-					batch = append(batch, r)
-				} else {
-					rest = append(rest, r)
-				}
-			}
-			e.pending = rest
-			e.mu.Unlock()
-			e.sendEagerBatch(ctx, head.To, batch)
-			continue
-		}
-		e.pending = e.pending[1:]
-		e.mu.Unlock()
-		e.startRendezvous(ctx, head)
+		e.startRendezvous(ctx, r)
+	}
+	if len(eagers) > 0 {
+		e.sendEagerBatch(ctx, to, eagers)
 	}
 }
 
@@ -211,12 +193,10 @@ func (e *Engine) sendEagerParallel(r *SendRequest, to int, plan strategy.EagerPl
 }
 
 func (e *Engine) bumpEager(sent, agg, par, bytes int) {
-	e.mu.Lock()
-	e.stats.EagerSent += uint64(sent)
-	e.stats.EagerAggregated += uint64(agg)
-	e.stats.EagerParallel += uint64(par)
-	e.stats.BytesSent += uint64(bytes)
-	e.mu.Unlock()
+	e.stats.eagerSent.Add(uint64(sent))
+	e.stats.eagerAggregated.Add(uint64(agg))
+	e.stats.eagerParallel.Add(uint64(par))
+	e.stats.bytesSent.Add(uint64(bytes))
 }
 
 // startRendezvous sends the RTS on the best small-message rail and parks
@@ -226,10 +206,11 @@ func (e *Engine) startRendezvous(ctx rt.Ctx, r *SendRequest) {
 	rails := e.railViews()
 	pick := strategy.SingleRail{}.Split(wire.HeaderSize, e.env.Now(), rails)
 	rail := pick[0].Rail
-	e.mu.Lock()
-	e.rdvOut[r.msgID] = &pendingRdv{req: r, rail: rail}
-	e.stats.RdvSent++
-	e.mu.Unlock()
+	us := e.unit(r.To, r.msgID)
+	us.mu.Lock()
+	us.rdvOut[r.msgID] = &pendingRdv{req: r, rail: rail}
+	us.mu.Unlock()
+	e.stats.rdvSent.Add(1)
 	prof := e.node.Rail(rail).Profile()
 	rts := wire.EncodeControl(wire.KindRTS, uint8(rail), r.Tag, r.msgID, uint64(len(r.Data)))
 	e.trace(trace.RTSSent, r.msgID, rail, len(r.Data), "")
@@ -238,21 +219,21 @@ func (e *Engine) startRendezvous(ctx rt.Ctx, r *SendRequest) {
 
 // onCTS resumes a parked rendezvous: the strategy is invoked now — with
 // the NICs' current idle horizons — to split the message, and a transfer
-// actor posts the chunk DMAs.
-func (e *Engine) onCTS(msgID uint64) {
-	e.mu.Lock()
-	p := e.rdvOut[msgID]
-	delete(e.rdvOut, msgID)
-	e.mu.Unlock()
+// actor posts the chunk DMAs. peer is the node the CTS came from (the
+// destination of the send).
+func (e *Engine) onCTS(peer int, msgID uint64) {
+	us := e.unit(peer, msgID)
+	us.mu.Lock()
+	p := us.rdvOut[msgID]
+	delete(us.rdvOut, msgID)
+	us.mu.Unlock()
 	if p == nil {
 		return
 	}
 	r := p.req
 	chunks := e.cfg.Splitter.Split(len(r.Data), e.env.Now(), e.railViews())
-	e.mu.Lock()
-	e.stats.ChunksSent += uint64(len(chunks))
-	e.stats.BytesSent += uint64(len(r.Data))
-	e.mu.Unlock()
+	e.stats.chunksSent.Add(uint64(len(chunks)))
+	e.stats.bytesSent.Add(uint64(len(r.Data)))
 	r.addPending(len(chunks))
 	for _, c := range chunks {
 		e.registerChunk(r, r.To, c.Rail, c.Offset, c.Size)

@@ -179,6 +179,21 @@ type Node interface {
 	Cores() int
 }
 
+// DirectNode is an optional interface a fabric node may implement to
+// hand deliveries straight to a consumer on the transport goroutine
+// that produced them, bypassing RecvQ. The multicore progression
+// subsystem uses it so livenet's per-connection readers feed the
+// engine's worker pool directly instead of funnelling every delivery
+// through one queue and one progression actor. The sink must not block:
+// it classifies the delivery and enqueues the engine work elsewhere.
+// Installing a sink atomically drains deliveries already sitting in
+// RecvQ through it, in order, before any later delivery is handed over
+// — a distributed peer may have started sending before the consumer
+// existed. SetSink(nil) restores queue delivery.
+type DirectNode interface {
+	SetSink(fn func(*Delivery))
+}
+
 // Fabric is a set of nodes joined by parallel rails.
 type Fabric interface {
 	// Env returns the execution environment the fabric runs on.

@@ -175,12 +175,19 @@ func TestDroppedLinkReconnects(t *testing.T) {
 	}
 	defer f.Close()
 	// Sever node 1's rail-1 endpoint: node 1 is the dialing side of the
-	// pair, so it re-dials through the persistent accept loop.
+	// pair, so it re-dials through the persistent accept loop. Wait for
+	// the readers to notice (Err turns non-nil) before waiting for Up:
+	// polling for Up right away can observe the original Up state before
+	// the drop was even detected.
 	f.DropLink(1, 0, 1)
-	waitState(t, f, 1, 1, fabric.RailUp)
-	if f.Err() == nil {
-		t.Fatal("severed connection left no diagnostic in Err")
+	deadline := time.Now().Add(15 * time.Second)
+	for f.Err() == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("severed connection left no diagnostic in Err")
+		}
+		time.Sleep(time.Millisecond)
 	}
+	waitState(t, f, 1, 1, fabric.RailUp)
 	// The reconnected rail moves real bytes again.
 	payload := []byte("back from the dead")
 	done := make(chan struct{})

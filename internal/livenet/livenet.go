@@ -670,7 +670,7 @@ func (f *Fabric) readLoop(node *Node, l *link) {
 			}
 			return
 		}
-		node.recvq.Push(&fabric.Delivery{
+		node.deliver(&fabric.Delivery{
 			From:   peer,
 			Rail:   r,
 			Data:   data,
@@ -835,6 +835,51 @@ type Node struct {
 	recvq  rt.Queue
 	health *railhealth.Tracker
 	killed []bool // reconnection suppressed (FailRail); guarded by f.mu
+
+	sinkMu sync.RWMutex
+	sink   func(*fabric.Delivery)
+}
+
+// SetSink installs a direct delivery consumer: subsequent deliveries are
+// handed to fn on the connection reader goroutine that decoded them,
+// bypassing RecvQ — this is how the multicore progression subsystem has
+// livenet feed its worker pool directly. Deliveries already queued in
+// RecvQ are drained through fn first, atomically with the handoff: in a
+// distributed deployment the peer process can start sending while this
+// process is still sampling, and those early frames must not be
+// stranded in the queue (nor overtaken by later direct deliveries).
+// fn must not block. SetSink(nil) restores queue delivery. Panics on a
+// non-hosted node.
+func (n *Node) SetSink(fn func(*fabric.Delivery)) {
+	n.mustHost()
+	n.sinkMu.Lock()
+	defer n.sinkMu.Unlock()
+	n.sink = fn
+	if fn == nil {
+		return
+	}
+	for {
+		item, ok := n.recvq.TryPop()
+		if !ok {
+			return
+		}
+		if d, isD := item.(*fabric.Delivery); isD && d != nil {
+			fn(d)
+		}
+	}
+}
+
+// deliver routes one decoded frame to the sink, or to the receive queue
+// when no sink is installed. The queue push happens under the sink read
+// lock so it cannot race SetSink's drain and strand a frame.
+func (n *Node) deliver(d *fabric.Delivery) {
+	n.sinkMu.RLock()
+	defer n.sinkMu.RUnlock()
+	if n.sink != nil {
+		n.sink(d)
+		return
+	}
+	n.recvq.Push(d)
 }
 
 // ID returns the node's index.

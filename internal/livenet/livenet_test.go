@@ -55,7 +55,11 @@ func tcpProfiles(nrails, eagerMax int) []*sampling.RailProfile {
 // engineOn builds a core engine for one hosted node of a live fabric.
 func engineOn(t *testing.T, env rt.Env, f fabric.Fabric, node int, profs []*sampling.RailProfile) *core.Engine {
 	t.Helper()
-	eng, err := core.NewEngine(env, f.Node(node), profs, core.Config{})
+	// DirectProgress matches what multirail configures on the TCP
+	// fabric: deliveries feed the engine's per-core workers straight
+	// from the connection readers, so the chaos tests exercise the
+	// multicore progression path.
+	eng, err := core.NewEngine(env, f.Node(node), profs, core.Config{DirectProgress: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -438,4 +442,48 @@ func TestOversizedFramePanics(t *testing.T) {
 	}()
 	huge := make([]byte, (1<<30)+1)
 	f.Node(0).Rail(0).SendData(nil, 1, huge, nil)
+}
+
+// SetSink (fabric.DirectNode) hands deliveries to the consumer on the
+// reader goroutine, bypassing RecvQ; SetSink(nil) restores queue
+// delivery. This is how the engine's progress workers are fed directly.
+func TestDirectSinkBypassesRecvQ(t *testing.T) {
+	env := rt.NewLive()
+	f, err := livenet.NewLoopback(env, livenet.Config{Nodes: 2, Rails: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	dn, ok := f.Node(1).(fabric.DirectNode)
+	if !ok {
+		t.Fatal("livenet node does not implement fabric.DirectNode")
+	}
+	got := make(chan *fabric.Delivery, 1)
+	dn.SetSink(func(d *fabric.Delivery) { got <- d })
+	env.Go("send", func(ctx rt.Ctx) {
+		f.Node(0).Rail(0).SendEager(ctx, 1, []byte("direct"))
+	})
+	select {
+	case d := <-got:
+		if string(d.Data) != "direct" || d.From != 0 {
+			t.Fatalf("sink delivery %+v", d)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("sink never fed")
+	}
+	if n := f.Node(1).RecvQ().Len(); n != 0 {
+		t.Fatalf("%d deliveries leaked into RecvQ while sink installed", n)
+	}
+	// Restore queue delivery.
+	dn.SetSink(nil)
+	env.Go("send2", func(ctx rt.Ctx) {
+		f.Node(0).Rail(0).SendEager(ctx, 1, []byte("queued"))
+	})
+	deadline := time.Now().Add(5 * time.Second)
+	for f.Node(1).RecvQ().Len() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("delivery never reached RecvQ after SetSink(nil)")
+		}
+		time.Sleep(time.Millisecond)
+	}
 }

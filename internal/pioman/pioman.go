@@ -24,6 +24,7 @@ package pioman
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/fabric"
@@ -66,6 +67,17 @@ type Config struct {
 	// one lets receive processing proceed in parallel on several cores at
 	// the price of per-message ordering.
 	Workers int
+	// Dispatch, when non-nil, delegates progression to the engine's
+	// multicore worker pool (internal/progress): instead of running the
+	// handler inline, the manager hands each delivery to Dispatch, which
+	// classifies it and enqueues the engine work on a per-core worker.
+	// On fabrics whose nodes implement fabric.DirectNode the transport
+	// feeds Dispatch directly from its reader goroutines and no
+	// detection actor runs at all; otherwise Workers actors pop the
+	// receive queue and dispatch. Dispatch must not block. The modeled
+	// RecvCPU/CopyCPU charges are skipped in this mode — it is meant for
+	// live fabrics, whose deliveries carry no modeled costs.
+	Dispatch func(d *fabric.Delivery)
 }
 
 // Handler processes one delivery. It runs on a progression actor and may
@@ -81,10 +93,17 @@ type Stats struct {
 
 // Manager drives event detection for one node.
 type Manager struct {
-	env   rt.Env
-	node  fabric.Node
-	sched *marcel.Scheduler
-	cfg   Config
+	env    rt.Env
+	node   fabric.Node
+	sched  *marcel.Scheduler
+	cfg    Config
+	direct fabric.DirectNode // non-nil when the transport feeds Dispatch
+
+	// dispatched counts direct-mode deliveries. It is atomic — not under
+	// mu — because every reader goroutine of the transport bumps it once
+	// per frame, and a shared mutex there would re-serialise exactly the
+	// path the multicore dispatch exists to parallelise.
+	dispatched atomic.Uint64
 
 	mu      sync.Mutex
 	handler Handler
@@ -107,14 +126,49 @@ func New(env rt.Env, node fabric.Node, sched *marcel.Scheduler, cfg Config) *Man
 	return &Manager{env: env, node: node, sched: sched, cfg: cfg}
 }
 
-// Start registers the engine handler and launches the progression actors.
+// Start registers the engine handler and launches event detection: the
+// progression actors (inline mode), dispatch actors (Dispatch set), or —
+// when the fabric supports direct feeding — no actor at all, the
+// transport's own reader goroutines calling the dispatcher.
 func (m *Manager) Start(h Handler) {
 	m.mu.Lock()
 	m.handler = h
 	m.mu.Unlock()
+	if m.cfg.Dispatch != nil {
+		if dn, ok := m.node.(fabric.DirectNode); ok {
+			m.direct = dn
+			dn.SetSink(m.dispatchOne)
+			return
+		}
+		for i := 0; i < m.cfg.Workers; i++ {
+			name := fmt.Sprintf("pioman-n%d-d%d", m.node.ID(), i)
+			m.env.Go(name, m.dispatchLoop)
+		}
+		return
+	}
 	for i := 0; i < m.cfg.Workers; i++ {
 		name := fmt.Sprintf("pioman-n%d-w%d", m.node.ID(), i)
 		m.env.Go(name, m.loop)
+	}
+}
+
+// dispatchOne counts and forwards one delivery to the engine's worker
+// pool. It runs on a transport reader goroutine and must not block.
+func (m *Manager) dispatchOne(d *fabric.Delivery) {
+	m.dispatched.Add(1)
+	m.cfg.Dispatch(d)
+}
+
+// dispatchLoop is a detection actor for dispatch mode on fabrics
+// without direct feeding: it pops deliveries and hands them to the
+// dispatcher instead of doing engine work inline.
+func (m *Manager) dispatchLoop(ctx rt.Ctx) {
+	for {
+		item := m.node.RecvQ().Pop(ctx)
+		if item == nil { // Stop nudge
+			return
+		}
+		m.dispatchOne(item.(*fabric.Delivery))
 	}
 }
 
@@ -130,6 +184,10 @@ func (m *Manager) Stop() {
 	}
 	m.stopped = true
 	m.mu.Unlock()
+	if m.direct != nil {
+		m.direct.SetSink(nil) // subsequent deliveries park in RecvQ
+		return
+	}
 	for i := 0; i < m.cfg.Workers; i++ {
 		m.node.RecvQ().Push(nil)
 	}
@@ -138,8 +196,10 @@ func (m *Manager) Stop() {
 // Stats returns a snapshot of the counters.
 func (m *Manager) Stats() Stats {
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.stats
+	st := m.stats
+	m.mu.Unlock()
+	st.Delivered += m.dispatched.Load()
+	return st
 }
 
 // pollingNow decides the detection method for the next wait.

@@ -236,3 +236,48 @@ func TestStopWakesAllWorkersLive(t *testing.T) {
 		t.Fatalf("%d stale stop nudges left in the queue", n)
 	}
 }
+
+// Dispatch mode on a fabric without direct feeding: detection actors
+// pop the queue and hand deliveries to the dispatcher instead of the
+// inline handler, and Stop still reclaims every actor.
+func TestDispatchModeFallbackLoop(t *testing.T) {
+	env := rt.NewLive()
+	c, err := simnet.New(env, simnet.Config{
+		Nodes: 2, Rails: model.PaperTestbed(), CoresPerNode: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan int, 4)
+	m := New(env, c.Nodes[1], nil, Config{Workers: 2, Dispatch: func(d *simnet.Delivery) {
+		got <- d.From
+	}})
+	m.Start(func(ctx rt.Ctx, d *simnet.Delivery) {
+		t.Error("inline handler ran in dispatch mode")
+	})
+	env.Go("send", func(ctx rt.Ctx) {
+		c.Nodes[0].Rail(0).SendEager(ctx, 1, make([]byte, 128))
+	})
+	select {
+	case from := <-got:
+		if from != 0 {
+			t.Fatalf("dispatched delivery from %d", from)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("delivery never dispatched")
+	}
+	if st := m.Stats(); st.Delivered != 1 {
+		t.Fatalf("delivered = %d", st.Delivered)
+	}
+	m.Stop()
+	done := make(chan struct{})
+	go func() {
+		env.WaitIdle()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Stop left dispatch actors parked")
+	}
+}

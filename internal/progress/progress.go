@@ -1,0 +1,198 @@
+// Package progress is the multicore progression subsystem: the
+// machinery that lets one node's communication engine run on all of its
+// cores at once instead of funnelling every send, match and completion
+// through a single lock.
+//
+// The paper's engine is "multicore-enabled" in three ways, and this
+// package provides the concurrent primitive for each:
+//
+//   - Pool: a per-core worker pool. Each worker is an actor with its own
+//     FIFO queue; work submitted under the same key always lands on the
+//     same worker, so per-flow ordering is free while distinct flows
+//     progress in parallel. The transfer layer (livenet) feeds deliveries
+//     straight into the pool instead of one progression actor doing all
+//     engine work inline.
+//   - Submitter: the paper's "submit list" made concurrent. Each
+//     destination owns a small queue; Isend appends and returns — the
+//     optimizer (flush callback) runs on a worker, aggregating whatever
+//     accumulated, and never on the caller's goroutine. The flush
+//     callback runs with no queue lock held, so a rail write that blocks
+//     stalls only its own destination's worker.
+//   - Dedup: a striped bounded window of recently seen transfer-unit
+//     ids (the receiver-side replay filter of the failover protocol),
+//     lock-striped so concurrent flows never contend on one mutex.
+//
+// Key functions (FlowKey, UnitKey, ChunkKey) hash protocol identities to
+// pool/shard keys. The engine (internal/core) shards its matching,
+// pending and unacked tables with the same keys, so the worker that
+// processes a delivery is usually the only one touching that flow's
+// shard.
+package progress
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/rt"
+)
+
+// Task is one unit of engine work executed by a pool worker. Run
+// receives the worker's Ctx and may block on rt primitives or fabric
+// I/O.
+type Task struct {
+	// Name labels the task for diagnostics.
+	Name string
+	// Run does the work.
+	Run func(ctx rt.Ctx)
+}
+
+// WorkerStats counts one worker's activity.
+type WorkerStats struct {
+	// Tasks is the number of tasks executed.
+	Tasks uint64
+	// BusyTime is the total time spent inside tasks.
+	BusyTime time.Duration
+	// Queued is the instantaneous queue length (snapshot time).
+	Queued int
+}
+
+// Pool is a fixed set of worker actors, one intended per core. Tasks
+// submitted under equal keys execute in submission order on one worker;
+// tasks under different keys run concurrently when the keys map to
+// different workers.
+type Pool struct {
+	env     rt.Env
+	workers []*worker
+	stopped atomic.Bool
+}
+
+type worker struct {
+	q rt.Queue
+
+	mu    sync.Mutex
+	stats WorkerStats
+}
+
+// NewPool starts n workers (min 1) named "<name>-w<i>".
+func NewPool(env rt.Env, name string, n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{env: env}
+	for i := 0; i < n; i++ {
+		w := &worker{q: env.NewQueue()}
+		p.workers = append(p.workers, w)
+		env.Go(fmt.Sprintf("%s-w%d", name, i), w.loop)
+	}
+	return p
+}
+
+func (w *worker) loop(ctx rt.Ctx) {
+	for {
+		item := w.q.Pop(ctx)
+		if item == nil {
+			return // Stop sentinel
+		}
+		t := item.(Task)
+		start := ctx.Now()
+		t.Run(ctx)
+		w.mu.Lock()
+		w.stats.Tasks++
+		w.stats.BusyTime += ctx.Now() - start
+		w.mu.Unlock()
+	}
+}
+
+// Size returns the worker count.
+func (p *Pool) Size() int { return len(p.workers) }
+
+// Worker returns the worker index a key maps to.
+func (p *Pool) Worker(key uint32) int { return int(key % uint32(len(p.workers))) }
+
+// Submit queues t on the worker the key maps to. Never blocks.
+func (p *Pool) Submit(key uint32, t Task) {
+	p.workers[key%uint32(len(p.workers))].q.Push(t)
+}
+
+// Stop makes every worker exit after draining the tasks queued before
+// the stop. Idempotent. Tasks submitted after Stop are never executed.
+func (p *Pool) Stop() {
+	if !p.stopped.CompareAndSwap(false, true) {
+		return
+	}
+	for _, w := range p.workers {
+		w.q.Push(nil)
+	}
+}
+
+// Stats snapshots every worker's counters.
+func (p *Pool) Stats() []WorkerStats {
+	out := make([]WorkerStats, len(p.workers))
+	for i, w := range p.workers {
+		w.mu.Lock()
+		out[i] = w.stats
+		w.mu.Unlock()
+		out[i].Queued = w.q.Len()
+	}
+	return out
+}
+
+// --- shard/worker keys ---
+
+const (
+	fnvOffset32 = 2166136261
+	fnvPrime32  = 16777619
+)
+
+// fnv64 folds an uint64 into a running FNV-1a hash.
+func fnv64(h uint32, v uint64) uint32 {
+	for i := 0; i < 8; i++ {
+		h ^= uint32(v & 0xFF)
+		h *= fnvPrime32
+		v >>= 8
+	}
+	return h
+}
+
+// FlowKey hashes a (peer, tag) flow identity: the key for matching
+// tables and for deliveries whose per-flow order must be preserved
+// (eager packets, RTS).
+func FlowKey(peer int, tag uint32) uint32 {
+	return fnv64(fnv64(fnvOffset32, uint64(peer)), uint64(tag))
+}
+
+// UnitKey hashes a (peer, transfer-unit id) pair: the routing key for
+// acks, CTS and the unacked tables. Container acks carry no single tag —
+// one container may aggregate packets of many flows — so unit state is
+// keyed by id rather than tag.
+func UnitKey(peer int, id uint64) uint32 {
+	return fnv64(fnv64(fnvOffset32, uint64(peer)), id)
+}
+
+// ChunkKey spreads the chunks of one striped message across workers by
+// folding the chunk offset into the flow key: reassembly tolerates any
+// arrival order, so distinct chunks of one large message may be copied
+// into place by different cores in parallel.
+func ChunkKey(peer int, tag uint32, offset uint64) uint32 {
+	return fnv64(FlowKey(peer, tag), offset)
+}
+
+// DestKey maps a destination node id to a pool key. It is intentionally
+// the identity, so dest d always flushes on worker d%N — deterministic
+// and documented, which the flush tests rely on.
+func DestKey(to int) uint32 { return uint32(to) }
+
+// Shards normalises a configured shard count: the smallest power of two
+// >= max(n, min), so key&mask indexing works.
+func Shards(n, min int) int {
+	if n < min {
+		n = min
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}

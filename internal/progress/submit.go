@@ -1,0 +1,96 @@
+package progress
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/rt"
+)
+
+// Submitter is the paper's submit list made concurrent: per-destination
+// queues whose flushes run on pool workers — "the application layer
+// enqueues packets into a submit list and returns immediately; the
+// optimizer is activated at critical moments". Put never blocks; the
+// flush callback receives everything that accumulated for one
+// destination since the last flush (the aggregation window) and runs
+// with NO queue lock held, so fabric I/O that blocks inside a flush
+// stalls only that destination's worker, never other destinations and
+// never the callers.
+//
+// Flushes for one destination are serialised (same DestKey, same
+// worker, FIFO), preserving per-destination submission order.
+type Submitter[T any] struct {
+	pool  *Pool
+	flush func(ctx rt.Ctx, to int, batch []T)
+
+	mu    sync.RWMutex
+	dests map[int]*destQueue[T]
+}
+
+type destQueue[T any] struct {
+	mu        sync.Mutex
+	items     []T
+	scheduled bool // a flush task is queued and will observe items
+}
+
+// NewSubmitter builds a submitter flushing through the pool.
+func NewSubmitter[T any](pool *Pool, flush func(ctx rt.Ctx, to int, batch []T)) *Submitter[T] {
+	return &Submitter[T]{pool: pool, flush: flush, dests: make(map[int]*destQueue[T])}
+}
+
+func (s *Submitter[T]) dest(to int) *destQueue[T] {
+	s.mu.RLock()
+	d := s.dests[to]
+	s.mu.RUnlock()
+	if d != nil {
+		return d
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d = s.dests[to]; d == nil {
+		d = &destQueue[T]{}
+		s.dests[to] = d
+	}
+	return d
+}
+
+// Put appends item to the destination's queue and schedules a flush if
+// none is pending. Never blocks.
+func (s *Submitter[T]) Put(to int, item T) {
+	d := s.dest(to)
+	d.mu.Lock()
+	d.items = append(d.items, item)
+	schedule := !d.scheduled
+	d.scheduled = true
+	d.mu.Unlock()
+	if schedule {
+		s.pool.Submit(DestKey(to), Task{
+			Name: fmt.Sprintf("flush-%d", to),
+			Run:  func(ctx rt.Ctx) { s.runFlush(ctx, to) },
+		})
+	}
+}
+
+// runFlush drains the destination's queue and invokes the flush callback
+// outside the queue lock. Items Put while the callback runs schedule a
+// fresh flush (on the same worker, after this one).
+func (s *Submitter[T]) runFlush(ctx rt.Ctx, to int) {
+	d := s.dest(to)
+	d.mu.Lock()
+	batch := d.items
+	d.items = nil
+	d.scheduled = false
+	d.mu.Unlock()
+	if len(batch) > 0 {
+		s.flush(ctx, to, batch)
+	}
+}
+
+// Queued returns the number of items currently waiting for a
+// destination (tests, diagnostics).
+func (s *Submitter[T]) Queued(to int) int {
+	d := s.dest(to)
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.items)
+}

@@ -89,6 +89,59 @@ func overlap(a, b span) int {
 	return end - off
 }
 
+// Mark records [offset, offset+n) as received without copying: the
+// caller has already placed the bytes in the buffer. This is the commit
+// half of the engine's parallel striped copy, where the byte copy runs
+// outside the lock guarding the Reassembly and Mark runs under it. It
+// returns true when the message is complete.
+func (r *Reassembly) Mark(offset, n int) (bool, error) {
+	end := offset + n
+	if offset < 0 || n < 0 || end > r.total {
+		return false, fmt.Errorf("wire: chunk [%d,%d) outside message of %d bytes", offset, end, r.total)
+	}
+	r.chunks++
+	r.merge(span{offset, end})
+	return r.Done(), nil
+}
+
+// Span is one byte range, half-open.
+type Span struct{ Off, End int }
+
+// Missing returns the sub-ranges of [offset, offset+n) not yet received,
+// in order. A fully fresh range comes back as itself; a fully covered
+// (duplicate) range comes back empty. Ranges outside the message are
+// clamped.
+func (r *Reassembly) Missing(offset, n int) []Span {
+	end := offset + n
+	if offset < 0 {
+		offset = 0
+	}
+	if end > r.total {
+		end = r.total
+	}
+	if end <= offset {
+		return nil
+	}
+	var out []Span
+	at := offset
+	i := sort.Search(len(r.seen), func(i int) bool { return r.seen[i].end > offset })
+	for ; i < len(r.seen) && r.seen[i].off < end; i++ {
+		if r.seen[i].off > at {
+			out = append(out, Span{at, r.seen[i].off})
+		}
+		if r.seen[i].end > at {
+			at = r.seen[i].end
+		}
+	}
+	if at < end {
+		out = append(out, Span{at, end})
+	}
+	return out
+}
+
+// Total returns the total length of the message being reassembled.
+func (r *Reassembly) Total() int { return r.total }
+
 // Done reports whether every byte has arrived.
 func (r *Reassembly) Done() bool { return r.received == r.total }
 

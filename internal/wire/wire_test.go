@@ -433,3 +433,84 @@ func TestPropertyIOVecSliceEquivalence(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Missing reports exactly the uncovered gaps of a queried range, and
+// Mark commits externally copied ranges — the two halves of the
+// engine's parallel striped copy.
+func TestReassemblyMissingAndMark(t *testing.T) {
+	re, err := NewReassembly(1, make([]byte, 100), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := re.Missing(10, 20); len(got) != 1 || got[0] != (Span{10, 30}) {
+		t.Fatalf("fresh range Missing = %v", got)
+	}
+	if done, err := re.Mark(10, 20); err != nil || done {
+		t.Fatalf("Mark(10,20) done=%v err=%v", done, err)
+	}
+	if re.Received() != 20 {
+		t.Fatalf("received %d", re.Received())
+	}
+	// Query overlapping the covered middle: two gaps.
+	if got := re.Missing(0, 50); len(got) != 2 || got[0] != (Span{0, 10}) || got[1] != (Span{30, 50}) {
+		t.Fatalf("split Missing = %v", got)
+	}
+	// Fully covered range: no gaps.
+	if got := re.Missing(12, 10); got != nil {
+		t.Fatalf("covered Missing = %v", got)
+	}
+	// Out-of-range queries clamp; out-of-range Mark errors.
+	if got := re.Missing(90, 20); len(got) != 1 || got[0] != (Span{90, 100}) {
+		t.Fatalf("clamped Missing = %v", got)
+	}
+	if _, err := re.Mark(90, 20); err == nil {
+		t.Fatal("oversized Mark accepted")
+	}
+	if re.Total() != 100 {
+		t.Fatalf("total %d", re.Total())
+	}
+	// Duplicate Mark counts nothing twice.
+	re.Mark(10, 20)
+	if re.Received() != 20 {
+		t.Fatalf("duplicate Mark inflated received to %d", re.Received())
+	}
+	re.Mark(0, 10)
+	re.Mark(30, 70)
+	if done := re.Done(); !done {
+		t.Fatal("not done after full coverage")
+	}
+}
+
+// Property: interleaving Add and Mark over random chunks converges to
+// done exactly when every byte is covered, with received monotone.
+func TestReassemblyMarkAddEquivalent(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for iter := 0; iter < 50; iter++ {
+		total := rng.Intn(500) + 1
+		ref := make([]byte, total)
+		rng.Read(ref)
+		buf := make([]byte, total)
+		re, _ := NewReassembly(7, buf, total)
+		for !re.Done() {
+			off := rng.Intn(total)
+			n := rng.Intn(total-off) + 1
+			if rng.Intn(2) == 0 {
+				if _, err := re.Add(off, ref[off:off+n]); err != nil {
+					t.Fatal(err)
+				}
+			} else {
+				// Mark path: the caller copies first, as the engine does.
+				copy(buf[off:off+n], ref[off:off+n])
+				if _, err := re.Mark(off, n); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if re.Received() != total {
+			t.Fatalf("received %d of %d", re.Received(), total)
+		}
+		if !bytes.Equal(buf, ref) {
+			t.Fatal("payload corrupted")
+		}
+	}
+}

@@ -7,6 +7,7 @@ package workload
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/stats"
@@ -167,6 +168,45 @@ func MessageRate(c *multirail.Cluster, size, count, flows int) RateResult {
 		res.PerSecond = float64(count) / res.Elapsed.Seconds()
 	}
 	return res
+}
+
+// ManyFlows drives `flows` concurrent tagged flows — one sender and one
+// receiver actor per flow, all node 0 → node 1 under distinct tags —
+// each moving count messages of size bytes. It returns the time until
+// the slowest flow finished. This is the contention workload of the
+// multicore progression subsystem: with sharded engine state and
+// per-core workers, flows must progress independently, so throughput
+// scales with cores instead of serialising on one engine lock.
+func ManyFlows(c *multirail.Cluster, flows, count, size int) time.Duration {
+	var (
+		mu    sync.Mutex
+		worst time.Duration
+	)
+	start := c.Now()
+	for f := 0; f < flows; f++ {
+		tag := uint32(0x4000 + f)
+		payload := make([]byte, size)
+		c.Go(fmt.Sprintf("mf-send-%d", f), func(ctx multirail.Ctx) {
+			for i := 0; i < count; i++ {
+				c.Node(0).Isend(1, tag, payload)
+			}
+		})
+		c.Go(fmt.Sprintf("mf-recv-%d", f), func(ctx multirail.Ctx) {
+			buf := make([]byte, size)
+			for i := 0; i < count; i++ {
+				if _, err := c.Node(1).Irecv(0, tag, buf).Wait(ctx); err != nil {
+					panic(fmt.Sprintf("workload: many-flows recv: %v", err))
+				}
+			}
+			mu.Lock()
+			if now := ctx.Now(); now > worst {
+				worst = now
+			}
+			mu.Unlock()
+		})
+	}
+	c.Run()
+	return worst - start
 }
 
 // FlowResult reports one flow of a multi-flow run.

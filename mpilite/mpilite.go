@@ -172,12 +172,15 @@ func log2(n int) int {
 func (r *Rank) Barrier(ctx multirail.Ctx) error {
 	size := r.w.Size()
 	seq := r.w.nextSeq(r.id)
-	var token [1]byte
+	// Distinct in/out tokens: the receive may land while the send is
+	// still being encoded on a progress worker, so the two concurrent
+	// operations must not share a buffer (the usual MPI aliasing rule).
+	var tokenIn, tokenOut [1]byte
 	for round, dist := 0, 1; dist < size; round, dist = round+1, dist*2 {
 		dst := (r.id + dist) % size
 		src := (r.id - dist + size) % size
-		rr := r.w.c.Node(r.id).Irecv(src, collTag(opBarrier, seq, round), token[:])
-		r.w.c.Node(r.id).Isend(dst, collTag(opBarrier, seq, round), token[:])
+		rr := r.w.c.Node(r.id).Irecv(src, collTag(opBarrier, seq, round), tokenIn[:])
+		r.w.c.Node(r.id).Isend(dst, collTag(opBarrier, seq, round), tokenOut[:])
 		if _, err := rr.Wait(ctx); err != nil {
 			return err
 		}

@@ -173,8 +173,20 @@ type Config struct {
 	// RecvWorkers is the number of progression actors per node (default
 	// 1). Two or more let striped chunks be received in parallel on
 	// several cores — the multithreaded receive side of the paper's
-	// library.
+	// library. On the TCP fabric the progress worker pool (Workers)
+	// supersedes this knob.
 	RecvWorkers int
+	// Workers is the per-node multicore progression worker count
+	// (default CoresPerNode): the engine's progress pool that flushes
+	// submit queues and — on the TCP fabric — processes deliveries in
+	// parallel. More workers help when many concurrent flows contend;
+	// one worker serialises the engine (useful for debugging).
+	Workers int
+	// Shards is the per-node flow-shard count for the engine's
+	// matching/pending/unacked tables (default: smallest power of two
+	// >= 4*Workers, min 8; rounded up to a power of two). More shards
+	// reduce lock contention between flows that hash together.
+	Shards int
 	// Sampling tunes the start-up sampling range.
 	SamplingMin, SamplingMax int
 	// SamplingFrom, when non-nil, loads a saved sampling instead of
@@ -280,7 +292,13 @@ func New(cfg Config) (*Cluster, error) {
 	ecfg := core.Config{
 		Splitter:      cfg.Splitter,
 		EagerParallel: cfg.EagerParallel,
-		Tracer:        cfg.Tracer,
+		Workers:       cfg.Workers,
+		Shards:        cfg.Shards,
+		// The TCP fabric feeds the engine's per-core workers directly
+		// (multicore progression); the modeled fabric keeps the inline
+		// progression actor whose CPU charges the model depends on.
+		DirectProgress: kind == FabricTCP,
+		Tracer:         cfg.Tracer,
 	}
 	ecfg.Pioman.Workers = cfg.RecvWorkers
 	if cfg.GreedyEager {
