@@ -24,8 +24,21 @@ import (
 	"repro/multirail"
 )
 
+// strategies lists the named splitters -strategy accepts. "adaptive"
+// additionally turns AdaptiveTelemetry on: the named strategies become
+// the candidate arms of the observed-outcome chooser.
+var strategies = []struct {
+	name, desc string
+	splitter   func() multirail.Splitter
+}{
+	{"hetero", "sampling-based equal-completion split (paper Fig 1c/2)", multirail.HeteroSplit},
+	{"iso", "equal chunks on every rail (Fig 1b baseline)", multirail.IsoSplit},
+	{"single", "whole message on the best predicted rail (Fig 2)", multirail.SingleRail},
+	{"adaptive", "live-telemetry chooser: single vs split from observed outcomes", nil},
+}
+
 func main() {
-	strategyName := flag.String("strategy", "hetero", "hetero, iso or single")
+	strategyName := flag.String("strategy", "hetero", "splitter name, or 'list' to enumerate")
 	minSize := flag.Int("min", 4, "smallest size")
 	maxSize := flag.Int("max", 8<<20, "largest size")
 	iters := flag.Int("iters", 3, "iterations per size")
@@ -33,26 +46,38 @@ func main() {
 	rails := flag.Int("rails", 2, "TCP rail count (live mode)")
 	samplingFile := flag.String("sampling", "", "load sampling from file (see cmd/nmsample)")
 	traceOne := flag.Bool("trace", false, "dump the engine timeline of one max-size transfer")
-	showStats := flag.Bool("stats", false, "print per-shard and per-worker engine stats after the sweep")
+	showStats := flag.Bool("stats", false, "print per-shard and per-worker engine stats plus the current plan per size after the sweep")
 	workers := flag.Int("workers", 0, "progression workers per node (0: one per core)")
 	shards := flag.Int("shards", 0, "flow shards per node (0: 4x workers)")
+	adaptive := flag.Bool("adaptive", false, "enable online telemetry: live estimates, adaptive strategy selection and the hot plan cache")
 	flag.Parse()
 
-	cfg := multirail.Config{Live: *live, TCPRails: *rails, Workers: *workers, Shards: *shards}
+	if *strategyName == "list" {
+		for _, s := range strategies {
+			fmt.Printf("%-10s %s\n", s.name, s.desc)
+		}
+		return
+	}
+	cfg := multirail.Config{Live: *live, TCPRails: *rails, Workers: *workers, Shards: *shards,
+		AdaptiveTelemetry: *adaptive}
 	var collector *multirail.TraceCollector
 	if *traceOne {
 		collector = multirail.NewTraceCollector()
 		cfg.Tracer = collector
 	}
-	switch *strategyName {
-	case "hetero":
-		cfg.Splitter = multirail.HeteroSplit()
-	case "iso":
-		cfg.Splitter = multirail.IsoSplit()
-	case "single":
-		cfg.Splitter = multirail.SingleRail()
-	default:
-		fmt.Fprintf(os.Stderr, "unknown strategy %q\n", *strategyName)
+	known := false
+	for _, s := range strategies {
+		if s.name == *strategyName {
+			known = true
+			if s.splitter != nil {
+				cfg.Splitter = s.splitter()
+			} else {
+				cfg.AdaptiveTelemetry = true
+			}
+		}
+	}
+	if !known {
+		fmt.Fprintf(os.Stderr, "unknown strategy %q (try -strategy list)\n", *strategyName)
 		os.Exit(2)
 	}
 	if *samplingFile != "" {
@@ -91,6 +116,10 @@ func main() {
 			r, states[r], st.Messages, stats.SizeLabel(int(st.Bytes)), st.BusyTime.Round(time.Microsecond))
 	}
 	if *showStats {
+		fmt.Printf("# chosen plan per size (node 0 -> 1, current estimates):\n")
+		for n := *minSize; n <= *maxSize; n *= 2 {
+			fmt.Printf("#   %-10s %s\n", stats.SizeLabel(n), c.DescribePlan(0, 1, n))
+		}
 		for node := 0; node < c.Nodes(); node++ {
 			printEngineStats(node, c.EngineStats(node))
 		}
@@ -105,6 +134,15 @@ func printEngineStats(node int, st multirail.EngineStats) {
 	fmt.Printf("# engine stats (node %d): eager=%d aggregated=%d parallel=%d rdv=%d chunks=%d bytes=%s unexpected=%d failedover=%d\n",
 		node, st.EagerSent, st.EagerAggregated, st.EagerParallel, st.RdvSent,
 		st.ChunksSent, stats.SizeLabel(int(st.BytesSent)), st.Unexpected, st.FailedOver)
+	if st.TelemetryObs > 0 || st.PlanHits+st.PlanMisses > 0 {
+		hitRate := 0.0
+		if total := st.PlanHits + st.PlanMisses; total > 0 {
+			hitRate = float64(st.PlanHits) / float64(total) * 100
+		}
+		fmt.Printf("#   telemetry: obs=%d refits=%d epoch=%d plan-cache hits=%d misses=%d (%.0f%% hit) entries=%d\n",
+			st.TelemetryObs, st.TelemetryRefits, st.TelemetryEpoch,
+			st.PlanHits, st.PlanMisses, hitRate, st.PlanEntries)
+	}
 	for w, ws := range st.Workers {
 		fmt.Printf("#   worker %d: %d tasks, busy %v, %d queued\n",
 			w, ws.Tasks, ws.BusyTime.Round(time.Microsecond), ws.Queued)

@@ -48,6 +48,7 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/fabric"
 	"repro/internal/marcel"
@@ -56,6 +57,7 @@ import (
 	"repro/internal/rt"
 	"repro/internal/sampling"
 	"repro/internal/strategy"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 )
 
@@ -111,6 +113,23 @@ type Config struct {
 	// multicore path. Off for the modeled simulator, whose per-delivery
 	// CPU charges belong on the progression actor.
 	DirectProgress bool
+	// Telemetry, when non-nil, turns the adaptive feedback loop on: the
+	// engine records every completed transfer unit into the tracker (on
+	// the progress workers — never on the Isend caller), builds its
+	// strategy RailViews from the tracker's live per-(peer, rail)
+	// estimators instead of the static sampling tables, and bumps the
+	// tracker epoch on rail health transitions. Nil reproduces the
+	// paper's static behaviour exactly.
+	Telemetry *telemetry.Tracker
+	// PlanCache, when non-nil (and Telemetry is on), caches rendezvous
+	// split decisions by (dest, size bucket, epoch) so repeated sends of
+	// similar sizes skip re-planning.
+	PlanCache *telemetry.Cache
+	// ProbeEvery makes every n-th rendezvous plan bypass the cache and
+	// stripe over every usable rail (iso), so rails the current plan
+	// starves keep producing observations and can be re-adopted when
+	// they recover (default 16; adaptive mode only).
+	ProbeEvery int
 	// Tracer, when non-nil, receives the per-message timeline (the role
 	// FxT tracing plays for the original library).
 	Tracer trace.Tracer
@@ -130,6 +149,13 @@ type Engine struct {
 	pool *progress.Pool                    // per-core workers: all engine work
 	sub  *progress.Submitter[*SendRequest] // per-destination submit queues
 	seen *progress.Dedup                   // receiver-side duplicate window
+
+	// Adaptive telemetry (nil/empty when Config.Telemetry is nil).
+	tele      *telemetry.Tracker
+	cache     *telemetry.Cache
+	est       [][]strategy.Estimator // [peer][rail] live estimators
+	adaptive  *strategy.Adaptive     // set when the splitter is the adaptive chooser
+	planCount atomic.Uint64          // rendezvous decisions (rail-probe cadence)
 
 	nextMsgID atomic.Uint64
 
@@ -221,6 +247,16 @@ type Stats struct {
 	Unexpected      uint64
 	FailedOver      uint64 // transfer units re-planned off dead rails
 
+	// Adaptive telemetry (zero when Config.Telemetry is nil): hot plan
+	// cache hits/misses, telemetry observations and drift refits, and
+	// the current estimate epoch.
+	PlanHits        uint64
+	PlanMisses      uint64
+	PlanEntries     int
+	TelemetryObs    uint64
+	TelemetryRefits uint64
+	TelemetryEpoch  uint64
+
 	// Shards reports per flow-shard matching activity — the field view
 	// of where contention (or its absence) lives.
 	Shards []ShardStats
@@ -277,6 +313,26 @@ func NewEngine(env rt.Env, node fabric.Node, profiles []*sampling.RailProfile, c
 		s.rdvOut = make(map[uint64]*pendingRdv)
 		s.outstanding = make(map[ackKey]*unit)
 	}
+	if cfg.Telemetry != nil {
+		if cfg.Telemetry.Rails() != node.NumRails() {
+			return nil, fmt.Errorf("core: telemetry tracks %d rails, node has %d",
+				cfg.Telemetry.Rails(), node.NumRails())
+		}
+		e.tele = cfg.Telemetry
+		e.cache = cfg.PlanCache
+		e.adaptive, _ = cfg.Splitter.(*strategy.Adaptive)
+		e.est = make([][]strategy.Estimator, e.tele.Peers())
+		for peer := range e.est {
+			e.est[peer] = make([]strategy.Estimator, node.NumRails())
+			for r := range e.est[peer] {
+				e.est[peer][r] = e.tele.Estimator(peer, r, profiles[r])
+			}
+		}
+		// Have the transfer layer report wire-level measurements too.
+		if on, ok := node.(fabric.ObservableNode); ok {
+			on.SetTelemetry(e.tele)
+		}
+	}
 	e.pool = progress.NewPool(env, fmt.Sprintf("nmad-progress-%d", node.ID()), workers)
 	e.sub = progress.NewSubmitter[*SendRequest](e.pool, e.flushDest)
 	e.sched = marcel.New(env, cores)
@@ -326,6 +382,18 @@ func (e *Engine) Stats() Stats {
 		Unexpected:      e.stats.unexpected.Load(),
 		FailedOver:      e.stats.failedOver.Load(),
 	}
+	if e.tele != nil {
+		ts := e.tele.Stats()
+		st.TelemetryObs = ts.Observations
+		st.TelemetryRefits = ts.Refits
+		st.TelemetryEpoch = ts.Epoch
+	}
+	if e.cache != nil {
+		cs := e.cache.Stats()
+		st.PlanHits = cs.Hits
+		st.PlanMisses = cs.Misses
+		st.PlanEntries = cs.Entries
+	}
 	st.Shards = make([]ShardStats, len(e.flows))
 	for i := range e.flows {
 		s := &e.flows[i]
@@ -349,6 +417,11 @@ func (e *Engine) Stats() Stats {
 // Stop halts progression and the core workers. In a simulation the
 // parked actors are reclaimed when the simulator closes.
 func (e *Engine) Stop() {
+	if e.tele != nil {
+		if on, ok := e.node.(fabric.ObservableNode); ok {
+			on.SetTelemetry(nil)
+		}
+	}
 	e.pm.Stop()
 	e.sched.Shutdown()
 	e.pool.Stop()
@@ -363,19 +436,164 @@ func (e *Engine) newID() uint64 {
 }
 
 // railViews snapshots the strategy's view of every rail, marking
-// non-Up rails so every splitter excludes them.
+// non-Up rails so every splitter excludes them. It uses the static
+// sampled estimators; destination-specific decisions should prefer
+// railViewsFor, which substitutes the live telemetry estimates.
 func (e *Engine) railViews() []strategy.RailView {
+	return e.railViewsFor(-1)
+}
+
+// railViewsFor snapshots the rail views for a decision about one
+// destination: with telemetry on, each rail's estimator is the live
+// (peer, rail) blend instead of the start-up table — the strategies
+// plan against what the wire currently delivers, not what it delivered
+// at launch. dest -1 (or telemetry off) keeps the static estimators.
+func (e *Engine) railViewsFor(dest int) []strategy.RailView {
 	views := make([]strategy.RailView, e.node.NumRails())
 	for i := range views {
+		est := strategy.Estimator(e.profiles[i])
+		if e.est != nil && dest >= 0 && dest < len(e.est) {
+			est = e.est[dest][i]
+		}
 		views[i] = strategy.RailView{
 			Index:    i,
-			Est:      e.profiles[i],
+			Est:      est,
 			IdleAt:   e.node.Rail(i).IdleAt(),
 			EagerMax: e.profiles[i].EagerMax,
 			Down:     e.node.Rail(i).State() != fabric.RailUp,
 		}
 	}
 	return views
+}
+
+// probeEvery returns the probe cadence (0 disables probing). Values
+// below 4 clamp to 4: with a mode-probe slot and a rail-probe slot per
+// period, anything tighter would turn most traffic into probes.
+func (e *Engine) probeEvery() int {
+	if e.tele == nil {
+		return 0
+	}
+	pe := e.cfg.ProbeEvery
+	if pe <= 0 {
+		return 16
+	}
+	if pe < 4 {
+		return 4
+	}
+	return pe
+}
+
+// observeUnit folds one acknowledged transfer unit into the telemetry:
+// the one-way estimate is half the measured ack round trip. It runs on
+// the progress worker (or progression actor) that handled the ack.
+func (e *Engine) observeUnit(peer, rail, bytes int, sentAt time.Duration) {
+	if e.tele == nil || sentAt <= 0 {
+		return
+	}
+	if rtt := e.env.Now() - sentAt; rtt > 0 {
+		e.tele.Observe(peer, rail, bytes, rtt/2)
+	}
+}
+
+// observeOutcome arranges for the adaptive chooser to learn this
+// message's remote-completion time under the mode that scheduled it.
+func (e *Engine) observeOutcome(r *SendRequest, mode strategy.Mode) {
+	if e.tele == nil || e.adaptive == nil {
+		return
+	}
+	n := len(r.Data)
+	if n == 0 {
+		return
+	}
+	start := e.env.Now()
+	obs := e.adaptive
+	r.acked.OnFire(func() {
+		if d := e.env.Now() - start; d > 0 {
+			obs.ObserveOutcome(n, mode, d)
+		}
+	})
+}
+
+// EstimateFor returns the engine's current one-way estimate for an
+// n-byte transfer to `peer` on `rail`: the live warmth-blended estimate
+// in adaptive mode, the static sampled one otherwise. Diagnostics and
+// tests watch it to see the feedback loop converge.
+func (e *Engine) EstimateFor(peer, rail, n int) time.Duration {
+	if e.est != nil && peer >= 0 && peer < len(e.est) {
+		return e.est[peer][rail].Estimate(n)
+	}
+	return e.profiles[rail].Estimate(n)
+}
+
+// PlanFor previews the split the engine would currently choose for an
+// n-byte rendezvous to `to`: live rail views plus the configured
+// splitter, bypassing the plan cache and the probe cadence. Tests and
+// nmping's -stats mode use it to see where the next bytes would go.
+func (e *Engine) PlanFor(to, n int) []strategy.Chunk {
+	return e.cfg.Splitter.Split(n, e.env.Now(), e.railViewsFor(to))
+}
+
+// planRdv decides the chunk distribution of one rendezvous. In
+// adaptive mode the hot plan cache is consulted first — repeated sends
+// of similar sizes to the same peer skip the strategy entirely until
+// the estimate epoch moves — and every probeEvery-th decision probes
+// instead, bypassing the cache (probe results are never cached):
+// alternating an iso stripe over all usable rails (estimator
+// freshness for starved rails; deliberately degraded, so excluded from
+// the chooser's outcome statistics) and, with an adaptive chooser, the
+// currently-losing mode's plan (so the loser keeps producing outcomes
+// and can win again). outcome is the mode to train the chooser with,
+// or nil when the result must not train it.
+func (e *Engine) planRdv(to, n int) (chunks []strategy.Chunk, outcome *strategy.Mode) {
+	now := e.env.Now()
+	modeOf := func(chunks []strategy.Chunk) *strategy.Mode {
+		m := strategy.ModeSingle
+		if len(chunks) > 1 {
+			m = strategy.ModeSplit
+		}
+		return &m
+	}
+	if e.tele == nil {
+		chunks = e.cfg.Splitter.Split(n, now, e.railViewsFor(to))
+		return chunks, modeOf(chunks)
+	}
+	if pe := e.probeEvery(); pe > 0 {
+		slot := e.planCount.Add(1) % uint64(pe)
+		if e.adaptive != nil && slot == 0 {
+			// Mode probe: the currently-losing mode, trained into the
+			// chooser so a stale verdict cannot outlive its regime.
+			if chunks, mode := e.adaptive.LoserSplit(n, now, e.railViewsFor(to)); len(chunks) > 0 {
+				e.trace(trace.Decision, 0, -1, n, "probe: losing mode "+mode.String())
+				return chunks, &mode
+			}
+		}
+		// Rail probe, half a period from the mode probe (or on the period
+		// itself when there is no chooser): an iso stripe keeps every
+		// usable rail measured even when the plans starve it.
+		isoSlot := uint64(pe) / 2
+		if e.adaptive == nil {
+			isoSlot = 0
+		}
+		if slot == isoSlot {
+			if probe := (strategy.IsoSplit{}).Split(n, now, e.railViewsFor(to)); len(probe) > 0 {
+				e.trace(trace.Decision, 0, -1, n, "probe: iso over usable rails")
+				return probe, nil
+			}
+		}
+	}
+	key := telemetry.PlanKey{Dest: to, Bucket: telemetry.SizeBucket(n), Epoch: e.tele.Epoch()}
+	if e.cache != nil {
+		if p, ok := e.cache.Get(key); ok {
+			if chunks := p.ChunksFor(n); len(chunks) > 0 {
+				return chunks, modeOf(chunks)
+			}
+		}
+	}
+	chunks = e.cfg.Splitter.Split(n, now, e.railViewsFor(to))
+	if e.cache != nil && len(chunks) > 0 {
+		e.cache.Put(key, telemetry.NewPlan(e.cfg.Splitter.Name(), chunks, n))
+	}
+	return chunks, modeOf(chunks)
 }
 
 // trace records a timeline event when tracing is enabled. rail is -1 for

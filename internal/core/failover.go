@@ -1,6 +1,8 @@
 package core
 
 import (
+	"time"
+
 	"repro/internal/fabric"
 	"repro/internal/rt"
 	"repro/internal/strategy"
@@ -36,15 +38,25 @@ type ackKey struct {
 // container at encode time) or a data chunk (resent from the request's
 // buffer).
 type unit struct {
-	key  ackKey
-	to   int
-	rail int
+	key      ackKey
+	to       int
+	rail     int
+	sentAt   time.Duration // post time, for the telemetry ack round trip
+	replayed bool          // failed over: its ack may belong to the original send
 
 	frame []byte         // eager container frame; nil marks a chunk
 	reqs  []*SendRequest // container: requests riding it
 
 	req       *SendRequest // chunk: owning request
 	off, size int          // chunk location in req.Data
+}
+
+// bytes returns the unit's wire size (telemetry observation weight).
+func (u *unit) bytes() int {
+	if u.isChunk() {
+		return u.size
+	}
+	return len(u.frame)
 }
 
 func (u *unit) isChunk() bool { return u.frame == nil }
@@ -58,7 +70,7 @@ func (e *Engine) registerContainer(id uint64, to, rail int, frame []byte, reqs [
 	us := e.unit(to, id)
 	us.mu.Lock()
 	us.outstanding[ackKey{id, 0}] = &unit{
-		key: ackKey{id, 0}, to: to, rail: rail,
+		key: ackKey{id, 0}, to: to, rail: rail, sentAt: e.env.Now(),
 		frame: frame, reqs: append([]*SendRequest(nil), reqs...),
 	}
 	us.mu.Unlock()
@@ -71,7 +83,8 @@ func (e *Engine) registerChunk(req *SendRequest, to, rail, off, size int) {
 	k := ackKey{req.msgID, uint64(off)}
 	us := e.unit(to, req.msgID)
 	us.mu.Lock()
-	us.outstanding[k] = &unit{key: k, to: to, rail: rail, req: req, off: off, size: size}
+	us.outstanding[k] = &unit{key: k, to: to, rail: rail, sentAt: e.env.Now(),
+		req: req, off: off, size: size}
 	us.mu.Unlock()
 }
 
@@ -88,6 +101,15 @@ func (e *Engine) onAck(from int, h wire.Header) {
 	if u == nil {
 		return // duplicate ack, or ack for a unit replanned meanwhile
 	}
+	// The ack round trip is the engine-level transfer measurement: half
+	// of it approximates the one-way unit time on the rail it used.
+	// Replayed units are excluded: their ack may be the *original*
+	// transmission's (which raced the failover), and attributing that to
+	// the replacement rail with the resend's timestamp would record a
+	// spuriously instant transfer.
+	if !u.replayed {
+		e.observeUnit(from, u.rail, u.bytes(), u.sentAt)
+	}
 	if u.isChunk() {
 		u.req.ackDone()
 		return
@@ -97,10 +119,18 @@ func (e *Engine) onAck(from int, h wire.Header) {
 	}
 }
 
-// ackUnit acknowledges one received transfer unit to its sender over a
-// healthy rail (the unit's own rail may be the one that just died).
-func (e *Engine) ackUnit(ctx rt.Ctx, from int, id, offset uint64) {
-	rail := e.ackRail()
+// ackUnit acknowledges one received transfer unit to its sender.
+// arrival is the rail the unit came in on: the ack returns on it when
+// it is still Up, so the sender's round-trip telemetry measures that
+// rail alone — routing every ack over one shared rail would add that
+// rail's congestion to every other rail's observations. A non-Up
+// arrival rail (it may be the one that just died) falls back to the
+// first healthy rail.
+func (e *Engine) ackUnit(ctx rt.Ctx, from int, id, offset uint64, arrival int) {
+	rail := arrival
+	if rail < 0 || rail >= e.node.NumRails() || e.node.Rail(rail).State() != fabric.RailUp {
+		rail = e.ackRail()
+	}
 	e.node.Rail(rail).SendControl(ctx, from, wire.EncodeAck(uint8(rail), id, offset), 0, 0)
 }
 
@@ -114,9 +144,17 @@ func (e *Engine) ackRail() int {
 	return 0
 }
 
-// upViews returns the strategy views of the strictly-Up rails.
+// upViews returns the strategy views of the strictly-Up rails, with
+// the static estimators.
 func (e *Engine) upViews() []strategy.RailView {
-	views := e.railViews()
+	return e.upViewsFor(-1)
+}
+
+// upViewsFor returns the strictly-Up rail views for a decision about
+// one destination: in adaptive mode the live (peer, rail) estimators —
+// a rail death is exactly when the current estimates matter most.
+func (e *Engine) upViewsFor(dest int) []strategy.RailView {
+	views := e.railViewsFor(dest)
 	up := views[:0]
 	for _, v := range views {
 		if !v.Down {
@@ -136,6 +174,11 @@ func (e *Engine) healthLoop(ctx rt.Ctx) {
 			return // Stop
 		}
 		ev := item.(*fabric.RailEvent)
+		if e.tele != nil {
+			// The usable rail set changed: invalidate every cached plan
+			// at once by moving the estimate epoch.
+			e.tele.BumpEpoch()
+		}
 		switch ev.State {
 		case fabric.RailDown:
 			e.trace(trace.RailLost, 0, ev.Rail, 0, ev.Reason)
@@ -197,18 +240,31 @@ func (e *Engine) replan(ctx rt.Ctx) {
 		}
 		s.mu.Unlock()
 	}
+	// Each resend re-plans with its destination's views so adaptive
+	// mode places the replay by the live estimates, not the start-up
+	// table. One snapshot per destination: a failover storm re-plans
+	// hundreds of chunks of one striped message to the same peer.
+	byDest := make(map[int][]strategy.RailView)
+	viewsFor := func(dest int) []strategy.RailView {
+		v, ok := byDest[dest]
+		if !ok {
+			v = e.upViewsFor(dest)
+			byDest[dest] = v
+		}
+		return v
+	}
 	for _, u := range units {
 		if u.isChunk() {
-			e.resendChunk(ctx, u, views)
+			e.resendChunk(ctx, u, viewsFor(u.to))
 		} else {
-			e.resendContainer(ctx, u, views)
+			e.resendContainer(ctx, u, viewsFor(u.to))
 		}
 	}
 	for _, r := range rts {
-		e.resendRTS(ctx, r.msgID, r.p, views)
+		e.resendRTS(ctx, r.msgID, r.p, viewsFor(r.p.req.To))
 	}
 	for _, c := range cts {
-		e.resendCTS(ctx, c.pk, c.pa, views)
+		e.resendCTS(ctx, c.pk, c.pa, viewsFor(c.pa.from))
 	}
 }
 
@@ -234,6 +290,8 @@ func (e *Engine) resendContainer(ctx rt.Ctx, u *unit, views []strategy.RailView)
 		return // acked while we were deciding
 	}
 	u.rail = rail
+	u.sentAt = e.env.Now() // the replay's round trip starts now
+	u.replayed = true
 	us.mu.Unlock()
 	e.stats.failedOver.Add(1)
 	// The frame is resent verbatim: its header rail byte still names
@@ -261,7 +319,8 @@ func (e *Engine) resendChunk(ctx rt.Ctx, u *unit, views []strategy.RailView) {
 	newUnits := make([]*unit, 0, len(chunks))
 	for _, c := range chunks {
 		k := ackKey{u.key.id, uint64(u.off + c.Offset)}
-		nu := &unit{key: k, to: u.to, rail: c.Rail, req: u.req, off: u.off + c.Offset, size: c.Size}
+		nu := &unit{key: k, to: u.to, rail: c.Rail, sentAt: e.env.Now(), replayed: true,
+			req: u.req, off: u.off + c.Offset, size: c.Size}
 		us.outstanding[k] = nu
 		newUnits = append(newUnits, nu)
 	}

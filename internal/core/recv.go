@@ -147,7 +147,7 @@ func (e *Engine) handle(ctx rt.Ctx, d *fabric.Delivery) {
 			}
 		}
 		if h.MsgID != 0 {
-			e.ackUnit(ctx, d.From, h.MsgID, 0)
+			e.ackUnit(ctx, d.From, h.MsgID, 0, d.Rail)
 		}
 	case wire.KindData:
 		hdr, payload, err := wire.DecodeData(d.Data)
@@ -155,7 +155,7 @@ func (e *Engine) handle(ctx rt.Ctx, d *fabric.Delivery) {
 			return
 		}
 		e.deliverChunk(d.From, hdr, payload)
-		e.ackUnit(ctx, d.From, hdr.MsgID, hdr.Offset)
+		e.ackUnit(ctx, d.From, hdr.MsgID, hdr.Offset, d.Rail)
 	case wire.KindRTS:
 		e.handleRTS(d.From, int(h.Rail), h)
 	case wire.KindCTS:
@@ -198,10 +198,10 @@ func (e *Engine) dispatch(d *fabric.Delivery) {
 			// The container is safely in receiver memory (its packets are
 			// queued on in-process workers), so it can no longer be lost
 			// to a dying rail: ack now, from a worker.
-			id := h.MsgID
+			id, rail := h.MsgID, d.Rail
 			e.pool.Submit(progress.UnitKey(from, id), progress.Task{
 				Name: "ack",
-				Run:  func(ctx rt.Ctx) { e.ackUnit(ctx, from, id, 0) },
+				Run:  func(ctx rt.Ctx) { e.ackUnit(ctx, from, id, 0, rail) },
 			})
 		}
 	case wire.KindData:
@@ -209,11 +209,12 @@ func (e *Engine) dispatch(d *fabric.Delivery) {
 		if err != nil {
 			return
 		}
+		rail := d.Rail
 		e.pool.Submit(progress.ChunkKey(from, hdr.Tag, hdr.Offset), progress.Task{
 			Name: "chunk",
 			Run: func(ctx rt.Ctx) {
 				e.deliverChunk(from, hdr, payload)
-				e.ackUnit(ctx, from, hdr.MsgID, hdr.Offset)
+				e.ackUnit(ctx, from, hdr.MsgID, hdr.Offset, rail)
 			},
 		})
 	case wire.KindRTS:

@@ -84,7 +84,7 @@ func (e *Engine) sendEagerGreedy(ctx rt.Ctx, to int, batch []*SendRequest) {
 	for i, r := range batch {
 		sizes[i] = len(r.Data)
 	}
-	assign := strategy.AssignGreedy(sizes, e.env.Now(), e.railViews())
+	assign := strategy.AssignGreedy(sizes, e.env.Now(), e.railViewsFor(to))
 	for i, r := range batch {
 		rail := assign[i]
 		cid := e.newID()
@@ -103,14 +103,24 @@ func (e *Engine) sendEagerGreedy(ctx rt.Ctx, to int, batch []*SendRequest) {
 // may instead be split across rails and submitted from parallel cores.
 func (e *Engine) sendEagerAggregate(ctx rt.Ctx, to int, batch []*SendRequest) {
 	now := e.env.Now()
-	rails := e.railViews()
+	rails := e.railViewsFor(to)
 	if len(batch) == 1 && e.cfg.EagerParallel {
 		r := batch[0]
-		plan := strategy.PlanEager(len(r.Data), now, rails, e.sched.NumIdle(), model.OffloadSyncCost)
-		if plan.Parallel {
-			e.sendEagerParallel(r, to, plan)
+		single, parallel := strategy.EagerCandidates(len(r.Data), now, rails, e.sched.NumIdle(), model.OffloadSyncCost)
+		usePar := parallel != nil && parallel.Predicted < single.Predicted
+		if parallel != nil && e.adaptive != nil {
+			// Adaptive mode: the model's verdict is only the prior — the
+			// chooser decides from observed outcomes of both modes once
+			// they are in, probing the loser periodically (in either
+			// direction: it can adopt parallel the model rejects).
+			usePar = e.adaptive.PreferParallel(len(r.Data), parallel.Predicted, single.Predicted)
+		}
+		if usePar {
+			e.observeOutcome(r, strategy.ModeParallel)
+			e.sendEagerParallel(r, to, *parallel)
 			return
 		}
+		e.observeOutcome(r, strategy.ModeSingle)
 	}
 	// Fill containers up to the chosen rail's eager limit, fastest rail
 	// first ("aggregate the messages and send them over the fastest
@@ -203,7 +213,7 @@ func (e *Engine) bumpEager(sent, agg, par, bytes int) {
 // the request until the CTS arrives. The rail is remembered so the RTS
 // can be replayed if it dies before the CTS comes back.
 func (e *Engine) startRendezvous(ctx rt.Ctx, r *SendRequest) {
-	rails := e.railViews()
+	rails := e.railViewsFor(r.To)
 	pick := strategy.SingleRail{}.Split(wire.HeaderSize, e.env.Now(), rails)
 	rail := pick[0].Rail
 	us := e.unit(r.To, r.msgID)
@@ -231,7 +241,10 @@ func (e *Engine) onCTS(peer int, msgID uint64) {
 		return
 	}
 	r := p.req
-	chunks := e.cfg.Splitter.Split(len(r.Data), e.env.Now(), e.railViews())
+	chunks, outcome := e.planRdv(r.To, len(r.Data))
+	if outcome != nil {
+		e.observeOutcome(r, *outcome)
+	}
 	e.stats.chunksSent.Add(uint64(len(chunks)))
 	e.stats.bytesSent.Add(uint64(len(r.Data)))
 	r.addPending(len(chunks))

@@ -179,6 +179,35 @@ type Node interface {
 	Cores() int
 }
 
+// Telemetry receives per-transfer measurements from a fabric's
+// transport layer: one call per completed wire transfer, carrying the
+// peer, the rail, the bytes moved and the observed duration (a real
+// write time on live fabrics; the modeled occupancy plus wire latency
+// on simulated ones). Implemented by internal/telemetry.Tracker. Calls
+// arrive on transport goroutines (or simulated NIC actors) and must not
+// block.
+type Telemetry interface {
+	ObserveTransfer(peer, rail, bytes int, d time.Duration)
+}
+
+// ObservableNode is an optional interface a fabric node may implement
+// to feed a Telemetry sink from its transfer layer. SetTelemetry(nil)
+// detaches the sink. Both simnet and livenet nodes implement it.
+type ObservableNode interface {
+	SetTelemetry(Telemetry)
+}
+
+// Throttler is an optional interface a fabric may implement to slow a
+// rail artificially: factor > 1 multiplies the rail's effective
+// transfer cost (10 = ten times slower), factor <= 1 removes the
+// throttle. It is the chaos hook the adaptive-telemetry tests use to
+// congest a rail without killing it — the rail stays Up, only its
+// observed performance degrades, which is exactly what the drift
+// detector must notice.
+type Throttler interface {
+	ThrottleRail(rail int, factor float64)
+}
+
 // DirectNode is an optional interface a fabric node may implement to
 // hand deliveries straight to a consumer on the transport goroutine
 // that produced them, bypassing RecvQ. The multicore progression

@@ -34,6 +34,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -66,6 +67,12 @@ const initialRate = float64(1 << 30)
 // rateCalibMin is the smallest write that updates the throughput EWMA;
 // tiny frames measure syscall latency, not bandwidth.
 const rateCalibMin = 4 << 10
+
+// throttleQueue is the standing-queue delay ThrottleRail charges per
+// frame per unit of slow-down: a congested link delays even small
+// frames (bufferbloat), which is what makes the throttle observable at
+// every transfer size.
+const throttleQueue = 100 * time.Microsecond
 
 // Config describes a live TCP fabric.
 type Config struct {
@@ -553,10 +560,12 @@ type outFrame struct {
 }
 
 // finish retires the frame: accounting first, then the completion
-// event. written is false on the shutdown drop paths, so only frames
-// that actually went to the wire count as rail traffic.
-func (of outFrame) finish(wrote time.Duration, written bool) {
-	of.rail.noteWritten(len(of.data), wrote, written)
+// event. wrote is the frame's full occupancy (throttle delay included);
+// calib is the raw write duration the throughput EWMA calibrates on.
+// written is false on the shutdown drop paths, so only frames that
+// actually went to the wire count as rail traffic.
+func (of outFrame) finish(wrote, calib time.Duration, written bool) {
+	of.rail.noteWritten(len(of.data), wrote, calib, written)
 	if of.done != nil {
 		of.done.Fire()
 	}
@@ -585,9 +594,28 @@ func (f *Fabric) writeLoop(l *link) {
 			var lenbuf [4]byte
 			binary.LittleEndian.PutUint32(lenbuf[:], uint32(len(of.data)))
 			start := time.Now()
+			if th := of.rail.throttleFactor(); th > 1 {
+				// Chaos throttle: delay the frame BEFORE it reaches the
+				// kernel so delivery itself slows down — the rail behaves
+				// (and measures, end to end) like a congested link without
+				// dying. The delay is the stretched transmission time plus
+				// a standing-queue term (throttleQueue), the bufferbloat a
+				// congested link shows even small frames.
+				exp := float64(len(of.data)+4)/of.rail.currentRate() + throttleQueue.Seconds()
+				time.Sleep(time.Duration(exp * (th - 1) * 1e9))
+			}
+			writeStart := time.Now()
 			bufs := net.Buffers{lenbuf[:], of.data}
 			_, err := bufs.WriteTo(l.conn)
-			of.finish(time.Since(start), true)
+			// The rate EWMA calibrates on the raw write only: folding the
+			// throttle sleep in would shrink the rate, stretch the next
+			// sleep, and spiral. Occupancy (took) keeps the full delay.
+			calib := time.Since(writeStart)
+			took := time.Since(start)
+			of.finish(took, calib, true)
+			if err == nil {
+				of.rail.node.observeWrite(l.peer, of.rail.index, len(of.data), took)
+			}
 			if err != nil {
 				// Record the failure and kill the connection so both
 				// ends' readers observe it instead of waiting on bytes
@@ -621,7 +649,7 @@ func drainLink(l *link) {
 	for {
 		select {
 		case of := <-l.out:
-			of.finish(0, false)
+			of.finish(0, 0, false)
 		default:
 			return
 		}
@@ -792,6 +820,25 @@ func (f *Fabric) FailRail(node, rail int) {
 	}
 }
 
+// ThrottleRail artificially slows rail r on every hosted node by
+// `factor` (10 = every write takes ten times as long); factor <= 1
+// removes the throttle. Unlike FailRail the rail stays Up — this is the
+// congestion chaos hook the adaptive-telemetry subsystem is tested
+// against: the drift detector must notice the slowdown from live
+// measurements and the strategies must migrate work off the rail
+// without a health transition. Implements fabric.Throttler.
+func (f *Fabric) ThrottleRail(rail int, factor float64) {
+	var bits uint64
+	if factor > 1 {
+		bits = math.Float64bits(factor)
+	}
+	for _, n := range f.nodes {
+		if n.hosted && rail >= 0 && rail < len(n.rails) {
+			n.rails[rail].throttle.Store(bits)
+		}
+	}
+}
+
 // DropLink abruptly severs one TCP connection (owner side) without
 // suppressing recovery: the transport notices, turns the rail Suspect
 // and re-establishes it within the bounded reconnect budget. Test hook
@@ -838,6 +885,36 @@ type Node struct {
 
 	sinkMu sync.RWMutex
 	sink   func(*fabric.Delivery)
+
+	teleMu sync.RWMutex
+	tele   fabric.Telemetry
+}
+
+// SetTelemetry installs (or, with nil, detaches) the node's telemetry
+// sink: every sufficiently large frame written to the wire is reported
+// with its real write duration, feeding the live per-(peer, rail)
+// bandwidth estimates. Small frames are skipped — they measure syscall
+// latency, not the rail (the engine's ack path supplies the latency
+// observations). Panics on a non-hosted node.
+func (n *Node) SetTelemetry(t fabric.Telemetry) {
+	n.mustHost()
+	n.teleMu.Lock()
+	n.tele = t
+	n.teleMu.Unlock()
+}
+
+// observeWrite reports one completed frame write to the telemetry sink,
+// if one is installed and the frame is in the bandwidth regime.
+func (n *Node) observeWrite(peer, rail, bytes int, d time.Duration) {
+	if bytes < rateCalibMin || d <= 0 {
+		return
+	}
+	n.teleMu.RLock()
+	t := n.tele
+	n.teleMu.RUnlock()
+	if t != nil {
+		t.ObserveTransfer(peer, rail, bytes, d)
+	}
 }
 
 // SetSink installs a direct delivery consumer: subsequent deliveries are
@@ -928,6 +1005,28 @@ type Rail struct {
 	pending int64   // bytes queued but not yet written
 	rate    float64 // EWMA write throughput, bytes/second
 	stats   fabric.Stats
+
+	// throttle > 1 slows the rail artificially (chaos hook): each write
+	// is stretched to factor times its real duration. Float64 bits; 0
+	// means no throttle.
+	throttle atomic.Uint64
+}
+
+// currentRate returns the rail's throughput EWMA (bytes/second).
+func (r *Rail) currentRate() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rate
+}
+
+// throttleFactor returns the active slow-down factor (1 when none).
+func (r *Rail) throttleFactor() float64 {
+	if bits := r.throttle.Load(); bits != 0 {
+		if f := math.Float64frombits(bits); f > 1 {
+			return f
+		}
+	}
+	return 1
 }
 
 // Index returns the rail number.
@@ -1021,14 +1120,15 @@ func (r *Rail) send(to int, data []byte, done rt.Event) {
 			drainLink(l)
 		}
 	case <-f.closedCh:
-		outFrame{data: data, done: done, rail: r}.finish(0, false)
+		outFrame{data: data, done: done, rail: r}.finish(0, 0, false)
 	}
 }
 
 // noteWritten retires n queued bytes, counts the frame as traffic when
-// it actually went to the wire, and folds the observed write duration
-// into the throughput estimate.
-func (r *Rail) noteWritten(n int, took time.Duration, written bool) {
+// it actually went to the wire, and folds the raw write duration
+// (calib) into the throughput estimate. took additionally includes any
+// chaos-throttle delay and only feeds the busy-time counter.
+func (r *Rail) noteWritten(n int, took, calib time.Duration, written bool) {
 	r.mu.Lock()
 	r.pending -= int64(n) + 4
 	if r.pending < 0 {
@@ -1039,8 +1139,8 @@ func (r *Rail) noteWritten(n int, took time.Duration, written bool) {
 		r.stats.Bytes += uint64(n)
 	}
 	r.stats.BusyTime += took
-	if n >= rateCalibMin && took > 0 {
-		inst := float64(n) / took.Seconds()
+	if n >= rateCalibMin && calib > 0 {
+		inst := float64(n) / calib.Seconds()
 		r.rate = 0.7*r.rate + 0.3*inst
 	}
 	r.mu.Unlock()

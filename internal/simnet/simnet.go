@@ -156,6 +156,25 @@ func (c *Cluster) FailRail(node, rail int, at time.Duration) {
 	})
 }
 
+// ThrottleRail artificially multiplies rail r's modeled transfer costs
+// by `factor` on every node (10 = ten times slower); factor <= 1
+// removes the throttle. The rail stays Up: this is the deterministic
+// congestion chaos hook mirroring livenet's, for testing the adaptive
+// feedback loop in virtual time. Implements fabric.Throttler.
+func (c *Cluster) ThrottleRail(rail int, factor float64) {
+	if factor <= 1 {
+		factor = 0
+	}
+	for _, n := range c.Nodes {
+		if rail >= 0 && rail < len(n.Rails) {
+			r := n.Rails[rail]
+			r.mu.Lock()
+			r.slow = factor
+			r.mu.Unlock()
+		}
+	}
+}
+
 // d scales a modeled duration into slept time.
 func (c *Cluster) d(t time.Duration) time.Duration {
 	if !c.pace {
@@ -176,6 +195,30 @@ type Node struct {
 	recvq   rt.Queue
 	cluster *Cluster
 	health  *railhealth.Tracker
+
+	teleMu sync.RWMutex
+	tele   fabric.Telemetry
+}
+
+// SetTelemetry installs (or, with nil, detaches) the node's telemetry
+// sink: every eager and DMA transfer reports its modeled one-way
+// duration, so on the simulator the adaptive-telemetry subsystem is fed
+// the same deterministic timings the estimates were sampled from — and
+// tests of the feedback loop are reproducible.
+func (n *Node) SetTelemetry(t fabric.Telemetry) {
+	n.teleMu.Lock()
+	n.tele = t
+	n.teleMu.Unlock()
+}
+
+// observe reports one modeled transfer to the telemetry sink, if any.
+func (n *Node) observe(peer, rail, bytes int, d time.Duration) {
+	n.teleMu.RLock()
+	t := n.tele
+	n.teleMu.RUnlock()
+	if t != nil && d > 0 {
+		t.ObserveTransfer(peer, rail, bytes, d)
+	}
 }
 
 // ID returns the node's index in the cluster.
@@ -210,6 +253,17 @@ type Rail struct {
 	mu        sync.Mutex
 	busyUntil time.Duration
 	stats     Stats
+	slow      float64 // throttle factor; 0 or 1 = none (chaos hook)
+}
+
+// slowFactor returns the active throttle multiplier (1 when none).
+func (r *Rail) slowFactor() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.slow > 1 {
+		return r.slow
+	}
+	return 1
 }
 
 // Index returns the rail number.
@@ -296,7 +350,7 @@ func (r *Rail) SendEager(ctx rt.Ctx, to int, data []byte) {
 	if p.MaxMsg > 0 && len(data) > p.MaxMsg {
 		panic(fmt.Sprintf("simnet: eager message of %d bytes exceeds %s MaxMsg %d", len(data), p.Name, p.MaxMsg))
 	}
-	cpu := p.SendCPUTime(model.Eager, len(data))
+	cpu := time.Duration(float64(p.SendCPUTime(model.Eager, len(data))) * r.slowFactor())
 	// Reserve the engine's model time before queueing on it so that
 	// IdleAt() sees posted-but-not-yet-started work.
 	r.note(cpu, len(data))
@@ -310,6 +364,7 @@ func (r *Rail) SendEager(ctx rt.Ctx, to int, data []byte) {
 		RecvCPU: p.RecvOverhead,
 		CopyCPU: durPerByte(len(data), p.RecvCopyRate),
 	}, c.d(p.WireLatency))
+	r.node.observe(to, r.index, len(data), c.d(cpu)+c.d(p.WireLatency))
 }
 
 // SendControl transmits a small control message (RTS/CTS/Ack). The caller
@@ -337,7 +392,7 @@ func (r *Rail) SendData(ctx rt.Ctx, to int, data []byte, done rt.Event) {
 	c := r.node.cluster
 	p := r.prof
 	ctx.Sleep(c.d(p.SendOverhead))
-	dma := durPerByte(len(data), p.WireBandwidth)
+	dma := time.Duration(float64(durPerByte(len(data), p.WireBandwidth)) * r.slowFactor())
 	r.note(dma, len(data))
 	c.env.Go(fmt.Sprintf("dma-n%d-r%d", r.node.id, r.index), func(dctx rt.Ctx) {
 		r.engine.Acquire(dctx)
@@ -351,6 +406,10 @@ func (r *Rail) SendData(ctx rt.Ctx, to int, data []byte, done rt.Event) {
 		if done != nil {
 			done.Fire()
 		}
+		// One-way cost of the DMA path: descriptor post plus the
+		// (cut-through) transfer — matching what the sampled priors
+		// measure, and consistent with the eager path's cpu+latency.
+		r.node.observe(to, r.index, len(data), c.d(p.SendOverhead)+c.d(dma))
 	})
 }
 

@@ -1,0 +1,278 @@
+package strategy
+
+import (
+	"sync"
+	"time"
+)
+
+// Mode identifies one of the adaptive chooser's scheduling modes.
+type Mode int
+
+const (
+	// ModeSingle: the whole message on the single best rail.
+	ModeSingle Mode = iota
+	// ModeSplit: striped over rails by the multi-rail splitter.
+	ModeSplit
+	// ModeParallel: eager chunks submitted from parallel cores (§III-D).
+	ModeParallel
+
+	numModes
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeSingle:
+		return "single"
+	case ModeSplit:
+		return "split"
+	case ModeParallel:
+		return "parallel"
+	default:
+		return "mode?"
+	}
+}
+
+// OutcomeObserver is implemented by strategies that learn from
+// completed transfers. The engine feeds it the remote-completion time
+// of every message sent in adaptive mode, tagged with the mode that
+// scheduled it.
+type OutcomeObserver interface {
+	ObserveOutcome(n int, mode Mode, d time.Duration)
+}
+
+// Adaptive is the telemetry-driven chooser: per size class it picks
+// single-rail vs. striped (and, on the eager path, parallel-core
+// submission) from the *observed* outcomes of previous transfers,
+// falling back to the model predictions while a mode has too little
+// data. Combined with live RailView estimators this closes the paper's
+// open loop: predictions propose, measurements dispose.
+//
+// It implements Splitter for the rendezvous path and OutcomeObserver
+// for the feedback; the zero value is usable (SingleRail vs HeteroSplit,
+// sensible defaults).
+type Adaptive struct {
+	// Single is the one-rail strategy (default SingleRail).
+	Single Splitter
+	// Multi is the striping strategy (default HeteroSplit).
+	Multi Splitter
+	// MinObs is how many outcomes a mode needs in a size class before
+	// its observed score is trusted over the prediction (default 3).
+	MinObs int
+	// ProbeEvery makes every n-th eager decision (PreferParallel) per
+	// size class take the non-preferred mode, so the loser keeps
+	// producing outcomes and can win again when conditions change
+	// (default 8; larger probes less). Rendezvous-path probing is
+	// engine-driven instead — the engine calls LoserSplit outside its
+	// plan cache — because a probe result must never be cached.
+	ProbeEvery int
+	// OnVerdictChange, when non-nil, is called (without the chooser's
+	// lock) whenever observed outcomes flip a size class's warm
+	// single-vs-split verdict. The engine wires it to the telemetry
+	// epoch so plans cached under the old verdict go stale immediately
+	// — otherwise a cache hit would keep serving the rejected mode.
+	// Set it at construction, before the chooser is in use; to attach
+	// once outcomes may already be flowing (e.g. a chooser shared with
+	// an earlier cluster), use ChainVerdictChange.
+	OnVerdictChange func()
+
+	mu      sync.Mutex
+	buckets map[int]*modeStats
+}
+
+// modeStats is one size class's outcome memory.
+type modeStats struct {
+	nsPerByte [numModes]float64 // EWMA of observed ns/byte
+	count     [numModes]int
+	decisions int
+	verdict   Mode // last warm single-vs-split verdict (verdictKnown)
+
+	verdictKnown bool
+}
+
+func (a *Adaptive) single() Splitter {
+	if a.Single != nil {
+		return a.Single
+	}
+	return SingleRail{}
+}
+
+func (a *Adaptive) multi() Splitter {
+	if a.Multi != nil {
+		return a.Multi
+	}
+	return HeteroSplit{}
+}
+
+func (a *Adaptive) minObs() int {
+	if a.MinObs > 0 {
+		return a.MinObs
+	}
+	return 3
+}
+
+func (a *Adaptive) probeEvery() int {
+	if a.ProbeEvery > 0 {
+		return a.ProbeEvery
+	}
+	return 8
+}
+
+// bucketFor returns the size class's stats, creating it under the lock.
+func (a *Adaptive) bucketFor(n int) *modeStats {
+	b := sizeClass(n)
+	if a.buckets == nil {
+		a.buckets = make(map[int]*modeStats)
+	}
+	s := a.buckets[b]
+	if s == nil {
+		s = &modeStats{}
+		a.buckets[b] = s
+	}
+	return s
+}
+
+// sizeClass mirrors telemetry.SizeBucket without importing it (strategy
+// is a leaf package): log2 buckets.
+func sizeClass(n int) int {
+	c := 0
+	for v := uint(n); v != 0; v >>= 1 {
+		c++
+	}
+	return c
+}
+
+// Name implements Splitter.
+func (a *Adaptive) Name() string { return "adaptive" }
+
+// Split implements Splitter: compute both candidate schedules from the
+// (live) rail views, score each mode by observed outcome where warm and
+// by predicted completion where not, and emit the winner's chunks. It
+// never probes and mutates no decision state, so callers may cache its
+// result and diagnostics (Engine.PlanFor) may call it freely.
+func (a *Adaptive) Split(n int, now time.Duration, rails []RailView) []Chunk {
+	winner, _ := a.pick(n, now, rails, false)
+	return winner
+}
+
+// LoserSplit returns the schedule of the mode Split would currently
+// reject, and which mode that is. The engine sends an occasional
+// message this way — outside its plan cache — so the losing mode keeps
+// producing outcomes and can win again when conditions change; the
+// result must never be cached.
+func (a *Adaptive) LoserSplit(n int, now time.Duration, rails []RailView) ([]Chunk, Mode) {
+	return a.pick(n, now, rails, true)
+}
+
+// pick scores both rendezvous modes and returns the winner's (or, for
+// probes, the loser's) chunks.
+func (a *Adaptive) pick(n int, now time.Duration, rails []RailView, loser bool) ([]Chunk, Mode) {
+	if n == 0 {
+		return nil, ModeSingle
+	}
+	rails = Usable(rails)
+	singleChunks := a.single().Split(n, now, rails)
+	multiChunks := a.multi().Split(n, now, rails)
+	if len(multiChunks) <= 1 {
+		// The striping strategy itself collapsed to one rail: nothing to
+		// choose between.
+		return multiChunks, ModeSingle
+	}
+	predSingle := PredictedCompletion(now, rails, singleChunks)
+	predMulti := PredictedCompletion(now, rails, multiChunks)
+
+	a.mu.Lock()
+	s := a.bucketFor(n)
+	scoreSingle := s.score(ModeSingle, predSingle, n, a.minObs())
+	scoreMulti := s.score(ModeSplit, predMulti, n, a.minObs())
+	a.mu.Unlock()
+
+	preferMulti := scoreMulti < scoreSingle
+	if loser {
+		preferMulti = !preferMulti
+	}
+	if preferMulti {
+		return multiChunks, ModeSplit
+	}
+	return singleChunks, ModeSingle
+}
+
+// score is a mode's comparable cost in ns/byte: the observed EWMA when
+// warm, the prediction otherwise. Caller holds a.mu.
+func (s *modeStats) score(m Mode, pred time.Duration, n, minObs int) float64 {
+	if s.count[m] >= minObs {
+		return s.nsPerByte[m]
+	}
+	return float64(pred.Nanoseconds()) / float64(n)
+}
+
+// ObserveOutcome implements OutcomeObserver: fold one completed
+// transfer's remote-completion time into its (size class, mode) EWMA.
+func (a *Adaptive) ObserveOutcome(n int, mode Mode, d time.Duration) {
+	if n <= 0 || d <= 0 || mode < 0 || mode >= numModes {
+		return
+	}
+	perByte := float64(d.Nanoseconds()) / float64(n)
+	a.mu.Lock()
+	s := a.bucketFor(n)
+	if s.count[mode] == 0 {
+		s.nsPerByte[mode] = perByte
+	} else {
+		// Half-weight EWMA: a losing mode is observed only through the
+		// engine's occasional probes, so each probe must move its score
+		// materially or a stale verdict outlives the regime that earned
+		// it (e.g. "split is terrible" measured while a rail was
+		// congested).
+		s.nsPerByte[mode] = 0.5*s.nsPerByte[mode] + 0.5*perByte
+	}
+	s.count[mode]++
+	// Track the warm single-vs-split verdict so a flip can invalidate
+	// plans cached under the old one.
+	flipped := false
+	if s.count[ModeSingle] >= a.minObs() && s.count[ModeSplit] >= a.minObs() {
+		v := ModeSingle
+		if s.nsPerByte[ModeSplit] < s.nsPerByte[ModeSingle] {
+			v = ModeSplit
+		}
+		flipped = s.verdictKnown && v != s.verdict
+		s.verdict, s.verdictKnown = v, true
+	}
+	cb := a.OnVerdictChange // read under the lock: ChainVerdictChange may rebind it
+	a.mu.Unlock()
+	if flipped && cb != nil {
+		cb()
+	}
+}
+
+// ChainVerdictChange appends fn to the verdict-flip callback chain,
+// safely against concurrent ObserveOutcome calls; previously attached
+// callbacks keep firing. Used when one chooser serves several clusters
+// (each must invalidate its own cached plans on a flip).
+func (a *Adaptive) ChainVerdictChange(fn func()) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	prev := a.OnVerdictChange
+	if prev == nil {
+		a.OnVerdictChange = fn
+		return
+	}
+	a.OnVerdictChange = func() { prev(); fn() }
+}
+
+// PreferParallel decides the eager-path mode: whether the parallel
+// multicore submission (ModeParallel) should be taken over single-rail
+// aggregation, given the two predictions — observed outcomes override
+// the model once both modes are warm. The engine calls it only when a
+// parallel plan is structurally possible (enough idle NICs and cores).
+func (a *Adaptive) PreferParallel(n int, predParallel, predSingle time.Duration) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	s := a.bucketFor(n)
+	s.decisions++
+	if s.decisions%a.probeEvery() == 0 {
+		// Probe: take the mode the scores would reject.
+		return !(s.score(ModeParallel, predParallel, n, a.minObs()) <
+			s.score(ModeSingle, predSingle, n, a.minObs()))
+	}
+	return s.score(ModeParallel, predParallel, n, a.minObs()) <
+		s.score(ModeSingle, predSingle, n, a.minObs())
+}

@@ -1,0 +1,152 @@
+package strategy
+
+import (
+	"testing"
+	"time"
+)
+
+// adaptiveRails builds two equal rails backed by a linear estimator.
+func adaptiveRails(beta float64) []RailView {
+	est := fixedEst{alpha: 10 * time.Microsecond, beta: beta}
+	return []RailView{
+		{Index: 0, Est: est},
+		{Index: 1, Est: est},
+	}
+}
+
+// fixedEst is a linear alpha+beta*n estimator for tests.
+type fixedEst struct {
+	alpha time.Duration
+	beta  float64 // ns per byte
+}
+
+func (f fixedEst) Estimate(n int) time.Duration {
+	return f.alpha + time.Duration(f.beta*float64(n))
+}
+
+func (f fixedEst) SizeFor(d time.Duration, max int) int {
+	if max <= 0 {
+		max = 64 << 20
+	}
+	if d <= f.alpha {
+		return 0
+	}
+	n := int(float64(d-f.alpha) / f.beta)
+	if n > max {
+		return max
+	}
+	return n
+}
+
+func TestAdaptiveFallsBackToPrediction(t *testing.T) {
+	a := &Adaptive{ProbeEvery: 1 << 30}
+	rails := adaptiveRails(1)
+	// With two equal rails and a large message, splitting halves the
+	// predicted time: the cold chooser must pick the split.
+	chunks := a.Split(1<<20, 0, rails)
+	if len(chunks) < 2 {
+		t.Fatalf("cold adaptive chose %d chunks, want a split", len(chunks))
+	}
+	if err := Validate(1<<20, chunks); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdaptiveLearnsFromOutcomes(t *testing.T) {
+	a := &Adaptive{ProbeEvery: 1 << 30}
+	rails := adaptiveRails(1)
+	n := 1 << 20
+	// Feed outcomes that contradict the prediction: splits measured 4x
+	// worse than single-rail (e.g. chunk overhead the model misses).
+	for i := 0; i < 5; i++ {
+		a.ObserveOutcome(n, ModeSplit, 8*time.Millisecond)
+		a.ObserveOutcome(n, ModeSingle, 2*time.Millisecond)
+	}
+	chunks := a.Split(n, 0, rails)
+	if len(chunks) != 1 {
+		t.Fatalf("adaptive ignored observed outcomes: %d chunks, want 1", len(chunks))
+	}
+	// Reversed evidence flips the choice back.
+	for i := 0; i < 40; i++ {
+		a.ObserveOutcome(n, ModeSplit, 500*time.Microsecond)
+	}
+	chunks = a.Split(n, 0, rails)
+	if len(chunks) < 2 {
+		t.Fatalf("adaptive did not recover the split after new evidence")
+	}
+}
+
+func TestAdaptiveSplitIsStableAndLoserSplitInverts(t *testing.T) {
+	a := &Adaptive{}
+	rails := adaptiveRails(1)
+	n := 1 << 20
+	for i := 0; i < 5; i++ {
+		a.ObserveOutcome(n, ModeSplit, 8*time.Millisecond)
+		a.ObserveOutcome(n, ModeSingle, 2*time.Millisecond)
+	}
+	// Split never probes: repeated calls (diagnostics, cache refills)
+	// always return the winner.
+	for i := 0; i < 16; i++ {
+		if len(a.Split(n, 0, rails)) != 1 {
+			t.Fatalf("Split returned the losing mode on call %d", i)
+		}
+	}
+	// LoserSplit is the engine's probe: the rejected mode's chunks.
+	chunks, mode := a.LoserSplit(n, 0, rails)
+	if mode != ModeSplit || len(chunks) < 2 {
+		t.Fatalf("LoserSplit = %d chunks as %v, want a striped ModeSplit plan", len(chunks), mode)
+	}
+	if err := Validate(n, chunks); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdaptivePreferParallel(t *testing.T) {
+	a := &Adaptive{ProbeEvery: 1 << 30}
+	n := 16 << 10
+	// Cold: the predictions decide.
+	if !a.PreferParallel(n, time.Millisecond, 2*time.Millisecond) {
+		t.Fatal("cold PreferParallel ignored better prediction")
+	}
+	if a.PreferParallel(n, 2*time.Millisecond, time.Millisecond) {
+		t.Fatal("cold PreferParallel ignored worse prediction")
+	}
+	// Warm observed outcomes override predictions.
+	for i := 0; i < 5; i++ {
+		a.ObserveOutcome(n, ModeParallel, 4*time.Millisecond)
+		a.ObserveOutcome(n, ModeSingle, time.Millisecond)
+	}
+	if a.PreferParallel(n, time.Microsecond, time.Hour) {
+		t.Fatal("observed outcomes did not override predictions")
+	}
+}
+
+func TestAdaptiveVerdictFlipFiresCallback(t *testing.T) {
+	flips := 0
+	a := &Adaptive{OnVerdictChange: func() { flips++ }}
+	n := 1 << 20
+	// Warm both modes with split winning: establishes the verdict (no
+	// flip — there was no previous warm verdict).
+	for i := 0; i < 4; i++ {
+		a.ObserveOutcome(n, ModeSplit, time.Millisecond)
+		a.ObserveOutcome(n, ModeSingle, 4*time.Millisecond)
+	}
+	if flips != 0 {
+		t.Fatalf("callback fired %d times before any verdict change", flips)
+	}
+	// New evidence reverses the ranking: exactly one flip must fire so
+	// the engine can invalidate plans cached under the old verdict.
+	for i := 0; i < 10; i++ {
+		a.ObserveOutcome(n, ModeSplit, 8*time.Millisecond)
+	}
+	if flips != 1 {
+		t.Fatalf("verdict flip fired callback %d times, want 1", flips)
+	}
+}
+
+func TestAdaptiveZeroLength(t *testing.T) {
+	a := &Adaptive{}
+	if chunks := a.Split(0, 0, adaptiveRails(1)); chunks != nil {
+		t.Fatalf("Split(0) = %v, want nil", chunks)
+	}
+}

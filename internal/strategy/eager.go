@@ -34,6 +34,22 @@ type EagerPlan struct {
 // (1) — beats the best single-rail aggregation, which makes tiny
 // messages stay on one rail (Fig 9's < 4 KB regime).
 func PlanEager(n int, now time.Duration, rails []RailView, idleCores int, offloadCost time.Duration) EagerPlan {
+	single, parallel := EagerCandidates(n, now, rails, idleCores, offloadCost)
+	if parallel != nil && parallel.Predicted < single.Predicted {
+		return *parallel
+	}
+	return single
+}
+
+// EagerCandidates returns both eager schedules for an n-byte message:
+// the single-rail aggregation plan, and — when parallel multicore
+// submission is structurally possible (enough idle NICs and cores,
+// every chunk within its rail's eager limit) — the parallel candidate
+// with its equation-(1) predicted completion, regardless of which plan
+// the model prefers. The adaptive chooser needs both candidates so
+// observed outcomes can overrule (and probe against) the prediction in
+// either direction; PlanEager applies the model's preference.
+func EagerCandidates(n int, now time.Duration, rails []RailView, idleCores int, offloadCost time.Duration) (EagerPlan, *EagerPlan) {
 	rails = Usable(rails)
 	single := SingleRail{}.Split(n, now, rails)
 	plan := EagerPlan{
@@ -42,7 +58,7 @@ func PlanEager(n int, now time.Duration, rails []RailView, idleCores int, offloa
 		Predicted: PredictedCompletion(now, rails, single),
 	}
 	if n == 0 || len(rails) < 2 || idleCores < 2 {
-		return plan
+		return plan, nil
 	}
 	idleNICs := 0
 	for i := range rails {
@@ -55,13 +71,13 @@ func PlanEager(n int, now time.Duration, rails []RailView, idleCores int, offloa
 		k = idleCores
 	}
 	if k < 2 {
-		return plan
+		return plan, nil
 	}
 	// Consider the k rails with the best single-rail completions.
 	cand := bestRails(n, now, rails, k)
 	chunks := HeteroSplit{}.Split(n, now, cand)
 	if len(chunks) < 2 {
-		return plan
+		return plan, nil
 	}
 	// Respect each rail's eager limit: a chunk that would overflow it
 	// disqualifies the parallel plan (the engine would have to switch
@@ -72,14 +88,11 @@ func PlanEager(n int, now time.Duration, rails []RailView, idleCores int, offloa
 	}
 	for _, c := range chunks {
 		if r := byIndex[c.Rail]; r.EagerMax > 0 && c.Size > r.EagerMax {
-			return plan
+			return plan, nil
 		}
 	}
 	par := offloadCost + PredictedCompletion(now, cand, chunks)
-	if par < plan.Predicted {
-		return EagerPlan{Parallel: true, Chunks: chunks, OffloadCost: offloadCost, Predicted: par}
-	}
-	return plan
+	return plan, &EagerPlan{Parallel: true, Chunks: chunks, OffloadCost: offloadCost, Predicted: par}
 }
 
 // bestRails returns the k rails with the earliest single-message

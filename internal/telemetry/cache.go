@@ -1,0 +1,184 @@
+package telemetry
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/strategy"
+)
+
+// PlanKey identifies one cached scheduling decision: sends to one
+// destination in one size bucket under one estimate epoch. The epoch in
+// the key is what keeps the cache coherent without invalidation
+// machinery — when estimates are re-fit or the rail set changes, the
+// epoch moves and every old entry simply stops being found.
+type PlanKey struct {
+	// Dest is the destination node.
+	Dest int
+	// Bucket is the size class (SizeBucket) of the message.
+	Bucket int
+	// Epoch is the Tracker epoch the plan was computed under.
+	Epoch uint64
+}
+
+// RailShare is one rail's fraction of a cached plan.
+type RailShare struct {
+	// Rail is the rail index.
+	Rail int
+	// Frac is the fraction of the message bytes placed on it.
+	Frac float64
+}
+
+// Plan is one cached decision: the split expressed as per-rail
+// fractions (so it re-scales to any size in the bucket) plus the name
+// of the strategy that produced it.
+type Plan struct {
+	// Mode names the deciding strategy ("hetero-split", "single-rail",
+	// ...), surfaced by nmping's plan printing.
+	Mode string
+	// Shares is the per-rail distribution, in offset order.
+	Shares []RailShare
+}
+
+// NewPlan captures a split decision as a reusable plan: chunk sizes
+// become fractions of n.
+func NewPlan(mode string, chunks []strategy.Chunk, n int) *Plan {
+	p := &Plan{Mode: mode}
+	if n <= 0 {
+		return p
+	}
+	for _, c := range chunks {
+		p.Shares = append(p.Shares, RailShare{Rail: c.Rail, Frac: float64(c.Size) / float64(n)})
+	}
+	return p
+}
+
+// ChunksFor scales the plan to an n-byte message, producing contiguous
+// chunks that exactly cover [0, n): offsets are cumulative rounded
+// fraction boundaries and the last chunk absorbs the remainder.
+func (p *Plan) ChunksFor(n int) []strategy.Chunk {
+	if n <= 0 || len(p.Shares) == 0 {
+		return nil
+	}
+	chunks := make([]strategy.Chunk, 0, len(p.Shares))
+	off := 0
+	cum := 0.0
+	for i, s := range p.Shares {
+		cum += s.Frac
+		end := int(math.Round(cum * float64(n)))
+		if i == len(p.Shares)-1 || end > n {
+			end = n
+		}
+		if size := end - off; size > 0 {
+			chunks = append(chunks, strategy.Chunk{Rail: s.Rail, Offset: off, Size: size})
+			off = end
+		}
+	}
+	if off < n {
+		if len(chunks) == 0 {
+			return []strategy.Chunk{{Rail: p.Shares[0].Rail, Offset: 0, Size: n}}
+		}
+		chunks[len(chunks)-1].Size += n - off
+	}
+	return chunks
+}
+
+// cacheShards is the stripe count: plenty for one engine's workers to
+// hit disjoint locks (the per-core worker count is at most a few dozen).
+const cacheShards = 16
+
+// CacheStats is a snapshot of plan-cache activity.
+type CacheStats struct {
+	// Hits and Misses count lookups; a hit skips re-planning entirely.
+	Hits, Misses uint64
+	// Entries is the current number of cached plans (stale epochs
+	// included until evicted).
+	Entries int
+}
+
+// Cache is the lock-striped hot plan cache: the common case — repeated
+// sends of similar sizes to the same peer — looks its plan up by
+// (dest, bucket, epoch) and skips the strategy entirely. Each stripe is
+// an independently locked map with FIFO eviction, so concurrent workers
+// planning for different destinations do not contend.
+type Cache struct {
+	shards  [cacheShards]cacheShard
+	perCap  int
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+	entries atomic.Int64
+}
+
+type cacheShard struct {
+	mu    sync.Mutex
+	plans map[PlanKey]*Plan
+	fifo  []PlanKey
+}
+
+// NewCache builds a plan cache bounded to roughly `capacity` entries
+// (default 1024, minimum one per stripe).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	per := capacity / cacheShards
+	if per < 1 {
+		per = 1
+	}
+	c := &Cache{perCap: per}
+	for i := range c.shards {
+		c.shards[i].plans = make(map[PlanKey]*Plan, per)
+	}
+	return c
+}
+
+func (c *Cache) shard(k PlanKey) *cacheShard {
+	h := uint64(2166136261)
+	for _, v := range [...]uint64{uint64(k.Dest), uint64(k.Bucket), k.Epoch} {
+		h = (h ^ v) * 16777619
+	}
+	return &c.shards[h%cacheShards]
+}
+
+// Get looks a plan up, counting the hit or miss.
+func (c *Cache) Get(k PlanKey) (*Plan, bool) {
+	s := c.shard(k)
+	s.mu.Lock()
+	p, ok := s.plans[k]
+	s.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+		return p, true
+	}
+	c.misses.Add(1)
+	return nil, false
+}
+
+// Put stores a plan, evicting the stripe's oldest entry when full.
+// Stale-epoch entries age out this way — no sweeper needed.
+func (c *Cache) Put(k PlanKey, p *Plan) {
+	s := c.shard(k)
+	s.mu.Lock()
+	if _, exists := s.plans[k]; !exists {
+		for len(s.fifo) >= c.perCap {
+			old := s.fifo[0]
+			s.fifo = s.fifo[1:]
+			delete(s.plans, old)
+			c.entries.Add(-1)
+		}
+		s.fifo = append(s.fifo, k)
+		c.entries.Add(1)
+	}
+	s.plans[k] = p
+	s.mu.Unlock()
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{
+		Hits:    c.hits.Load(),
+		Misses:  c.misses.Load(),
+		Entries: int(c.entries.Load()),
+	}
+}

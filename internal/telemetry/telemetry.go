@@ -1,0 +1,420 @@
+// Package telemetry is the online measurement subsystem of the engine:
+// it turns every completed transfer unit into an observation and keeps
+// the per-rail cost estimates the strategies plan with *live* instead of
+// frozen at start-up.
+//
+// The paper's splitter decisions (Fig 2, eq. 1) consume per-rail
+// latency/bandwidth estimators sampled once at launch. That table goes
+// stale the moment a TCP rail congests, a peer moves, or a NIC recovers
+// from failover. This package closes the loop:
+//
+//   - Tracker keeps, per (peer, rail) pair, an exponentially decayed
+//     set of size-class cells (weight, mean size, mean duration) — the
+//     per-size-class bandwidth/latency EWMAs. Observations arrive from
+//     two sources: the fabric's transfer layer (write/occupancy times,
+//     via the fabric.Telemetry hook) and the engine's ack path (unit
+//     round trips, recorded on the progress workers).
+//   - A drift detector compares every observation against the current
+//     linear fit (the paper's α+βn cost model) and re-fits by weighted
+//     least squares over the cells when observations persistently
+//     diverge. Each refit bumps the Tracker epoch.
+//   - RailEstimator adapts a (peer, rail) pair to strategy.Estimator,
+//     blending the static sampled prior (the cold-start table) with the
+//     live fit as observations accumulate — so with no traffic the
+//     paper's behaviour is reproduced exactly, and with traffic the
+//     estimates track the wire.
+//
+// Reads on the decision path (Estimate/SizeFor/Epoch) touch only
+// atomics; observation writes take one short per-pair mutex and run on
+// progress workers or transport goroutines, never on the caller of
+// Isend. The plan cache in front of the strategies lives in cache.go.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/rt"
+	"repro/internal/strategy"
+)
+
+// numClasses bounds the size-class ladder: class(n) = bits.Len(n), so
+// class 40 covers messages up to 1 TiB — beyond any wire format here.
+const numClasses = 40
+
+// class returns the size class (log2 bucket) of an n-byte transfer.
+func class(n int) int {
+	c := 0
+	for v := uint64(n); v != 0; v >>= 1 {
+		c++
+	}
+	if c >= numClasses {
+		c = numClasses - 1
+	}
+	return c
+}
+
+// SizeBucket exposes the size-class mapping for plan-cache keys: sends
+// of similar size share a bucket, so a repeated workload re-plans once
+// per epoch, not once per message.
+func SizeBucket(n int) int { return class(n) }
+
+// Config tunes a Tracker.
+type Config struct {
+	// Peers and Rails dimension the (peer, rail) pair table.
+	Peers, Rails int
+	// HalfLife is the decay half-life of the observation cells: an
+	// observation half as old as this counts double. Default 250ms (of
+	// the environment clock — virtual on the simulator).
+	HalfLife time.Duration
+	// WarmupObs is the observation count at which a pair's live fit is
+	// fully trusted over the static prior (default 8).
+	WarmupObs int
+	// DriftThreshold is the relative-error EWMA beyond which the linear
+	// fit is declared stale and re-fit (default 0.25).
+	DriftThreshold float64
+	// MinRefitObs is the minimum number of observations between refits
+	// of one pair, bounding refit churn (default 6).
+	MinRefitObs int
+}
+
+func (c *Config) defaults() {
+	if c.HalfLife <= 0 {
+		c.HalfLife = 250 * time.Millisecond
+	}
+	if c.WarmupObs <= 0 {
+		c.WarmupObs = 8
+	}
+	if c.DriftThreshold <= 0 {
+		c.DriftThreshold = 0.25
+	}
+	if c.MinRefitObs <= 0 {
+		c.MinRefitObs = 6
+	}
+}
+
+// cell is one size class of one (peer, rail) pair: exponentially
+// decayed sums, so mean size = sizeSum/w and mean duration = durSum/w.
+type cell struct {
+	w       float64
+	sizeSum float64
+	durSum  float64 // nanoseconds
+	at      time.Duration
+}
+
+// pair is the live state of one (peer, rail) pair. The mutex guards the
+// cells and fit bookkeeping; the fitted coefficients and warmth are
+// atomics so the decision path never locks.
+type pair struct {
+	mu          sync.Mutex
+	cells       [numClasses]cell
+	obsSinceFit int
+	drift       float64 // EWMA of |observed-fit|/fit
+	fitted      bool
+
+	alphaNS atomic.Int64  // fitted latency, nanoseconds
+	betaFP  atomic.Uint64 // fitted ns/byte as float64 bits
+	warmth  atomic.Uint32 // observations folded in (saturating)
+}
+
+// Tracker is one node's telemetry state: a (peer, rail) pair table, the
+// global epoch, and counters.
+type Tracker struct {
+	env    rt.Env
+	cfg    Config
+	priors []strategy.Estimator // per rail: the cold-start sampled table
+
+	pairs []pair // peer*Rails + rail
+
+	epoch  atomic.Uint64
+	refits atomic.Uint64
+	obs    atomic.Uint64
+}
+
+// Stats is a snapshot of a Tracker's counters.
+type Stats struct {
+	// Observations is the number of transfer measurements folded in.
+	Observations uint64
+	// Refits counts linear-model refits triggered by the drift detector.
+	Refits uint64
+	// Epoch is the current estimate epoch: it bumps on every refit and
+	// on every rail-set (health) change, invalidating cached plans.
+	Epoch uint64
+}
+
+// NewTracker builds a tracker for a node that talks to cfg.Peers peers
+// over cfg.Rails rails. priors holds one static estimator per rail (the
+// start-up sampling table) used until live observations warm the pair
+// up — and as the slope prior when only one size class has been seen.
+func NewTracker(env rt.Env, cfg Config, priors []strategy.Estimator) (*Tracker, error) {
+	cfg.defaults()
+	if cfg.Peers < 1 || cfg.Rails < 1 {
+		return nil, fmt.Errorf("telemetry: need peers and rails >= 1, got %d/%d", cfg.Peers, cfg.Rails)
+	}
+	if len(priors) != cfg.Rails {
+		return nil, fmt.Errorf("telemetry: %d priors for %d rails", len(priors), cfg.Rails)
+	}
+	return &Tracker{
+		env:    env,
+		cfg:    cfg,
+		priors: priors,
+		pairs:  make([]pair, cfg.Peers*cfg.Rails),
+	}, nil
+}
+
+// Peers returns the tracked peer count.
+func (t *Tracker) Peers() int { return t.cfg.Peers }
+
+// Rails returns the tracked rail count.
+func (t *Tracker) Rails() int { return t.cfg.Rails }
+
+// Epoch returns the current estimate epoch.
+func (t *Tracker) Epoch() uint64 { return t.epoch.Load() }
+
+// BumpEpoch advances the epoch without a refit — the engine calls it
+// when the usable rail set changes (a rail died or recovered), so every
+// cached plan from the old rail set goes stale at once.
+func (t *Tracker) BumpEpoch() { t.epoch.Add(1) }
+
+// Stats returns a snapshot of the tracker counters.
+func (t *Tracker) Stats() Stats {
+	return Stats{
+		Observations: t.obs.Load(),
+		Refits:       t.refits.Load(),
+		Epoch:        t.epoch.Load(),
+	}
+}
+
+func (t *Tracker) pair(peer, rail int) *pair {
+	return &t.pairs[peer*t.cfg.Rails+rail]
+}
+
+// ObserveTransfer implements the fabric.Telemetry hook: the transfer
+// layer reports one completed wire transfer (write duration on livenet,
+// modeled occupancy plus wire latency on simnet). Same accounting as
+// Observe.
+func (t *Tracker) ObserveTransfer(peer, rail, bytes int, d time.Duration) {
+	t.Observe(peer, rail, bytes, d)
+}
+
+// Observe folds one measured transfer into the (peer, rail) pair:
+// bytes moved and the one-way duration observed. It runs on progress
+// workers and transport goroutines; it never blocks beyond the pair's
+// short mutex and never runs on the Isend caller.
+func (t *Tracker) Observe(peer, rail, bytes int, d time.Duration) {
+	if peer < 0 || peer >= t.cfg.Peers || rail < 0 || rail >= t.cfg.Rails || bytes < 0 || d <= 0 {
+		return
+	}
+	p := t.pair(peer, rail)
+	now := t.env.Now()
+	ns := float64(d.Nanoseconds())
+
+	p.mu.Lock()
+	c := &p.cells[class(bytes)]
+	if c.w > 0 && now > c.at {
+		// Exponential time decay: old observations fade with HalfLife.
+		decay := math.Exp2(-float64(now-c.at) / float64(t.cfg.HalfLife))
+		c.w *= decay
+		c.sizeSum *= decay
+		c.durSum *= decay
+	}
+	c.w++
+	c.sizeSum += float64(bytes)
+	c.durSum += ns
+	c.at = now
+
+	refit := false
+	if p.fitted {
+		pred := float64(p.alphaNS.Load()) + math.Float64frombits(p.betaFP.Load())*float64(bytes)
+		if pred < 1 {
+			pred = 1
+		}
+		rel := math.Abs(ns-pred) / pred
+		p.drift = 0.75*p.drift + 0.25*rel
+		p.obsSinceFit++
+		refit = p.drift > t.cfg.DriftThreshold && p.obsSinceFit >= t.cfg.MinRefitObs
+	} else {
+		refit = true // first observations establish the initial fit
+	}
+	if refit {
+		p.refit(t, t.priors[rail])
+	}
+	p.mu.Unlock()
+
+	// Warmth gates the prior-vs-live blend; when it crosses WarmupObs
+	// the live fit has fully displaced the cold-start prior, so plans
+	// cached against the prior-based estimates must go stale — even if
+	// the fit itself never drifted (a *wrong prior* produces no drift:
+	// the first fit already matches reality).
+	if p.warmth.Add(1) == uint32(t.cfg.WarmupObs) {
+		t.epoch.Add(1)
+	}
+	t.obs.Add(1)
+}
+
+// refit recomputes the linear α+βn fit from the decayed cells by
+// weighted least squares; with a single populated size class the slope
+// is borrowed from the prior so same-size workloads still adapt their
+// level. The caller holds p.mu. Every fit — the initial one included —
+// bumps the tracker epoch: estimates changed, so cached plans are
+// stale (an epoch bump costs one cache miss per hot key; serving plans
+// computed against superseded estimates costs real bandwidth).
+func (p *pair) refit(t *Tracker, prior strategy.Estimator) {
+	var sw, sx, sy, sxx, sxy float64
+	populated := 0
+	var lone *cell
+	for i := range p.cells {
+		c := &p.cells[i]
+		if c.w <= 1e-9 {
+			continue
+		}
+		populated++
+		lone = c
+		x := c.sizeSum / c.w
+		y := c.durSum / c.w
+		sw += c.w
+		sx += c.w * x
+		sy += c.w * y
+		sxx += c.w * x * x
+		sxy += c.w * x * y
+	}
+	if populated == 0 {
+		return
+	}
+	var alpha, beta float64
+	if populated == 1 {
+		x := lone.sizeSum / lone.w
+		y := lone.durSum / lone.w
+		beta = priorSlope(prior, x)
+		alpha = y - beta*x
+	} else {
+		den := sw*sxx - sx*sx
+		if den <= 1e-9 {
+			return
+		}
+		beta = (sw*sxy - sx*sy) / den
+		alpha = (sy - beta*sx) / sw
+		if beta < 0 {
+			// A negative slope is measurement noise (bigger cannot be
+			// faster); fall back to the level-shift fit at the weighted
+			// mean point.
+			beta = priorSlope(prior, sx/sw)
+			alpha = sy/sw - beta*(sx/sw)
+		}
+	}
+	// Guard against degenerate flat fits: noisy observations (e.g. rail
+	// attribution under loopback contention) can push all cost into α
+	// with β ≈ 0, and a flat estimate loses every SizeFor comparison —
+	// HeteroSplit would discard the rail entirely and starve it of the
+	// very observations that would rehabilitate it. Require at least
+	// half the mean observed cost to be size-proportional, keeping the
+	// fit through the weighted mean point.
+	if xm, ym := sx/sw, sy/sw; xm > 0 && ym > 0 {
+		if minBeta := 0.5 * ym / xm; beta < minBeta {
+			beta = minBeta
+			alpha = ym - beta*xm
+		}
+	}
+	if alpha < 0 {
+		alpha = 0
+	}
+	if beta < 0 {
+		beta = 0
+	}
+	p.alphaNS.Store(int64(alpha))
+	p.betaFP.Store(math.Float64bits(beta))
+	p.fitted = true
+	p.obsSinceFit = 0
+	p.drift = 0
+	t.refits.Add(1)
+	t.epoch.Add(1)
+}
+
+// priorSlope extracts the prior's marginal cost per byte around size x
+// (ns/byte), the slope borrowed when live data spans one size class.
+func priorSlope(prior strategy.Estimator, x float64) float64 {
+	n := int(x)
+	if n < 1 {
+		n = 1
+	}
+	d := prior.Estimate(2*n) - prior.Estimate(n)
+	if d <= 0 {
+		return 0
+	}
+	return float64(d.Nanoseconds()) / float64(n)
+}
+
+// RailEstimator adapts one (peer, rail) pair to strategy.Estimator:
+// the static sampled prior warmed away by the live fit.
+type RailEstimator struct {
+	t          *Tracker
+	peer, rail int
+	prior      strategy.Estimator
+}
+
+// Estimator returns the live estimator of a (peer, rail) pair, backed
+// by the given cold-start prior (the rail's sampled RailProfile).
+func (t *Tracker) Estimator(peer, rail int, prior strategy.Estimator) *RailEstimator {
+	return &RailEstimator{t: t, peer: peer, rail: rail, prior: prior}
+}
+
+// weight returns how much the live fit is trusted: 0 with no
+// observations, 1 from WarmupObs on.
+func (e *RailEstimator) weight() float64 {
+	w := float64(e.t.pair(e.peer, e.rail).warmth.Load()) / float64(e.t.cfg.WarmupObs)
+	if w > 1 {
+		return 1
+	}
+	return w
+}
+
+// Estimate implements strategy.Estimator: the warmth-blended one-way
+// prediction. Lock-free — two atomic loads plus the prior's table
+// lookup.
+func (e *RailEstimator) Estimate(n int) time.Duration {
+	p := e.t.pair(e.peer, e.rail)
+	w := e.weight()
+	if w == 0 {
+		return e.prior.Estimate(n)
+	}
+	live := time.Duration(p.alphaNS.Load()) +
+		time.Duration(math.Float64frombits(p.betaFP.Load())*float64(n))
+	if live < time.Nanosecond {
+		live = time.Nanosecond
+	}
+	if w == 1 {
+		return live
+	}
+	return time.Duration(w*float64(live) + (1-w)*float64(e.prior.Estimate(n)))
+}
+
+// SizeFor implements strategy.Estimator by binary search on Estimate,
+// which is monotone (both the prior and the clamped linear fit are).
+func (e *RailEstimator) SizeFor(d time.Duration, max int) int {
+	if e.weight() == 0 {
+		return e.prior.SizeFor(d, max)
+	}
+	cap := max
+	if cap <= 0 {
+		cap = 64 << 20
+	}
+	if e.Estimate(cap) <= d {
+		return cap
+	}
+	if e.Estimate(0) > d {
+		return 0
+	}
+	lo, hi := 0, cap
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		if e.Estimate(mid) <= d {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}

@@ -102,6 +102,17 @@ func TestDistinctFlowsCompleteIndependently(t *testing.T) {
 			default:
 			}
 
+			// The stalled sends are asynchronous: on the live fabric their
+			// frames can still be in flight when Run returns (the other
+			// flows' completion does not order them). Wait until they have
+			// landed — and been counted unexpected — before posting their
+			// receives, or the final assertion races the wire. In
+			// simulation Run already quiesced, so this returns at once.
+			deadline := time.Now().Add(10 * time.Second)
+			for c.EngineStats(1).Unexpected == 0 && time.Now().Before(deadline) {
+				time.Sleep(time.Millisecond)
+			}
+
 			done := make(chan string, 1)
 			c.Go("stalled-recv", func(ctx multirail.Ctx) {
 				buf := make([]byte, size)

@@ -45,6 +45,7 @@ import (
 	"repro/internal/sampling"
 	"repro/internal/simnet"
 	"repro/internal/strategy"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/wire"
 )
@@ -90,6 +91,8 @@ type (
 	RecvRequest = core.RecvRequest
 	// Splitter decides how large messages are distributed over rails.
 	Splitter = strategy.Splitter
+	// Chunk is one piece of a split decision (what PlanFor returns).
+	Chunk = strategy.Chunk
 	// EngineStats counts engine activity on one node.
 	EngineStats = core.Stats
 	// IOVec is a gather/scatter vector: an ordered list of buffers
@@ -116,6 +119,22 @@ func GigE() *Profile    { return model.GigE() }
 func HeteroSplit() Splitter { return strategy.HeteroSplit{} }
 func IsoSplit() Splitter    { return strategy.IsoSplit{} }
 func SingleRail() Splitter  { return strategy.SingleRail{} }
+
+// AdaptiveSplitter returns the observed-outcome chooser with explicit
+// arms: per size class it picks between `single` (one rail) and `multi`
+// (striped) from the measured completion times of previous sends,
+// probing the loser periodically. Pass it as Config.Splitter together
+// with AdaptiveTelemetry to control the candidate strategies (passing
+// the same splitter for both arms pins the mode and leaves only the
+// live rail estimates in play). Only meaningful together with
+// AdaptiveTelemetry — without it no outcomes are ever observed and the
+// chooser degenerates to following the model predictions. Note: a
+// caller-supplied chooser is shared by every node this process hosts,
+// so their outcome statistics mix; the default (Config.Splitter not an
+// adaptive chooser) gives each node its own.
+func AdaptiveSplitter(single, multi Splitter) Splitter {
+	return &strategy.Adaptive{Single: single, Multi: multi}
+}
 
 // Config describes a cluster. The zero value gives the paper's testbed:
 // two nodes, four cores each, one Myri-10G rail and one QsNetII rail, on
@@ -162,8 +181,32 @@ type Config struct {
 	// pacing live).
 	TimeScale float64
 	// Splitter overrides the large-message strategy (default
-	// HeteroSplit).
+	// HeteroSplit; under AdaptiveTelemetry it becomes the striping arm
+	// of the adaptive chooser).
 	Splitter Splitter
+	// AdaptiveTelemetry turns the online feedback loop on: every
+	// completed transfer unit becomes a latency/bandwidth observation,
+	// the per-(peer, rail) cost estimates are re-fit when they drift,
+	// strategies plan against the live estimates (warming away from the
+	// start-up sampling tables, which remain the cold-start prior), an
+	// adaptive chooser picks single-rail vs. split vs. parallel-eager
+	// per size class from observed outcomes, and rendezvous plans are
+	// cached by (dest, size bucket, epoch). Off by default: the paper's
+	// figures are reproduced exactly when this is false.
+	AdaptiveTelemetry bool
+	// TelemetryHalfLife is the decay half-life of telemetry
+	// observations (default 250ms of the cluster clock).
+	TelemetryHalfLife time.Duration
+	// PlanCacheSize bounds the per-node hot plan cache (default 1024
+	// entries; used only with AdaptiveTelemetry).
+	PlanCacheSize int
+	// TelemetryProbeEvery is the probe period of the rendezvous path:
+	// each period one plan bypasses the cache to re-try the chooser's
+	// currently-losing mode (training it) and one stripes iso over
+	// every usable rail (keeping starved rails measured). Default 16;
+	// smaller probes more aggressively — faster re-adoption at a larger
+	// throughput tax; values below 4 clamp to 4.
+	TelemetryProbeEvery int
 	// GreedyEager selects the Fig 3 greedy baseline instead of
 	// aggregation.
 	GreedyEager bool
@@ -304,10 +347,45 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.GreedyEager {
 		ecfg.Eager = core.PolicyGreedy
 	}
+	var (
+		adaptiveTrackers []*telemetry.Tracker
+		sharedAdaptive   *strategy.Adaptive
+	)
 	for i := 0; i < cfg.Nodes; i++ {
 		var eng *core.Engine
 		if !cfg.Distributed || i == cfg.LocalNode {
-			eng, err = core.NewEngine(c.env, c.fab.Node(i), c.profiles, ecfg)
+			ncfg := ecfg
+			if cfg.AdaptiveTelemetry {
+				// Telemetry state is per node: each engine owns its
+				// tracker, plan cache and adaptive chooser, so one node's
+				// observations never leak into another's decisions.
+				priors := make([]strategy.Estimator, len(c.profiles))
+				for r, p := range c.profiles {
+					priors[r] = p
+				}
+				tr, terr := telemetry.NewTracker(c.env, telemetry.Config{
+					Peers:    cfg.Nodes,
+					Rails:    c.fab.NumRails(),
+					HalfLife: cfg.TelemetryHalfLife,
+				}, priors)
+				if terr != nil {
+					c.fab.Close()
+					return nil, terr
+				}
+				ncfg.Telemetry = tr
+				ncfg.PlanCache = telemetry.NewCache(cfg.PlanCacheSize)
+				ncfg.ProbeEvery = cfg.TelemetryProbeEvery
+				if ad, ok := cfg.Splitter.(*strategy.Adaptive); ok {
+					// Caller-tuned chooser, shared across hosted nodes: a
+					// verdict flip must stale every node's cached plans.
+					ncfg.Splitter = ad
+					adaptiveTrackers = append(adaptiveTrackers, tr)
+					sharedAdaptive = ad
+				} else {
+					ncfg.Splitter = &strategy.Adaptive{Multi: cfg.Splitter, OnVerdictChange: tr.BumpEpoch}
+				}
+			}
+			eng, err = core.NewEngine(c.env, c.fab.Node(i), c.profiles, ncfg)
 			if err != nil {
 				c.fab.Close()
 				return nil, err
@@ -318,6 +396,14 @@ func New(cfg Config) (*Cluster, error) {
 		if cfg.OnRailDown != nil && (!cfg.Distributed || i == cfg.LocalNode) {
 			c.watchRails(i)
 		}
+	}
+	if sharedAdaptive != nil {
+		trackers := adaptiveTrackers
+		sharedAdaptive.ChainVerdictChange(func() {
+			for _, tr := range trackers {
+				tr.BumpEpoch()
+			}
+		})
 	}
 	return c, nil
 }
@@ -543,6 +629,52 @@ func (c *Cluster) EnableRail(rail int) {
 			c.fab.Node(i).Health().Enable(rail)
 		}
 	}
+}
+
+// ThrottleRail artificially slows rail r by `factor` on every hosted
+// node (10 = ten times slower; factor <= 1 removes the throttle). The
+// rail stays Up — this is the congestion chaos hook: under
+// AdaptiveTelemetry the drift detector notices the slowdown from live
+// measurements and new plans migrate off the rail without any health
+// transition or restart.
+func (c *Cluster) ThrottleRail(rail int, factor float64) {
+	if t, ok := c.fab.(fabric.Throttler); ok {
+		t.ThrottleRail(rail, factor)
+	}
+}
+
+// LiveEstimate returns `node`'s current one-way transfer estimate for
+// size bytes to `peer` on `rail`: under AdaptiveTelemetry this is the
+// live measurement-blended estimate (what the strategies actually plan
+// with), otherwise the static sampled one — compare with Estimate,
+// which always reads the start-up table.
+func (c *Cluster) LiveEstimate(node, peer, rail, size int) time.Duration {
+	return c.engine(node).EstimateFor(peer, rail, size)
+}
+
+// PlanFor returns the chunk distribution the engine of `node` would
+// currently choose for an n-byte rendezvous to `to` — under
+// AdaptiveTelemetry this reflects the live estimates, so it shows where
+// the next bytes would go right now.
+func (c *Cluster) PlanFor(node, to, n int) []strategy.Chunk {
+	return c.engine(node).PlanFor(to, n)
+}
+
+// DescribePlan formats PlanFor for humans: strategy chunks as
+// "rail:bytes" shares (nmping -stats and the adaptive example print it).
+func (c *Cluster) DescribePlan(node, to, n int) string {
+	chunks := c.PlanFor(node, to, n)
+	if len(chunks) == 0 {
+		return "(no plan)"
+	}
+	s := ""
+	for i, ch := range chunks {
+		if i > 0 {
+			s += " + "
+		}
+		s += fmt.Sprintf("rail%d:%d", ch.Rail, ch.Size)
+	}
+	return s
 }
 
 // Node is the per-node communication handle.
