@@ -46,9 +46,11 @@ func main() {
 	var results []Result
 	results = append(results, simOneWay(*iters)...)
 	results = append(results, tcpOneWay(*iters)...)
+	results = append(results, shmOneWay(*iters)...)
 	results = append(results, tcpManyFlows()...)
 	results = append(results, simMessageRate()...)
 	results = append(results, adaptiveRepeat()...)
+	results = append(results, mixedRailKinds()...)
 
 	enc, err := json.MarshalIndent(results, "", "  ")
 	if err != nil {
@@ -123,6 +125,76 @@ func tcpOneWay(iters int) []Result {
 			NsPerOp:     float64(host.Nanoseconds()),
 			BytesPerSec: float64(size) / host.Seconds(),
 		})
+	}
+	return out
+}
+
+// shmOneWay reports real one-way time and throughput over the
+// shared-memory ring fabric — the intra-host PIO regime the loopback
+// TCP rows are compared against.
+func shmOneWay(iters int) []Result {
+	var out []Result
+	c := mustCluster(multirail.Config{Fabric: multirail.FabricShm, ShmRails: 2, SamplingMax: 1 << 20})
+	defer c.Close()
+	for _, size := range []int{64 << 10, 1 << 20, 4 << 20} {
+		workload.MedianOneWay(c, size, 1) // warm-up
+		host := timeOp(iters, func() { workload.MedianOneWay(c, size, 1) })
+		out = append(out, Result{
+			Op:          fmt.Sprintf("shm/oneway/%dB", size),
+			NsPerOp:     float64(host.Nanoseconds()),
+			BytesPerSec: float64(size) / host.Seconds(),
+		})
+	}
+	return out
+}
+
+// mixedRailKinds runs a mixed small+large workload over the
+// heterogeneous 1 shm + 2 TCP fabric with the adaptive loop on, and
+// emits one row per rail KIND: how many messages and bytes each kind of
+// rail carried (node 0's sent traffic, start-up sampling excluded).
+// This is the trajectory metric for the shm rail: small messages should
+// concentrate on shm, rendezvous bulk should stripe over everything.
+func mixedRailKinds() []Result {
+	c := mustCluster(multirail.Config{
+		Live: true, ShmRails: 1, TCPRails: 2,
+		SamplingMax: 1 << 20, AdaptiveTelemetry: true,
+	})
+	defer c.Close()
+	base := c.RailStats(0)
+	const smalls, smallSz, bigs, bigSz = 48, 2 << 10, 8, 1 << 20
+	host := timeOp(1, func() {
+		workload.MedianOneWay(c, smallSz, smalls)
+		workload.MedianOneWay(c, bigSz, bigs)
+	})
+	after := c.RailStats(0)
+	kinds := map[string]*Result{}
+	order := []string{}
+	var totalBytes float64
+	for r := range after {
+		kind := c.RailKind(r)
+		row := kinds[kind]
+		if row == nil {
+			row = &Result{
+				Op:      fmt.Sprintf("mixed/railkind/%s", kind),
+				NsPerOp: float64(host.Nanoseconds()),
+				Extra:   map[string]float64{"rails": 0, "messages": 0, "bytes": 0},
+			}
+			kinds[kind] = row
+			order = append(order, kind)
+		}
+		row.Extra["rails"]++
+		row.Extra["messages"] += float64(after[r].Messages - base[r].Messages)
+		row.Extra["bytes"] += float64(after[r].Bytes - base[r].Bytes)
+		totalBytes += float64(after[r].Bytes - base[r].Bytes)
+	}
+	var out []Result
+	for _, kind := range order {
+		row := kinds[kind]
+		if totalBytes > 0 {
+			row.Extra["byte_share"] = row.Extra["bytes"] / totalBytes
+		}
+		row.BytesPerSec = row.Extra["bytes"] / host.Seconds()
+		out = append(out, *row)
 	}
 	return out
 }

@@ -4,7 +4,7 @@
 // Usage:
 //
 //	nmping [-strategy hetero|iso|single] [-min 4] [-max 8388608]
-//	       [-iters 3] [-live] [-rails 2] [-sampling FILE]
+//	       [-iters 3] [-live] [-rails 2] [-shm-rails 1] [-sampling FILE]
 //
 // With -live the sweep runs over the live TCP fabric: every rail is a
 // real TCP connection (loopback by default) and the engine moves real
@@ -44,6 +44,7 @@ func main() {
 	iters := flag.Int("iters", 3, "iterations per size")
 	live := flag.Bool("live", false, "wall-clock execution over real TCP rails")
 	rails := flag.Int("rails", 2, "TCP rail count (live mode)")
+	shmRails := flag.Int("shm-rails", 0, "shared-memory rail count (live mode; rides alongside the TCP rails as a mixed heterogeneous fabric)")
 	samplingFile := flag.String("sampling", "", "load sampling from file (see cmd/nmsample)")
 	traceOne := flag.Bool("trace", false, "dump the engine timeline of one max-size transfer")
 	showStats := flag.Bool("stats", false, "print per-shard and per-worker engine stats plus the current plan per size after the sweep")
@@ -58,8 +59,11 @@ func main() {
 		}
 		return
 	}
-	cfg := multirail.Config{Live: *live, TCPRails: *rails, Workers: *workers, Shards: *shards,
-		AdaptiveTelemetry: *adaptive}
+	cfg := multirail.Config{Live: *live, TCPRails: *rails, ShmRails: *shmRails,
+		Workers: *workers, Shards: *shards, AdaptiveTelemetry: *adaptive}
+	if *shmRails > 0 {
+		cfg.Live = true
+	}
 	var collector *multirail.TraceCollector
 	if *traceOne {
 		collector = multirail.NewTraceCollector()
@@ -112,8 +116,8 @@ func main() {
 	fmt.Printf("# rail traffic (node 0):\n")
 	states := c.RailStates(0)
 	for r, st := range c.RailStats(0) {
-		fmt.Printf("#   rail %d [%s]: %d msgs, %s, busy %v\n",
-			r, states[r], st.Messages, stats.SizeLabel(int(st.Bytes)), st.BusyTime.Round(time.Microsecond))
+		fmt.Printf("#   rail %d (%s) [%s]: %d msgs, %s, busy %v\n",
+			r, c.RailKind(r), states[r], st.Messages, stats.SizeLabel(int(st.Bytes)), st.BusyTime.Round(time.Microsecond))
 	}
 	if *showStats {
 		fmt.Printf("# chosen plan per size (node 0 -> 1, current estimates):\n")

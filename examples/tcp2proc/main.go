@@ -10,6 +10,15 @@
 //	tcp2proc -role server -listen 127.0.0.1:9500
 //	tcp2proc -role client -peer   127.0.0.1:9500
 //
+// With -shm-rails N (same value and -shm-dir on both sides) the two
+// processes additionally share N mmap-backed shared-memory rails: the
+// lower-id process creates ring files under -shm-dir, the other
+// attaches, and intra-host traffic gets a genuine PIO-regime lane next
+// to the TCP ones:
+//
+//	tcp2proc -role server -listen 127.0.0.1:9500 -shm-rails 1 -shm-dir /tmp/nm2proc
+//	tcp2proc -role client -peer   127.0.0.1:9500 -shm-rails 1 -shm-dir /tmp/nm2proc
+//
 // The client sends a burst of small messages (aggregated into eager
 // containers) followed by a large payload (striped over every rail via
 // RTS/CTS rendezvous); the server verifies both and answers with its own
@@ -43,13 +52,21 @@ func main() {
 	listen := flag.String("listen", "127.0.0.1:9500", "server: address the rails accept on")
 	peer := flag.String("peer", "127.0.0.1:9500", "client: server address to dial")
 	rails := flag.Int("rails", 2, "number of TCP rails")
+	shmRails := flag.Int("shm-rails", 0, "number of mmap-backed shared-memory rails (both processes must run on one host)")
+	shmDir := flag.String("shm-dir", "", "directory for the shm ring files (required with -shm-rails; same on both sides)")
 	flag.Parse()
 
+	if *shmRails > 0 && *shmDir == "" {
+		fmt.Fprintln(os.Stderr, "tcp2proc: -shm-rails needs -shm-dir")
+		os.Exit(2)
+	}
 	cfg := multirail.Config{
 		Fabric:      multirail.FabricTCP,
 		Distributed: true,
 		Nodes:       2,
 		TCPRails:    *rails,
+		ShmRails:    *shmRails,
+		ShmDir:      *shmDir,
 	}
 	var local, remote int
 	switch *role {
@@ -65,7 +82,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "tcp2proc: -role must be server or client")
 		os.Exit(2)
 	}
-	fmt.Printf("# %s: node %d, %d TCP rails, waiting for peer...\n", *role, local, *rails)
+	if *shmRails > 0 {
+		fmt.Printf("# %s: node %d, %d TCP + %d shm rails, waiting for peer...\n", *role, local, *rails, *shmRails)
+	} else {
+		fmt.Printf("# %s: node %d, %d TCP rails, waiting for peer...\n", *role, local, *rails)
+	}
 	c, err := multirail.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -129,7 +150,7 @@ func main() {
 		st.RdvSent, st.ChunksSent, stats.SizeLabel(int(st.BytesSent)))
 	for r := 0; r < c.Rails(); r++ {
 		rs := c.RailStats(local)[r]
-		fmt.Printf("#   rail %d: %d msgs, %s sent\n", r, rs.Messages, stats.SizeLabel(int(rs.Bytes)))
+		fmt.Printf("#   rail %d (%s): %d msgs, %s sent\n", r, c.RailKind(r), rs.Messages, stats.SizeLabel(int(rs.Bytes)))
 	}
 }
 

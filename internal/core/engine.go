@@ -59,6 +59,7 @@ import (
 	"repro/internal/strategy"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
+	"repro/internal/wire"
 )
 
 // EagerPolicy selects how eager packets are scheduled.
@@ -151,11 +152,21 @@ type Engine struct {
 	seen *progress.Dedup                   // receiver-side duplicate window
 
 	// Adaptive telemetry (nil/empty when Config.Telemetry is nil).
-	tele      *telemetry.Tracker
-	cache     *telemetry.Cache
-	est       [][]strategy.Estimator // [peer][rail] live estimators
-	adaptive  *strategy.Adaptive     // set when the splitter is the adaptive chooser
-	planCount atomic.Uint64          // rendezvous decisions (rail-probe cadence)
+	tele       *telemetry.Tracker
+	cache      *telemetry.Cache
+	est        [][]strategy.Estimator // [peer][rail] live estimators
+	adaptive   *strategy.Adaptive     // set when the splitter is the adaptive chooser
+	planCount  atomic.Uint64          // rendezvous decisions (rail-probe cadence)
+	eagerCount atomic.Uint64          // eager container decisions (eager rail-probe cadence)
+
+	// Eager/rendezvous threshold state. thrStatic caches each rail's
+	// sampled threshold (profiles are immutable); the live per-peer
+	// derivation (threshold.go) caches into thrLive and tracks the last
+	// derived size bucket per (peer, rail) in thrBucket so a crossing
+	// can invalidate cached plans.
+	thrStatic []int
+	thrLive   []atomic.Pointer[thrEntry]
+	thrBucket []atomic.Int32
 
 	nextMsgID atomic.Uint64
 
@@ -313,6 +324,10 @@ func NewEngine(env rt.Env, node fabric.Node, profiles []*sampling.RailProfile, c
 		s.rdvOut = make(map[uint64]*pendingRdv)
 		s.outstanding = make(map[ackKey]*unit)
 	}
+	e.thrStatic = make([]int, len(profiles))
+	for r, p := range profiles {
+		e.thrStatic[r] = p.Threshold()
+	}
 	if cfg.Telemetry != nil {
 		if cfg.Telemetry.Rails() != node.NumRails() {
 			return nil, fmt.Errorf("core: telemetry tracks %d rails, node has %d",
@@ -321,12 +336,25 @@ func NewEngine(env rt.Env, node fabric.Node, profiles []*sampling.RailProfile, c
 		e.tele = cfg.Telemetry
 		e.cache = cfg.PlanCache
 		e.adaptive, _ = cfg.Splitter.(*strategy.Adaptive)
+		if e.adaptive != nil {
+			// Plan-cache coherence is the engine's own responsibility:
+			// when observed outcomes flip a warm single-vs-split verdict,
+			// plans cached under the old verdict must go stale — chain
+			// the epoch bump here instead of trusting every caller to
+			// wire it.
+			e.adaptive.ChainVerdictChange(e.tele.BumpEpoch)
+		}
 		e.est = make([][]strategy.Estimator, e.tele.Peers())
 		for peer := range e.est {
 			e.est[peer] = make([]strategy.Estimator, node.NumRails())
 			for r := range e.est[peer] {
 				e.est[peer][r] = e.tele.Estimator(peer, r, profiles[r])
 			}
+		}
+		e.thrLive = make([]atomic.Pointer[thrEntry], e.tele.Peers())
+		e.thrBucket = make([]atomic.Int32, e.tele.Peers()*node.NumRails())
+		for i := range e.thrBucket {
+			e.thrBucket[i].Store(-1)
 		}
 		// Have the transfer layer report wire-level measurements too.
 		if on, ok := node.(fabric.ObservableNode); ok {
@@ -435,14 +463,6 @@ func (e *Engine) newID() uint64 {
 	return e.nextMsgID.Add(1)
 }
 
-// railViews snapshots the strategy's view of every rail, marking
-// non-Up rails so every splitter excludes them. It uses the static
-// sampled estimators; destination-specific decisions should prefer
-// railViewsFor, which substitutes the live telemetry estimates.
-func (e *Engine) railViews() []strategy.RailView {
-	return e.railViewsFor(-1)
-}
-
 // railViewsFor snapshots the rail views for a decision about one
 // destination: with telemetry on, each rail's estimator is the live
 // (peer, rail) blend instead of the start-up table — the strategies
@@ -484,20 +504,77 @@ func (e *Engine) probeEvery() int {
 }
 
 // observeUnit folds one acknowledged transfer unit into the telemetry:
-// the one-way estimate is half the measured ack round trip. It runs on
-// the progress worker (or progression actor) that handled the ack.
-func (e *Engine) observeUnit(peer, rail, bytes int, sentAt time.Duration) {
+// the one-way estimate is half the measured ack round trip. Eager
+// containers additionally feed the eager observation plane with the
+// ack-leg-compensated round trip (see ackLeg) — the quantity comparable
+// to the sampled eager curve the plane blends with. It runs on the
+// progress worker (or progression actor) handling the ack.
+func (e *Engine) observeUnit(peer, rail, bytes int, sentAt time.Duration, eager bool) {
 	if e.tele == nil || sentAt <= 0 {
 		return
 	}
 	if rtt := e.env.Now() - sentAt; rtt > 0 {
 		e.tele.Observe(peer, rail, bytes, rtt/2)
+		if eager {
+			e.tele.ObservePath(telemetry.PathEager, peer, rail, bytes, e.lessAckLeg(rail, rtt))
+		}
 	}
+}
+
+// lessAckLeg subtracts the estimated ack return leg from a protocol
+// round trip, flooring at half. The threshold planes blend their
+// observations with the one-way sampled curves (measureEager,
+// measureRdv), which stop the clock at delivery; our measurements stop
+// at the ack. Without the compensation a half-warm plane mixes
+// RTT-scale samples with one-way priors and the derived crossover dips
+// below the sampled one with no real change on the wire. The ack is a
+// header-sized control message, so its leg is approximated by the
+// rail's sampled estimate at that size.
+func (e *Engine) lessAckLeg(rail int, d time.Duration) time.Duration {
+	leg := e.profiles[rail].Estimate(wire.HeaderSize)
+	if adj := d - leg; adj > d/2 {
+		return adj
+	}
+	return d / 2
+}
+
+// observeRdvPath arranges for a single-rail rendezvous to feed the
+// telemetry's rendezvous plane: the whole-message time from RTS to the
+// last ack (minus the estimated ack leg, see lessAckLeg), on the one
+// rail that carried it — comparable to what the start-up sampling's
+// rendezvous curve measured, so the live eager threshold can blend the
+// two. Striped messages are not attributable to one rail and are
+// skipped.
+func (e *Engine) observeRdvPath(r *SendRequest, chunks []strategy.Chunk) {
+	if e.tele == nil || len(chunks) == 0 || r.rdvStart <= 0 {
+		return
+	}
+	rail := chunks[0].Rail
+	for _, c := range chunks[1:] {
+		if c.Rail != rail {
+			return
+		}
+	}
+	peer, n, start := r.To, len(r.Data), r.rdvStart
+	r.acked.OnFire(func() {
+		if r.failedOver.Load() {
+			// A replayed unit's time includes the failover stall and may
+			// have travelled another rail entirely; charging it to the
+			// planned rail would poison its regime fit (same exclusion
+			// observeUnit applies to replayed units).
+			return
+		}
+		if d := e.env.Now() - start; d > 0 {
+			e.tele.ObservePath(telemetry.PathRdv, peer, rail, n, e.lessAckLeg(rail, d))
+		}
+	})
 }
 
 // observeOutcome arranges for the adaptive chooser to learn this
 // message's remote-completion time under the mode that scheduled it.
-func (e *Engine) observeOutcome(r *SendRequest, mode strategy.Mode) {
+// eager selects the chooser's eager outcome namespace — eager and
+// rendezvous completions of one size class are not comparable costs.
+func (e *Engine) observeOutcome(r *SendRequest, mode strategy.Mode, eager bool) {
 	if e.tele == nil || e.adaptive == nil {
 		return
 	}
@@ -508,7 +585,13 @@ func (e *Engine) observeOutcome(r *SendRequest, mode strategy.Mode) {
 	start := e.env.Now()
 	obs := e.adaptive
 	r.acked.OnFire(func() {
-		if d := e.env.Now() - start; d > 0 {
+		d := e.env.Now() - start
+		if d <= 0 {
+			return
+		}
+		if eager {
+			obs.ObserveEagerOutcome(n, mode, d)
+		} else {
 			obs.ObserveOutcome(n, mode, d)
 		}
 	})
@@ -609,12 +692,30 @@ func (e *Engine) trace(kind trace.Kind, msgID uint64, rail, size int, note strin
 }
 
 // eagerThreshold returns the size up to which the engine prefers the
-// eager path: the largest sampled rendezvous threshold over the rails.
+// eager path: the largest sampled rendezvous threshold over the USABLE
+// rails. Down and Suspect rails are excluded — a dead rail's profile
+// must not decide the protocol for traffic the survivors will carry
+// (its threshold may be far off theirs on a heterogeneous rail set).
+// Rail states are read at every decision, so the answer tracks health
+// transitions with no staleness window. When no rail is Up the full
+// set decides: the units will park or fail over regardless, and a
+// stable answer beats a degenerate zero threshold.
 func (e *Engine) eagerThreshold() int {
-	thr := 0
-	for _, p := range e.profiles {
-		if t := p.Threshold(); t > thr {
+	thr, usable := 0, false
+	for r, t := range e.thrStatic {
+		if e.node.Rail(r).State() != fabric.RailUp {
+			continue
+		}
+		usable = true
+		if t > thr {
 			thr = t
+		}
+	}
+	if !usable {
+		for _, t := range e.thrStatic {
+			if t > thr {
+				thr = t
+			}
 		}
 	}
 	return thr

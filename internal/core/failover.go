@@ -108,7 +108,7 @@ func (e *Engine) onAck(from int, h wire.Header) {
 	// the replacement rail with the resend's timestamp would record a
 	// spuriously instant transfer.
 	if !u.replayed {
-		e.observeUnit(from, u.rail, u.bytes(), u.sentAt)
+		e.observeUnit(from, u.rail, u.bytes(), u.sentAt, !u.isChunk())
 	}
 	if u.isChunk() {
 		u.req.ackDone()
@@ -293,6 +293,9 @@ func (e *Engine) resendContainer(ctx rt.Ctx, u *unit, views []strategy.RailView)
 	u.sentAt = e.env.Now() // the replay's round trip starts now
 	u.replayed = true
 	us.mu.Unlock()
+	for _, r := range u.reqs {
+		r.failedOver.Store(true)
+	}
 	e.stats.failedOver.Add(1)
 	// The frame is resent verbatim: its header rail byte still names
 	// the dead rail, but that field is diagnostics-only and the slice
@@ -325,6 +328,7 @@ func (e *Engine) resendChunk(ctx rt.Ctx, u *unit, views []strategy.RailView) {
 		newUnits = append(newUnits, nu)
 	}
 	us.mu.Unlock()
+	u.req.failedOver.Store(true)
 	e.stats.failedOver.Add(1)
 	// The old unit's ack slot is retired only after the replacements
 	// are counted, so the request's remote completion cannot fire early.
@@ -351,6 +355,7 @@ func (e *Engine) resendRTS(ctx rt.Ctx, msgID uint64, p *pendingRdv, views []stra
 	}
 	p.rail = rail
 	us.mu.Unlock()
+	p.req.failedOver.Store(true)
 	prof := e.node.Rail(rail).Profile()
 	rts := wire.EncodeControl(wire.KindRTS, uint8(rail), p.req.Tag, msgID, uint64(len(p.req.Data)))
 	e.trace(trace.RTSSent, msgID, rail, len(p.req.Data), "failover")

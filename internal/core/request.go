@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/rt"
 )
@@ -19,6 +21,15 @@ type SendRequest struct {
 	done  rt.Event
 	acked rt.Event
 	msgID uint64
+
+	// rdvStart is when the rendezvous handshake began (telemetry's
+	// whole-rendezvous clock); zero for eager sends. Written once by the
+	// flush worker before the RTS leaves, read by the ack completion.
+	rdvStart time.Duration
+	// failedOver marks a request some unit of which was replayed onto
+	// another rail: its end-to-end time includes the failover stall and
+	// must not train the original rail's telemetry.
+	failedOver atomic.Bool
 
 	mu         sync.Mutex
 	pending    int // outstanding chunks before Done fires

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/marcel"
 	"repro/internal/model"
@@ -52,7 +53,7 @@ func (e *Engine) IsendV(to int, tag uint32, v wire.IOVec) *SendRequest {
 // worker, never the callers and never other destinations (see the
 // slow-rail regression test).
 func (e *Engine) flushDest(ctx rt.Ctx, to int, batch []*SendRequest) {
-	thr := e.eagerThreshold()
+	thr := e.EagerThresholdTo(to)
 	var eagers []*SendRequest
 	for _, r := range batch {
 		if len(r.Data) <= thr {
@@ -92,8 +93,11 @@ func (e *Engine) sendEagerGreedy(ctx rt.Ctx, to int, batch []*SendRequest) {
 		r.addPending(1)
 		e.registerContainer(cid, to, rail, frame, []*SendRequest{r})
 		e.trace(trace.EagerSent, r.msgID, rail, len(r.Data), "greedy")
-		e.node.Rail(rail).SendEager(ctx, to, frame)
+		// Stats before the transport enqueue: the receiver's ack can fire
+		// RemoteDone before this worker resumes, and a counter that lags
+		// remote completion reads as a lost message to an observer.
 		e.bumpEager(1, 0, 0, len(r.Data))
+		e.node.Rail(rail).SendEager(ctx, to, frame)
 		r.chunkDone()
 	}
 }
@@ -116,11 +120,11 @@ func (e *Engine) sendEagerAggregate(ctx rt.Ctx, to int, batch []*SendRequest) {
 			usePar = e.adaptive.PreferParallel(len(r.Data), parallel.Predicted, single.Predicted)
 		}
 		if usePar {
-			e.observeOutcome(r, strategy.ModeParallel)
+			e.observeOutcome(r, strategy.ModeParallel, true)
 			e.sendEagerParallel(r, to, *parallel)
 			return
 		}
-		e.observeOutcome(r, strategy.ModeSingle)
+		e.observeOutcome(r, strategy.ModeSingle, true)
 	}
 	// Fill containers up to the chosen rail's eager limit, fastest rail
 	// first ("aggregate the messages and send them over the fastest
@@ -138,8 +142,7 @@ func (e *Engine) sendEagerAggregate(ctx rt.Ctx, to int, batch []*SendRequest) {
 		if pickSize == 0 {
 			pickSize = 1
 		}
-		single := strategy.SingleRail{}.Split(pickSize, now, rails)
-		rail := single[0].Rail
+		rail := e.pickEagerRail(pickSize, now, rails)
 		limit := e.profiles[rail].EagerMax
 		for i < len(batch) {
 			r := batch[i]
@@ -159,16 +162,68 @@ func (e *Engine) sendEagerAggregate(ctx rt.Ctx, to int, batch []*SendRequest) {
 		}
 		e.registerContainer(cid, to, rail, frame, group)
 		e.trace(trace.EagerSent, group[0].msgID, rail, total, fmt.Sprintf("%d packets aggregated", len(group)))
-		e.node.Rail(rail).SendEager(ctx, to, frame)
 		agg := 0
 		if len(group) > 1 {
 			agg = len(group)
 		}
+		// Stats before the transport enqueue: the receiver's ack can fire
+		// RemoteDone before this worker resumes, and a counter that lags
+		// remote completion reads as a lost message to an observer.
 		e.bumpEager(len(group), agg, 0, total)
+		e.node.Rail(rail).SendEager(ctx, to, frame)
 		for _, r := range group {
 			r.chunkDone()
 		}
 	}
+}
+
+// pickEagerRail chooses an eager container's rail: normally the single
+// best by current estimate. In adaptive mode every probeEvery()-th
+// container instead rotates over the other usable rails — the
+// eager-path analogue of the rendezvous iso probe. Without it a wrong
+// estimate is self-sustaining: the argmin never places small traffic on
+// the rails it dislikes, so they never produce the small-size
+// observations that would rehabilitate them (a freshly warmed shm rail
+// whose fit was extrapolated from large transfers, say).
+//
+// Candidates are restricted to rails whose EagerMax admits the payload:
+// on a heterogeneous set the flush threshold is the max over usable
+// rails, so a size can be eager-eligible overall yet oversized for an
+// individual rail's PIO regime — shipping it there would violate that
+// rail's contract. If no usable rail admits it (a health transition
+// raced the flush decision), the unfiltered pick stands: the container
+// is tolerated oversized, exactly as before rails were heterogeneous.
+func (e *Engine) pickEagerRail(n int, now time.Duration, rails []strategy.RailView) int {
+	fit := make([]strategy.RailView, 0, len(rails))
+	anyUp := false
+	for _, v := range rails {
+		if v.EagerMax == 0 || n <= v.EagerMax {
+			fit = append(fit, v)
+			anyUp = anyUp || !v.Down
+		}
+	}
+	if !anyUp {
+		fit = rails
+	}
+	best := strategy.SingleRail{}.Split(n, now, fit)[0].Rail
+	pe := e.probeEvery()
+	if pe == 0 {
+		return best
+	}
+	c := e.eagerCount.Add(1)
+	if c%uint64(pe) != 0 {
+		return best
+	}
+	usable := strategy.Usable(fit)
+	if len(usable) <= 1 {
+		return best
+	}
+	probe := usable[int(c/uint64(pe))%len(usable)].Index
+	if probe == best {
+		probe = usable[int(c/uint64(pe)+1)%len(usable)].Index
+	}
+	e.trace(trace.Decision, 0, probe, n, "probe: eager rail")
+	return probe
 }
 
 // sendEagerParallel executes a parallel eager plan (Fig 7): each chunk is
@@ -186,6 +241,10 @@ func (e *Engine) sendEagerParallel(r *SendRequest, to int, plan strategy.EagerPl
 	}
 	e.trace(trace.Decision, r.msgID, -1, len(r.Data),
 		fmt.Sprintf("parallel eager: %d chunks, predicted %v", len(plan.Chunks), plan.Predicted))
+	// Stats before the tasklets can run: an offloaded chunk's ack can
+	// fire RemoteDone before this worker resumes (same ordering as the
+	// greedy and aggregate paths).
+	e.bumpEager(1, 0, 1, len(r.Data))
 	for _, c := range plan.Chunks {
 		c := c
 		frame := wire.EncodeData(uint8(c.Rail), r.Tag, r.msgID, c.Offset,
@@ -199,7 +258,6 @@ func (e *Engine) sendEagerParallel(r *SendRequest, to int, plan strategy.EagerPl
 			},
 		})
 	}
-	e.bumpEager(1, 0, 1, len(r.Data))
 }
 
 func (e *Engine) bumpEager(sent, agg, par, bytes int) {
@@ -216,6 +274,7 @@ func (e *Engine) startRendezvous(ctx rt.Ctx, r *SendRequest) {
 	rails := e.railViewsFor(r.To)
 	pick := strategy.SingleRail{}.Split(wire.HeaderSize, e.env.Now(), rails)
 	rail := pick[0].Rail
+	r.rdvStart = e.env.Now() // whole-rendezvous clock (telemetry rdv plane)
 	us := e.unit(r.To, r.msgID)
 	us.mu.Lock()
 	us.rdvOut[r.msgID] = &pendingRdv{req: r, rail: rail}
@@ -243,8 +302,9 @@ func (e *Engine) onCTS(peer int, msgID uint64) {
 	r := p.req
 	chunks, outcome := e.planRdv(r.To, len(r.Data))
 	if outcome != nil {
-		e.observeOutcome(r, *outcome)
+		e.observeOutcome(r, *outcome, false)
 	}
+	e.observeRdvPath(r, chunks)
 	e.stats.chunksSent.Add(uint64(len(chunks)))
 	e.stats.bytesSent.Add(uint64(len(r.Data)))
 	r.addPending(len(chunks))

@@ -1,0 +1,139 @@
+package core
+
+import (
+	"repro/internal/fabric"
+	"repro/internal/telemetry"
+)
+
+// This file derives the eager/rendezvous threshold from live telemetry.
+//
+// Statically the threshold is the crossover of two sampled curves — the
+// eager (PIO) regime and the rendezvous (handshake + DMA) regime — and
+// it freezes at start-up. Under adaptive telemetry the engine re-derives
+// it per (peer, rail) from the per-path observation planes the tracker
+// keeps: eager-container times warm the eager curve away from its
+// sampled prior, whole single-rail rendezvous times warm the rendezvous
+// curve, and the crossover of the two *blended* curves is the live
+// threshold. Cold planes reproduce the priors, so with no traffic the
+// derived threshold matches the sampled one; when one regime degrades —
+// a congested rail stretches copies much more than handshakes — the
+// crossover moves and the protocol choice follows the wire, not the
+// launch-time table.
+
+// thrEntry caches one peer's derived threshold for an (epoch, rail-set)
+// regime; either moving invalidates it.
+type thrEntry struct {
+	epoch  uint64
+	upMask uint64
+	thr    int
+}
+
+// upMask snapshots which rails are currently Up (bounded at 64 rails —
+// far beyond any configuration here; rails past that only invalidate
+// slightly more often).
+func (e *Engine) upMask() uint64 {
+	var m uint64
+	for r := 0; r < e.node.NumRails() && r < 64; r++ {
+		if e.node.Rail(r).State() == fabric.RailUp {
+			m |= 1 << uint(r)
+		}
+	}
+	return m
+}
+
+// EagerThresholdTo returns the size up to which the engine prefers the
+// eager path for traffic to `peer`: with adaptive telemetry the live
+// derived per-(peer, rail) crossover over the usable rails, otherwise
+// the static usable-rail maximum. Exported for diagnostics and tests
+// (multirail.Cluster.EagerThreshold).
+func (e *Engine) EagerThresholdTo(peer int) int {
+	if e.tele == nil || peer < 0 || peer >= len(e.thrLive) {
+		return e.eagerThreshold()
+	}
+	epoch, mask := e.tele.Epoch(), e.upMask()
+	if ent := e.thrLive[peer].Load(); ent != nil && ent.epoch == epoch && ent.upMask == mask {
+		return ent.thr
+	}
+	thr := e.deriveThreshold(peer, mask)
+	// Re-read the epoch: deriveThreshold may have bumped it on a bucket
+	// crossing, and caching under the pre-bump epoch would only cost one
+	// extra (idempotent) recompute.
+	e.thrLive[peer].Store(&thrEntry{epoch: e.tele.Epoch(), upMask: mask, thr: thr})
+	return thr
+}
+
+// deriveThreshold computes the live threshold towards one peer: the
+// maximum over usable rails of the per-(peer, rail) crossover. Whenever
+// a rail's derived crossover moves into a different size bucket, the
+// telemetry epoch is bumped: cached plans were computed against the old
+// eager/rendezvous split of traffic, and must be re-planned (the
+// ROADMAP's "telemetry-driven eager threshold" item).
+func (e *Engine) deriveThreshold(peer int, mask uint64) int {
+	nr := e.node.NumRails()
+	thr, usable := 0, false
+	for r := 0; r < nr; r++ {
+		lt := e.liveThreshold(peer, r)
+		slot := &e.thrBucket[peer*nr+r]
+		if nb := int32(telemetry.SizeBucket(lt)); slot.Load() != nb {
+			if old := slot.Swap(nb); old >= 0 && old != nb {
+				e.tele.BumpEpoch()
+			}
+		}
+		if mask&(1<<uint(r)) == 0 {
+			continue
+		}
+		usable = true
+		if lt > thr {
+			thr = lt
+		}
+	}
+	if !usable {
+		return e.eagerThreshold()
+	}
+	return thr
+}
+
+// liveThreshold derives one (peer, rail) eager/rendezvous crossover
+// from the blended per-path estimators, mirroring what
+// sampling.RailProfile.Threshold does over the static tables: the
+// smallest size at which the rendezvous estimate beats the eager one,
+// found by a power-of-two scan refined by bisection, capped at the
+// rail's eager limit.
+func (e *Engine) liveThreshold(peer, rail int) int {
+	prof := e.profiles[rail]
+	if prof.Eager == nil {
+		return 0 // the rail has no eager path at all
+	}
+	limit := prof.EagerMax
+	if limit == 0 {
+		limit = prof.Eager.MaxSize()
+	}
+	if limit < 1 {
+		return 0
+	}
+	eag := e.tele.PathEstimator(telemetry.PathEager, peer, rail, prof.Eager)
+	rdv := e.tele.PathEstimator(telemetry.PathRdv, peer, rail, prof.Rdv)
+	lo, hi := 0, 0
+	for s := 1; ; s *= 2 {
+		if s > limit {
+			s = limit
+		}
+		if rdv.Estimate(s) < eag.Estimate(s) {
+			hi = s
+			break
+		}
+		if s == limit {
+			return limit // eager wins everywhere it is allowed
+		}
+		lo = s
+	}
+	for hi-lo > 1 {
+		mid := lo + (hi-lo)/2
+		if rdv.Estimate(mid) < eag.Estimate(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}

@@ -612,7 +612,11 @@ func (f *Fabric) writeLoop(l *link) {
 			// sleep, and spiral. Occupancy (took) keeps the full delay.
 			calib := time.Since(writeStart)
 			took := time.Since(start)
-			of.finish(took, calib, true)
+			// A failed write is not traffic: counting it would credit the
+			// rail with bytes that never fully reached the wire, and its
+			// near-instant failure duration would calibrate the rate EWMA
+			// with a bogus multi-GB/s sample on a dying connection.
+			of.finish(took, calib, err == nil)
 			if err == nil {
 				of.rail.node.observeWrite(l.peer, of.rail.index, len(of.data), took)
 			}
@@ -1139,7 +1143,7 @@ func (r *Rail) noteWritten(n int, took, calib time.Duration, written bool) {
 		r.stats.Bytes += uint64(n)
 	}
 	r.stats.BusyTime += took
-	if n >= rateCalibMin && calib > 0 {
+	if written && n >= rateCalibMin && calib > 0 {
 		inst := float64(n) / calib.Seconds()
 		r.rate = 0.7*r.rate + 0.3*inst
 	}

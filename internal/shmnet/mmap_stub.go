@@ -1,0 +1,19 @@
+//go:build !unix
+
+package shmnet
+
+import (
+	"errors"
+	"time"
+)
+
+// mapping is unavailable on platforms without mmap support: only the
+// hosted (heap-backed) fabric works there.
+type mapping struct{}
+
+func (m *mapping) region(off, n int) []byte { return nil }
+func (m *mapping) close()                   {}
+
+func attachPair(dir string, lo, hi, rail, ringBytes int, create bool, timeout time.Duration) (*mapping, error) {
+	return nil, errors.New("shmnet: distributed (mmap-backed) mode requires a unix platform")
+}

@@ -1,0 +1,148 @@
+//go:build unix
+
+package shmnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync/atomic"
+	"syscall"
+	"time"
+	"unsafe"
+)
+
+// Ring files hold both directions of one (node pair, rail) lane:
+//
+//	[0,8)   magic (written last by the creator: the readiness signal)
+//	[8,12)  ring payload bytes per direction
+//	[12,64) reserved
+//	[64,..) ring lo->hi, then ring hi->lo
+//
+// The lower node id creates the file; the higher id attaches, polling
+// until the magic appears. The directory must not hold ring files of a
+// previous session — a stale file's magic would let the attacher adopt
+// garbage cursors.
+const fileMagic = 0x31474e5248534d4e // "NMSHRNG1" little-endian
+
+const fileHdrSize = 64
+
+// mapping is one mmap'd ring file.
+type mapping struct {
+	data    []byte
+	file    *os.File
+	path    string
+	creator bool
+}
+
+// region returns the off-th byte range of the payload area (after the
+// file header).
+func (m *mapping) region(off, n int) []byte {
+	return m.data[fileHdrSize+off : fileHdrSize+off+n : fileHdrSize+off+n]
+}
+
+// close unmaps and, on the creating side, unlinks the file so a later
+// session starts fresh. Best-effort: teardown has no error consumer.
+func (m *mapping) close() {
+	if m.data != nil {
+		_ = syscall.Munmap(m.data)
+		m.data = nil
+	}
+	if m.file != nil {
+		_ = m.file.Close()
+		m.file = nil
+	}
+	if m.creator {
+		_ = os.Remove(m.path)
+	}
+}
+
+// pairPath names the ring file of one (node pair, rail) lane.
+func pairPath(dir string, lo, hi, rail int) string {
+	return filepath.Join(dir, fmt.Sprintf("pair-%d-%d-rail%d.shmring", lo, hi, rail))
+}
+
+// attachPair creates (create=true) or attaches to the mmap-backed ring
+// file of one lane. The creator sizes and zeroes the file, lays out both
+// rings and publishes the magic; the attacher polls for the magic up to
+// timeout.
+func attachPair(dir string, lo, hi, rail, ringBytes int, create bool, timeout time.Duration) (*mapping, error) {
+	path := pairPath(dir, lo, hi, rail)
+	total := fileHdrSize + 2*ringRegionSize(ringBytes)
+	if create {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, fmt.Errorf("shmnet: ring dir: %w", err)
+		}
+		// O_TRUNC resets a stale file's magic before anything can map it.
+		fd, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_RDWR, 0o644)
+		if err != nil {
+			return nil, fmt.Errorf("shmnet: create ring file: %w", err)
+		}
+		if err := fd.Truncate(int64(total)); err != nil {
+			_ = fd.Close()
+			return nil, fmt.Errorf("shmnet: size ring file: %w", err)
+		}
+		m, err := mapFile(fd, path, total, true)
+		if err != nil {
+			return nil, err
+		}
+		binary.LittleEndian.PutUint32(m.data[8:], uint32(ringBytes))
+		newRing(m.region(0, ringRegionSize(ringBytes)), true)
+		newRing(m.region(ringRegionSize(ringBytes), ringRegionSize(ringBytes)), true)
+		// Publish: the magic store is the release barrier the attacher
+		// acquires through its polling load.
+		(*atomic.Uint64)(unsafe.Pointer(&m.data[0])).Store(fileMagic)
+		return m, nil
+	}
+	deadline := time.Now().Add(timeout)
+	for {
+		m, err := tryAttach(path, total, ringBytes)
+		if err == nil {
+			return m, nil
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("shmnet: waiting for peer ring file %s: %w", path, err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// tryAttach maps an existing ring file if it is fully published.
+func tryAttach(path string, total, ringBytes int) (*mapping, error) {
+	fd, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, err
+	}
+	st, err := fd.Stat()
+	if err != nil {
+		_ = fd.Close()
+		return nil, err
+	}
+	if st.Size() < int64(total) {
+		_ = fd.Close()
+		return nil, fmt.Errorf("ring file is %d bytes, want %d", st.Size(), total)
+	}
+	m, err := mapFile(fd, path, total, false)
+	if err != nil {
+		return nil, err
+	}
+	if (*atomic.Uint64)(unsafe.Pointer(&m.data[0])).Load() != fileMagic {
+		m.close()
+		return nil, fmt.Errorf("ring file not yet published")
+	}
+	if got := int(binary.LittleEndian.Uint32(m.data[8:])); got != ringBytes {
+		m.close()
+		return nil, fmt.Errorf("ring file has %d-byte rings, this process wants %d", got, ringBytes)
+	}
+	return m, nil
+}
+
+func mapFile(fd *os.File, path string, total int, creator bool) (*mapping, error) {
+	data, err := syscall.Mmap(int(fd.Fd()), 0, total, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		_ = fd.Close()
+		return nil, fmt.Errorf("shmnet: mmap %s: %w", path, err)
+	}
+	return &mapping{data: data, file: fd, path: path, creator: creator}, nil
+}

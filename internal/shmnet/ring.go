@@ -1,0 +1,232 @@
+// Package shmnet implements the fabric contract over shared-memory ring
+// buffers: the paper's PIO regime made real. Every rail of every node
+// pair is a pair of single-producer/single-consumer byte rings (one per
+// direction), moved by plain memory copies and polled by a reader
+// goroutine — no syscalls, no kernel path, no serialisation beyond the
+// ring cursors themselves.
+//
+// The rings are lock-free: the producer owns the tail cursor, the
+// consumer owns the head cursor, and both live *inside* the shared
+// region, accessed through atomics. That makes the same ring code work
+// over two backings:
+//
+//   - plain heap slices when all nodes are hosted in one process
+//     (NewHosted) — what the mixed shm+TCP cluster and the tests use;
+//   - an mmap-backed file per node pair when each node is its own OS
+//     process on one host (NewDistributed) — the two-process
+//     examples/tcp2proc case.
+//
+// Frames stream through the ring in pieces (the producer copies as space
+// frees, the consumer copies as bytes arrive), so a frame larger than
+// the ring still flows — the ring behaves like a socket, not a datagram
+// slot, and the engine's rendezvous chunks need no special casing.
+package shmnet
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"time"
+	"unsafe"
+)
+
+// Ring region layout. The cursors sit on their own cache lines so the
+// producer and consumer never false-share, and the whole header is part
+// of the shared region so a peer process sees the same state.
+const (
+	ringHeadOff   = 0   // consumer cursor (uint64, monotonically grows)
+	ringTailOff   = 64  // producer cursor (uint64, monotonically grows)
+	ringStatusOff = 128 // ring status word (uint32)
+	ringHdrSize   = 192 // data starts here
+)
+
+// Ring status values. The producer side owns transitions to goodbye;
+// either side (or a chaos hook) may set killed; Enable sets open again.
+const (
+	ringOpen    = 0 // traffic flows
+	ringGoodbye = 1 // producer closed gracefully: drain and stop
+	ringKilled  = 2 // rail killed (chaos): frames are discarded
+)
+
+// ring is one direction of one (node pair, rail) lane. Exactly one
+// goroutine writes (the link's writer) and one reads (the link's
+// reader); cross-process, each process holds one end.
+type ring struct {
+	head   *atomic.Uint64
+	tail   *atomic.Uint64
+	status *atomic.Uint32
+	data   []byte
+	size   uint64
+
+	region []byte // keeps the backing slice (or mapping) alive
+
+	// In-process wakeups (nil on mmap-backed rings, which can only
+	// poll): the producer nudges dataWake after publishing bytes, the
+	// consumer nudges spaceWake after freeing space. Buffered at 1 and
+	// re-checked after every wake, so the check-then-wait pattern loses
+	// no wakeup. Without these, a reader idling in its deep poll
+	// backoff charges the first frame of a burst the whole sleep — and
+	// a µs-class lane measured with a 200µs wake-up tax would lose to
+	// loopback TCP in the very telemetry that should favour it.
+	dataWake  chan struct{}
+	spaceWake chan struct{}
+}
+
+// ringRegionSize returns the bytes a ring with dataBytes of payload
+// space occupies.
+func ringRegionSize(dataBytes int) int { return ringHdrSize + dataBytes }
+
+// newRing lays a ring over region, whose first ringHdrSize bytes are the
+// header. init zeroes the cursors (the creating side passes true; an
+// attaching peer must not reset a live ring). The region must be 8-byte
+// aligned — heap slices and mmap'd pages both are.
+func newRing(region []byte, init bool) *ring {
+	if len(region) <= ringHdrSize {
+		panic(fmt.Sprintf("shmnet: ring region of %d bytes is smaller than the header", len(region)))
+	}
+	if uintptr(unsafe.Pointer(&region[0]))%8 != 0 {
+		panic("shmnet: ring region is not 8-byte aligned")
+	}
+	r := &ring{
+		head:   (*atomic.Uint64)(unsafe.Pointer(&region[ringHeadOff])),
+		tail:   (*atomic.Uint64)(unsafe.Pointer(&region[ringTailOff])),
+		status: (*atomic.Uint32)(unsafe.Pointer(&region[ringStatusOff])),
+		data:   region[ringHdrSize:],
+		size:   uint64(len(region) - ringHdrSize),
+		region: region,
+	}
+	if init {
+		r.head.Store(0)
+		r.tail.Store(0)
+		r.status.Store(ringOpen)
+	}
+	return r
+}
+
+// enableWake attaches in-process wakeup channels (hosted rings only —
+// a peer process cannot receive on our channels, so mmap rings poll).
+func (r *ring) enableWake() *ring {
+	r.dataWake = make(chan struct{}, 1)
+	r.spaceWake = make(chan struct{}, 1)
+	return r
+}
+
+// backoff is the poll pacing of a ring side waiting for the other: spin
+// (yielding) while the wait is fresh — a busy peer answers within
+// microseconds, which is the whole point of the PIO regime — then park
+// on the wake channel (in-process) or sleep in growing steps (mmap
+// rings, which can only poll).
+type backoff struct{ spins int }
+
+const (
+	backoffSpins    = 256
+	backoffMinSleep = 5 * time.Microsecond
+	backoffMaxSleep = 200 * time.Microsecond
+)
+
+func (b *backoff) wait(wake chan struct{}) {
+	b.spins++
+	if b.spins <= backoffSpins {
+		runtime.Gosched()
+		return
+	}
+	d := backoffMinSleep << uint(min(b.spins-backoffSpins, 6))
+	if d > backoffMaxSleep {
+		d = backoffMaxSleep
+	}
+	if wake == nil {
+		time.Sleep(d)
+		return
+	}
+	t := time.NewTimer(d)
+	select {
+	case <-wake:
+	case <-t.C:
+	}
+	t.Stop()
+}
+
+func (b *backoff) reset() { b.spins = 0 }
+
+// nudge wakes the other side of an in-process ring (no-op when full or
+// cross-process).
+func nudge(ch chan struct{}) {
+	if ch == nil {
+		return
+	}
+	select {
+	case ch <- struct{}{}:
+	default:
+	}
+}
+
+// write copies p into the ring, blocking (polling) while it is full.
+// Only the producer goroutine may call it. It returns false when abort
+// reports true before the copy completes; bytes already copied stay
+// published, so an aborted mid-frame write poisons the stream — callers
+// only abort when the lane is being torn down.
+func (r *ring) write(p []byte, abort func() bool) bool {
+	var b backoff
+	for len(p) > 0 {
+		t := r.tail.Load()
+		free := r.size - (t - r.head.Load())
+		if free == 0 {
+			if abort() {
+				return false
+			}
+			b.wait(r.spaceWake)
+			continue
+		}
+		b.reset()
+		pos := t % r.size
+		n := min(uint64(len(p)), free, r.size-pos)
+		copy(r.data[pos:pos+n], p[:n])
+		// The store publishes the copied bytes: the consumer loads tail
+		// before touching data (Go atomics are sequentially consistent,
+		// and compile to the fences cross-process visibility needs).
+		r.tail.Store(t + n)
+		nudge(r.dataWake)
+		p = p[n:]
+	}
+	return true
+}
+
+// read fills p from the ring, blocking (polling) while it is empty. Only
+// the consumer goroutine may call it. It returns false when the stream
+// ends first: abort reports true, or the ring is empty and the producer
+// said goodbye. A killed ring does NOT end the stream — kill discards
+// whole frames at the link layer; ending the byte stream mid-frame here
+// would desynchronise the framing across a revive.
+func (r *ring) read(p []byte, abort func() bool) bool {
+	var b backoff
+	for len(p) > 0 {
+		h := r.head.Load()
+		avail := r.tail.Load() - h
+		if avail == 0 {
+			if abort() || r.status.Load() == ringGoodbye {
+				return false
+			}
+			b.wait(r.dataWake)
+			continue
+		}
+		b.reset()
+		pos := h % r.size
+		n := min(uint64(len(p)), avail, r.size-pos)
+		copy(p[:n], r.data[pos:pos+n])
+		r.head.Store(h + n)
+		nudge(r.spaceWake)
+		p = p[n:]
+	}
+	return true
+}
+
+// alignedRegion allocates a heap-backed ring region with the 8-byte
+// alignment the header atomics need.
+func alignedRegion(n int) []byte {
+	buf := make([]byte, n+8)
+	off := 0
+	if rem := int(uintptr(unsafe.Pointer(&buf[0])) % 8); rem != 0 {
+		off = 8 - rem
+	}
+	return buf[off : off+n : off+n]
+}

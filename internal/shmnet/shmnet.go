@@ -1,0 +1,805 @@
+package shmnet
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/model"
+	"repro/internal/railhealth"
+	"repro/internal/rt"
+)
+
+// maxFrame bounds a single length-prefixed frame (1 GiB), matching
+// livenet so a mixed cluster has one limit.
+const maxFrame = 1 << 30
+
+// goodbyeFrame is the length-prefix sentinel a closing link writes so
+// the peer can tell a graceful shutdown from a stalled producer.
+const goodbyeFrame = 0xFFFFFFFF
+
+// initialRate seeds the per-rail copy-throughput estimate (8 GiB/s — a
+// memory-bandwidth-class path) until real writes calibrate it.
+const initialRate = float64(8 << 30)
+
+// rateCalibMin is the smallest write that updates the throughput EWMA;
+// tiny frames measure ring-cursor latency, not copy bandwidth.
+const rateCalibMin = 4 << 10
+
+// throttleQueue is the standing-queue delay ThrottleRail charges per
+// frame per unit of slow-down, mirroring livenet's bufferbloat model so
+// a throttled shm rail is observable at every transfer size.
+const throttleQueue = 100 * time.Microsecond
+
+// Config describes a shared-memory fabric.
+type Config struct {
+	// Nodes is the total number of nodes in the system (default 2).
+	Nodes int
+	// Rails is the number of parallel shm rails per node pair (default 1).
+	Rails int
+	// CoresPerNode is the core count each node reports (default 4).
+	CoresPerNode int
+	// EagerMax is the largest eager payload a rail accepts; above it the
+	// engine must use the rendezvous path (default 64 KiB — the PIO
+	// regime stretches further on a memory path than on a NIC).
+	EagerMax int
+	// RingBytes is the payload capacity of each direction's ring
+	// (default 256 KiB). Frames larger than the ring still flow — they
+	// stream through in pieces.
+	RingBytes int
+	// Dir is the directory holding the mmap-backed ring files
+	// (distributed mode only). Both processes must name the same
+	// directory, which must not hold ring files of a previous session.
+	Dir string
+	// AttachTimeout bounds how long a distributed node waits for its
+	// peer's ring files to appear (default 10s).
+	AttachTimeout time.Duration
+}
+
+func (c *Config) defaults() {
+	if c.Nodes == 0 {
+		c.Nodes = 2
+	}
+	if c.Rails == 0 {
+		c.Rails = 1
+	}
+	if c.CoresPerNode == 0 {
+		c.CoresPerNode = 4
+	}
+	if c.EagerMax == 0 {
+		c.EagerMax = 64 << 10
+	}
+	if c.RingBytes == 0 {
+		c.RingBytes = 256 << 10
+	}
+	// Ring regions are laid out back to back (in the mmap files too), so
+	// the payload size must preserve the header atomics' 8-byte alignment.
+	c.RingBytes = (c.RingBytes + 7) &^ 7
+	if c.AttachTimeout <= 0 {
+		c.AttachTimeout = 10 * time.Second
+	}
+}
+
+func (c *Config) validate() error {
+	if c.Nodes < 2 {
+		return fmt.Errorf("shmnet: need at least 2 nodes, got %d", c.Nodes)
+	}
+	if c.Rails < 1 {
+		return fmt.Errorf("shmnet: need at least 1 rail, got %d", c.Rails)
+	}
+	if c.RingBytes < 4<<10 {
+		return fmt.Errorf("shmnet: ring of %d bytes is too small (min 4 KiB)", c.RingBytes)
+	}
+	return nil
+}
+
+// Fabric is a shared-memory multirail fabric (implements fabric.Fabric).
+type Fabric struct {
+	env   *rt.LiveEnv
+	cfg   Config
+	local int // hosted node id; -1 when all nodes are hosted
+	nodes []*Node
+
+	wg       sync.WaitGroup // readers and writers
+	closedCh chan struct{}
+	closed   atomic.Bool
+
+	mu       sync.Mutex
+	firstErr error
+	maps     []*mapping // mmap regions to release at Close
+}
+
+// NewHosted builds a fabric hosting all cfg.Nodes in this process,
+// joined by heap-backed rings — the loopback shape the mixed shm+TCP
+// cluster uses.
+func NewHosted(env *rt.LiveEnv, cfg Config) (*Fabric, error) {
+	cfg.defaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	f := newFabric(env, cfg, -1)
+	for i := 1; i < cfg.Nodes; i++ {
+		for j := 0; j < i; j++ {
+			for r := 0; r < cfg.Rails; r++ {
+				// Two heap rings per lane: j->i and i->j, with in-process
+				// wakeups so an idle lane answers its first frame fast.
+				fwd := newRing(alignedRegion(ringRegionSize(cfg.RingBytes)), true).enableWake()
+				rev := newRing(alignedRegion(ringRegionSize(cfg.RingBytes)), true).enableWake()
+				f.register(f.nodes[j], i, r, fwd, rev)
+				f.register(f.nodes[i], j, r, rev, fwd)
+			}
+		}
+	}
+	f.start()
+	return f, nil
+}
+
+// NewDistributed builds a fabric hosting only node `local` in this
+// process, attached to its peers through mmap-backed ring files in
+// cfg.Dir (all processes must run on one host). The lower-id side of
+// each pair creates the file; the higher-id side attaches, waiting up
+// to cfg.AttachTimeout for it to appear.
+func NewDistributed(env *rt.LiveEnv, local int, cfg Config) (*Fabric, error) {
+	cfg.defaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	if local < 0 || local >= cfg.Nodes {
+		return nil, fmt.Errorf("shmnet: local node %d out of range [0,%d)", local, cfg.Nodes)
+	}
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("shmnet: distributed mode needs Dir for the ring files")
+	}
+	f := newFabric(env, cfg, local)
+	for peer := 0; peer < cfg.Nodes; peer++ {
+		if peer == local {
+			continue
+		}
+		for r := 0; r < cfg.Rails; r++ {
+			lo, hi := local, peer
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			m, err := attachPair(cfg.Dir, lo, hi, r, cfg.RingBytes, local == lo, cfg.AttachTimeout)
+			if err != nil {
+				f.Close()
+				return nil, err
+			}
+			f.mu.Lock()
+			f.maps = append(f.maps, m)
+			f.mu.Unlock()
+			// The file lays out the lo->hi ring first, hi->lo second.
+			loHi := newRing(m.region(0, ringRegionSize(cfg.RingBytes)), false)
+			hiLo := newRing(m.region(ringRegionSize(cfg.RingBytes), ringRegionSize(cfg.RingBytes)), false)
+			if local == lo {
+				f.register(f.nodes[local], peer, r, loHi, hiLo)
+			} else {
+				f.register(f.nodes[local], peer, r, hiLo, loHi)
+			}
+		}
+	}
+	f.start()
+	return f, nil
+}
+
+func newFabric(env *rt.LiveEnv, cfg Config, local int) *Fabric {
+	f := &Fabric{env: env, cfg: cfg, local: local, closedCh: make(chan struct{})}
+	for i := 0; i < cfg.Nodes; i++ {
+		hosted := local < 0 || i == local
+		n := &Node{f: f, id: i, hosted: hosted}
+		if hosted {
+			n.recvq = env.NewQueue()
+			n.health = railhealth.New(env, i, cfg.Rails)
+			n.killed = make([]atomic.Bool, cfg.Rails)
+			n.downHint = make([]atomic.Bool, cfg.Rails)
+			n.health.SetOnEnable(func(rail int) { f.enableRail(n, rail) })
+			for r := 0; r < cfg.Rails; r++ {
+				n.rails = append(n.rails, &Rail{
+					node:  n,
+					index: r,
+					rate:  initialRate,
+					links: make(map[int]*link),
+					prof: &model.Profile{
+						Name:          fmt.Sprintf("shm-r%d", r),
+						EagerRate:     initialRate,
+						RecvCopyRate:  initialRate,
+						WireBandwidth: initialRate,
+						EagerMax:      cfg.EagerMax,
+					},
+				})
+			}
+		}
+		f.nodes = append(f.nodes, n)
+	}
+	return f
+}
+
+// register installs a link on a hosted node's rail: sendR carries owner
+// -> peer traffic, recvR the reverse.
+func (f *Fabric) register(owner *Node, peer, r int, sendR, recvR *ring) {
+	l := &link{
+		out:   make(chan outFrame, 64),
+		peer:  peer,
+		rail:  r,
+		sendR: sendR,
+		recvR: recvR,
+	}
+	rail := owner.rails[r]
+	rail.mu.Lock()
+	rail.links[peer] = l
+	rail.mu.Unlock()
+}
+
+// start launches the writer and reader goroutines of every registered
+// link. Separate from registration so a partially constructed
+// distributed fabric can be torn down without goroutines attached to
+// half a mesh.
+func (f *Fabric) start() {
+	for _, n := range f.nodes {
+		if !n.hosted {
+			continue
+		}
+		for _, rail := range n.rails {
+			rail.mu.Lock()
+			links := make([]*link, 0, len(rail.links))
+			for _, l := range rail.links {
+				links = append(links, l)
+			}
+			rail.mu.Unlock()
+			for _, l := range links {
+				f.wg.Add(2)
+				go f.writeLoop(n, l)
+				go f.readLoop(n, l)
+			}
+		}
+	}
+}
+
+// Env returns the wall-clock environment.
+func (f *Fabric) Env() rt.Env { return f.env }
+
+// NumNodes returns the total node count (hosted or not).
+func (f *Fabric) NumNodes() int { return f.cfg.Nodes }
+
+// NumRails returns the rail count.
+func (f *Fabric) NumRails() int { return f.cfg.Rails }
+
+// Node returns node i; in distributed mode non-hosted ids yield a stub
+// that panics on rail or queue access.
+func (f *Fabric) Node(i int) fabric.Node { return f.nodes[i] }
+
+// Err returns the first transport error observed, if any. Ring lanes
+// cannot lose bytes, so errors are limited to attach/setup problems.
+func (f *Fabric) Err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.firstErr
+}
+
+// Close tears the fabric down: writers drain and say goodbye, readers
+// join, mappings unmap. Safe to call more than once.
+func (f *Fabric) Close() error {
+	if !f.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	close(f.closedCh)
+	f.wg.Wait()
+	f.mu.Lock()
+	maps := f.maps
+	f.maps = nil
+	f.mu.Unlock()
+	for _, m := range maps {
+		m.close()
+	}
+	return f.Err()
+}
+
+// outFrame is one queued wire frame.
+type outFrame struct {
+	data []byte
+	done rt.Event
+	rail *Rail
+}
+
+// finish retires the frame: accounting first, then the completion event.
+func (of outFrame) finish(wrote, calib time.Duration, written bool) {
+	of.rail.noteWritten(len(of.data), wrote, calib, written)
+	if of.done != nil {
+		of.done.Fire()
+	}
+}
+
+// link is one endpoint of the ring pair joining a node pair on one rail.
+type link struct {
+	out   chan outFrame
+	peer  int
+	rail  int
+	sendR *ring
+	recvR *ring
+}
+
+// writeLoop drains a link's queue into its send ring. Each frame is a
+// uint32 LE length prefix followed by the wire bytes. done events fire
+// when the frame is fully in the ring — the shared-memory equivalent of
+// "the PIO copy finished".
+func (f *Fabric) writeLoop(n *Node, l *link) {
+	defer f.wg.Done()
+	abort := func() bool { return f.closed.Load() }
+	for {
+		select {
+		case of := <-l.out:
+			if f.railKilled(n.id, l.rail) || l.sendR.status.Load() == ringKilled {
+				// Killed rail: the frame is lost, exactly as a dying NIC
+				// loses in-flight messages. Report Down (idempotent) —
+				// a peer process's FailRail reaches this side only
+				// through the ring status word, and without the report
+				// the engine would never replan the dropped frames onto
+				// a surviving rail. Then the engine's ack-and-replan
+				// machinery recovers them.
+				n.downHint[l.rail].Store(true)
+				n.health.Report(l.rail, fabric.RailDown, fmt.Sprintf("rail %d killed", l.rail))
+				of.finish(0, 0, false)
+				continue
+			}
+			var lenbuf [4]byte
+			binary.LittleEndian.PutUint32(lenbuf[:], uint32(len(of.data)))
+			start := time.Now()
+			if th := of.rail.throttleFactor(); th > 1 {
+				// Chaos throttle, mirroring livenet: stretch the frame's
+				// transmission before it reaches the ring, plus a
+				// standing-queue term so small frames feel it too.
+				exp := float64(len(of.data)+4)/of.rail.currentRate() + throttleQueue.Seconds()
+				time.Sleep(time.Duration(exp * (th - 1) * 1e9))
+			}
+			writeStart := time.Now()
+			ok := l.sendR.write(lenbuf[:], abort)
+			if ok {
+				ok = l.sendR.write(of.data, abort)
+			}
+			calib := time.Since(writeStart)
+			took := time.Since(start)
+			of.finish(took, calib, ok)
+			if ok {
+				n.observeWrite(l.peer, of.rail.index, len(of.data), took)
+			}
+		case <-f.closedCh:
+			// Drain pending frames, firing their events so no sender
+			// waits on a closing fabric; then say goodbye so the peer's
+			// reader (possibly in another process) stops cleanly.
+			drainLink(l)
+			var lenbuf [4]byte
+			binary.LittleEndian.PutUint32(lenbuf[:], goodbyeFrame)
+			l.sendR.write(lenbuf[:], func() bool { return true }) // best effort: never blocks
+			l.sendR.status.Store(ringGoodbye)
+			nudge(l.sendR.dataWake) // a parked reader must see the goodbye
+			return
+		}
+	}
+}
+
+// drainLink empties a closing link's queue, retiring every frame without
+// writing it so no completion event is lost at shutdown. A sender racing
+// Close may still enqueue after this drain sees the channel empty;
+// send() re-drains in that case.
+func drainLink(l *link) {
+	for {
+		select {
+		case of := <-l.out:
+			of.finish(0, 0, false)
+		default:
+			return
+		}
+	}
+}
+
+// readLoop decodes length-prefixed frames from the link's receive ring
+// into deliveries for node n (which received them from l.peer on
+// l.rail). Frames read while the rail is killed are discarded — the
+// chaos hook's message loss — and the kill/revive transitions are
+// reported to the health tracker (the peer process sees them through
+// the ring status word).
+func (f *Fabric) readLoop(n *Node, l *link) {
+	defer f.wg.Done()
+	abort := func() bool { return f.closed.Load() }
+	var lenbuf [4]byte
+	for {
+		if !l.recvR.read(lenbuf[:], abort) {
+			if !f.closed.Load() {
+				// Goodbye: the peer shut down gracefully. Not an error.
+				n.health.Report(l.rail, fabric.RailDown, fmt.Sprintf("node %d shut down", l.peer))
+			}
+			return
+		}
+		sz := binary.LittleEndian.Uint32(lenbuf[:])
+		if sz == goodbyeFrame {
+			if !f.closed.Load() {
+				n.health.Report(l.rail, fabric.RailDown, fmt.Sprintf("node %d shut down", l.peer))
+			}
+			return
+		}
+		if sz > maxFrame {
+			f.fail(fmt.Errorf("shmnet: frame of %d bytes exceeds limit", sz))
+			n.health.Report(l.rail, fabric.RailDown, "oversized frame")
+			return
+		}
+		data := make([]byte, sz)
+		if !l.recvR.read(data, abort) {
+			return
+		}
+		if killed := l.recvR.status.Load() == ringKilled || f.railKilled(n.id, l.rail); killed {
+			// Discard: the rail is dead, this frame is the loss. Report
+			// Down once per kill episode (a remote FailRail reaches us
+			// only through the status word).
+			if n.downHint[l.rail].CompareAndSwap(false, true) {
+				n.health.Report(l.rail, fabric.RailDown, fmt.Sprintf("rail %d killed", l.rail))
+			}
+			continue
+		}
+		if n.downHint[l.rail].Load() && n.downHint[l.rail].CompareAndSwap(true, false) {
+			// Traffic flows again on a reopened ring: the lane is alive,
+			// whichever side observed the kill (even if only this node's
+			// writer did — a peer's EnableRail cannot reach our tracker
+			// except through the wire). Admin-pinned rails stay Down
+			// (Report respects the pin).
+			n.health.Report(l.rail, fabric.RailUp, "rail revived")
+		}
+		n.deliver(&fabric.Delivery{
+			From:   l.peer,
+			Rail:   l.rail,
+			Data:   data,
+			SentAt: f.env.Now(),
+		})
+	}
+}
+
+func (f *Fabric) fail(err error) {
+	if err == nil {
+		return
+	}
+	f.mu.Lock()
+	if f.firstErr == nil {
+		f.firstErr = err
+	}
+	f.mu.Unlock()
+}
+
+// railKilled reports a node's local kill flag. Lock-free: it runs on
+// every frame in both the writer and reader loops, and a shared mutex
+// there would re-serialise the very lanes the rings decouple.
+func (f *Fabric) railKilled(node, rail int) bool {
+	n := f.nodes[node]
+	if rail < 0 || rail >= len(n.killed) {
+		return false
+	}
+	return n.killed[rail].Load()
+}
+
+// FailRail hard-kills rail r as a chaos hook: every hosted endpoint of
+// the lane stops carrying frames (in-flight ones are discarded — a
+// genuine mid-message loss), and the rail is reported Down. A peer
+// process learns of the kill through the ring status word the next
+// time it touches the lane (its writer reports Down when it tries to
+// send, its reader when a stale frame arrives). EnableRail revives it:
+// the rings stay cursor-consistent throughout, so traffic resumes
+// where it left off.
+func (f *Fabric) FailRail(node, rail int) {
+	for _, n := range f.nodes {
+		if n.hosted && rail >= 0 && rail < len(n.killed) {
+			n.killed[rail].Store(true)
+		}
+	}
+	f.eachRailRing(rail, func(r *ring) { r.status.Store(ringKilled) })
+	reason := fmt.Sprintf("rail %d killed", rail)
+	for _, n := range f.nodes {
+		if n.hosted {
+			n.health.Report(rail, fabric.RailDown, reason)
+		}
+	}
+}
+
+// enableRail is the health tracker's OnEnable hook: clear the kill flag,
+// reopen the rings and report the rail Up again.
+func (f *Fabric) enableRail(n *Node, rail int) {
+	if rail >= 0 && rail < len(n.killed) {
+		n.killed[rail].Store(false)
+	}
+	f.eachRailRing(rail, func(r *ring) {
+		r.status.CompareAndSwap(ringKilled, ringOpen)
+	})
+}
+
+// eachRailRing applies fn to both directions of every hosted link of one
+// rail.
+func (f *Fabric) eachRailRing(rail int, fn func(*ring)) {
+	for _, n := range f.nodes {
+		if !n.hosted || rail < 0 || rail >= len(n.rails) {
+			continue
+		}
+		r := n.rails[rail]
+		r.mu.Lock()
+		links := make([]*link, 0, len(r.links))
+		for _, l := range r.links {
+			links = append(links, l)
+		}
+		r.mu.Unlock()
+		for _, l := range links {
+			fn(l.sendR)
+			fn(l.recvR)
+		}
+	}
+}
+
+// ThrottleRail artificially slows rail r on every hosted node by
+// `factor` (10 = every ring copy takes ten times as long); factor <= 1
+// removes the throttle. The rail stays Up — the congestion chaos hook,
+// mirroring livenet's. Implements fabric.Throttler.
+func (f *Fabric) ThrottleRail(rail int, factor float64) {
+	var bits uint64
+	if factor > 1 {
+		bits = math.Float64bits(factor)
+	}
+	for _, n := range f.nodes {
+		if n.hosted && rail >= 0 && rail < len(n.rails) {
+			n.rails[rail].throttle.Store(bits)
+		}
+	}
+}
+
+// Node is one endpoint of the shared-memory fabric.
+type Node struct {
+	f      *Fabric
+	id     int
+	hosted bool
+	rails  []*Rail
+	recvq  rt.Queue
+	health *railhealth.Tracker
+	killed []atomic.Bool // frames discarded (FailRail); per-rail, lock-free
+	// downHint marks a rail this node reported Down after observing a
+	// kill (locally or through the ring status word). The reader clears
+	// it — reporting the rail back Up — when frames flow again with the
+	// ring reopened: arriving traffic is the proof of revival a peer
+	// process's EnableRail cannot deliver any other way.
+	downHint []atomic.Bool
+
+	sinkMu sync.RWMutex
+	sink   func(*fabric.Delivery)
+
+	teleMu sync.RWMutex
+	tele   fabric.Telemetry
+}
+
+// SetTelemetry installs (or, with nil, detaches) the node's telemetry
+// sink: every sufficiently large frame copied into a ring is reported
+// with its real copy duration. Panics on a non-hosted node.
+func (n *Node) SetTelemetry(t fabric.Telemetry) {
+	n.mustHost()
+	n.teleMu.Lock()
+	n.tele = t
+	n.teleMu.Unlock()
+}
+
+// observeWrite reports one completed ring write to the telemetry sink,
+// if one is installed and the frame is in the bandwidth regime.
+func (n *Node) observeWrite(peer, rail, bytes int, d time.Duration) {
+	if bytes < rateCalibMin || d <= 0 {
+		return
+	}
+	n.teleMu.RLock()
+	t := n.tele
+	n.teleMu.RUnlock()
+	if t != nil {
+		t.ObserveTransfer(peer, rail, bytes, d)
+	}
+}
+
+// SetSink installs a direct delivery consumer (fabric.DirectNode):
+// subsequent deliveries are handed to fn on the ring reader goroutine
+// that decoded them, bypassing RecvQ. Deliveries already queued are
+// drained through fn first, atomically with the handoff. fn must not
+// block. SetSink(nil) restores queue delivery. Panics on a non-hosted
+// node.
+func (n *Node) SetSink(fn func(*fabric.Delivery)) {
+	n.mustHost()
+	n.sinkMu.Lock()
+	defer n.sinkMu.Unlock()
+	n.sink = fn
+	if fn == nil {
+		return
+	}
+	for {
+		item, ok := n.recvq.TryPop()
+		if !ok {
+			return
+		}
+		if d, isD := item.(*fabric.Delivery); isD && d != nil {
+			fn(d)
+		}
+	}
+}
+
+// deliver routes one decoded frame to the sink, or to the receive queue
+// when no sink is installed. The queue push happens under the sink read
+// lock so it cannot race SetSink's drain and strand a frame.
+func (n *Node) deliver(d *fabric.Delivery) {
+	n.sinkMu.RLock()
+	defer n.sinkMu.RUnlock()
+	if n.sink != nil {
+		n.sink(d)
+		return
+	}
+	n.recvq.Push(d)
+}
+
+// ID returns the node's index.
+func (n *Node) ID() int { return n.id }
+
+// NumRails returns the rail count.
+func (n *Node) NumRails() int { return n.f.cfg.Rails }
+
+// Rail returns the i-th rail. It panics on a non-hosted (remote) node.
+func (n *Node) Rail(i int) fabric.Rail {
+	n.mustHost()
+	return n.rails[i]
+}
+
+// RecvQ returns the delivery queue. It panics on a non-hosted node.
+func (n *Node) RecvQ() rt.Queue {
+	n.mustHost()
+	return n.recvq
+}
+
+// Health returns the rail-health tracker. It panics on a non-hosted
+// node.
+func (n *Node) Health() fabric.Health {
+	n.mustHost()
+	return n.health
+}
+
+// Cores returns the configured core count.
+func (n *Node) Cores() int { return n.f.cfg.CoresPerNode }
+
+func (n *Node) mustHost() {
+	if !n.hosted {
+		panic(fmt.Sprintf("shmnet: node %d is not hosted by this process", n.id))
+	}
+}
+
+// Rail is one shared-memory lane of a node: ring links to every peer
+// plus traffic accounting for the engine's idle-horizon prediction.
+type Rail struct {
+	node  *Node
+	index int
+	prof  *model.Profile
+
+	mu      sync.Mutex
+	links   map[int]*link
+	pending int64   // bytes queued but not yet copied into a ring
+	rate    float64 // EWMA copy throughput, bytes/second
+	stats   fabric.Stats
+
+	// throttle > 1 slows the rail artificially (chaos hook). Float64
+	// bits; 0 means no throttle.
+	throttle atomic.Uint64
+}
+
+// currentRate returns the rail's copy-throughput EWMA (bytes/second).
+func (r *Rail) currentRate() float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.rate
+}
+
+// throttleFactor returns the active slow-down factor (1 when none).
+func (r *Rail) throttleFactor() float64 {
+	if bits := r.throttle.Load(); bits != 0 {
+		if f := math.Float64frombits(bits); f > 1 {
+			return f
+		}
+	}
+	return 1
+}
+
+// Index returns the rail number.
+func (r *Rail) Index() int { return r.index }
+
+// Profile returns the rail's synthetic profile: zero modeled costs (real
+// costs elapse on the wall clock) with the configured EagerMax.
+func (r *Rail) Profile() *model.Profile { return r.prof }
+
+// State returns the rail's health state.
+func (r *Rail) State() fabric.RailState { return r.node.health.State(r.index) }
+
+// Stats returns a snapshot of the traffic counters.
+func (r *Rail) Stats() fabric.Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.stats
+}
+
+// IdleAt predicts when the rail's queued bytes will have been copied,
+// from the throughput EWMA — the live analogue of the modeled NIC
+// busy-until horizon.
+func (r *Rail) IdleAt() time.Duration {
+	now := r.node.f.env.Now()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.pending <= 0 {
+		return now
+	}
+	return now + time.Duration(float64(r.pending)/r.rate*1e9)
+}
+
+// Busy reports whether the rail has queued uncopied bytes.
+func (r *Rail) Busy() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.pending > 0
+}
+
+// SendEager transmits an eager container through the ring — the genuine
+// PIO copy of the paper.
+func (r *Rail) SendEager(ctx rt.Ctx, to int, data []byte) {
+	r.send(to, data, nil)
+}
+
+// SendControl transmits a control message. The modeled CPU costs are
+// ignored: real costs elapse on their own.
+func (r *Rail) SendControl(ctx rt.Ctx, to int, data []byte, cpuCost, recvCost time.Duration) {
+	r.send(to, data, nil)
+}
+
+// SendData streams a rendezvous chunk; done fires when the frame is
+// fully in the ring and the sender may reuse the buffer.
+func (r *Rail) SendData(ctx rt.Ctx, to int, data []byte, done rt.Event) {
+	r.send(to, data, done)
+}
+
+func (r *Rail) send(to int, data []byte, done rt.Event) {
+	if len(data) > maxFrame {
+		panic(fmt.Sprintf("shmnet: frame of %d bytes exceeds the %d-byte limit", len(data), maxFrame))
+	}
+	r.mu.Lock()
+	l := r.links[to]
+	if l == nil {
+		r.mu.Unlock()
+		panic(fmt.Sprintf("shmnet: node %d has no rail-%d link to node %d", r.node.id, r.index, to))
+	}
+	r.pending += int64(len(data)) + 4
+	r.stats.LastStart = r.node.f.env.Now()
+	r.mu.Unlock()
+	f := r.node.f
+	select {
+	case l.out <- outFrame{data: data, done: done, rail: r}:
+		if f.closed.Load() {
+			drainLink(l)
+		}
+	case <-f.closedCh:
+		outFrame{data: data, done: done, rail: r}.finish(0, 0, false)
+	}
+}
+
+// noteWritten retires n queued bytes, counts the frame as traffic when
+// it actually reached the ring, and folds the raw copy duration (calib)
+// into the throughput estimate. took additionally includes any
+// chaos-throttle delay and only feeds the busy-time counter.
+func (r *Rail) noteWritten(n int, took, calib time.Duration, written bool) {
+	r.mu.Lock()
+	r.pending -= int64(n) + 4
+	if r.pending < 0 {
+		r.pending = 0
+	}
+	if written {
+		r.stats.Messages++
+		r.stats.Bytes += uint64(n)
+	}
+	r.stats.BusyTime += took
+	if written && n >= rateCalibMin && calib > 0 {
+		inst := float64(n) / calib.Seconds()
+		r.rate = 0.7*r.rate + 0.3*inst
+	}
+	r.mu.Unlock()
+}

@@ -117,19 +117,27 @@ func (a *Adaptive) probeEvery() int {
 	return 8
 }
 
-// bucketFor returns the size class's stats, creating it under the lock.
-func (a *Adaptive) bucketFor(n int) *modeStats {
-	b := sizeClass(n)
+// bucketAt returns the stats stored under a namespace key, creating it
+// under the lock.
+func (a *Adaptive) bucketAt(key int) *modeStats {
 	if a.buckets == nil {
 		a.buckets = make(map[int]*modeStats)
 	}
-	s := a.buckets[b]
+	s := a.buckets[key]
 	if s == nil {
 		s = &modeStats{}
-		a.buckets[b] = s
+		a.buckets[key] = s
 	}
 	return s
 }
+
+// eagerKey maps a size class into the eager-path outcome namespace
+// (mirrored negative keys). Eager and rendezvous completions of one
+// size class are NOT comparable — an eager send pays no handshake — and
+// with a live threshold moving inside a size class both protocols can
+// serve it at once; sharing a cell would let cheap eager completions
+// pin the rendezvous single-vs-split verdict to ModeSingle forever.
+func eagerKey(n int) int { return -sizeClass(n) - 1 }
 
 // sizeClass mirrors telemetry.SizeBucket without importing it (strategy
 // is a leaf package): log2 buckets.
@@ -181,7 +189,7 @@ func (a *Adaptive) pick(n int, now time.Duration, rails []RailView, loser bool) 
 	predMulti := PredictedCompletion(now, rails, multiChunks)
 
 	a.mu.Lock()
-	s := a.bucketFor(n)
+	s := a.bucketAt(sizeClass(n))
 	scoreSingle := s.score(ModeSingle, predSingle, n, a.minObs())
 	scoreMulti := s.score(ModeSplit, predMulti, n, a.minObs())
 	a.mu.Unlock()
@@ -206,14 +214,26 @@ func (s *modeStats) score(m Mode, pred time.Duration, n, minObs int) float64 {
 }
 
 // ObserveOutcome implements OutcomeObserver: fold one completed
-// transfer's remote-completion time into its (size class, mode) EWMA.
+// rendezvous-path transfer's remote-completion time into its
+// (size class, mode) EWMA.
 func (a *Adaptive) ObserveOutcome(n int, mode Mode, d time.Duration) {
+	a.observe(sizeClass(n), n, mode, d, true)
+}
+
+// ObserveEagerOutcome folds an eager-path completion into the eager
+// outcome namespace (what PreferParallel scores). Kept apart from the
+// rendezvous outcomes: see eagerKey.
+func (a *Adaptive) ObserveEagerOutcome(n int, mode Mode, d time.Duration) {
+	a.observe(eagerKey(n), n, mode, d, false)
+}
+
+func (a *Adaptive) observe(key, n int, mode Mode, d time.Duration, verdict bool) {
 	if n <= 0 || d <= 0 || mode < 0 || mode >= numModes {
 		return
 	}
 	perByte := float64(d.Nanoseconds()) / float64(n)
 	a.mu.Lock()
-	s := a.bucketFor(n)
+	s := a.bucketAt(key)
 	if s.count[mode] == 0 {
 		s.nsPerByte[mode] = perByte
 	} else {
@@ -226,9 +246,9 @@ func (a *Adaptive) ObserveOutcome(n int, mode Mode, d time.Duration) {
 	}
 	s.count[mode]++
 	// Track the warm single-vs-split verdict so a flip can invalidate
-	// plans cached under the old one.
+	// plans cached under the old one (rendezvous namespace only).
 	flipped := false
-	if s.count[ModeSingle] >= a.minObs() && s.count[ModeSplit] >= a.minObs() {
+	if verdict && s.count[ModeSingle] >= a.minObs() && s.count[ModeSplit] >= a.minObs() {
 		v := ModeSingle
 		if s.nsPerByte[ModeSplit] < s.nsPerByte[ModeSingle] {
 			v = ModeSplit
@@ -266,7 +286,7 @@ func (a *Adaptive) ChainVerdictChange(fn func()) {
 func (a *Adaptive) PreferParallel(n int, predParallel, predSingle time.Duration) bool {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	s := a.bucketFor(n)
+	s := a.bucketAt(eagerKey(n))
 	s.decisions++
 	if s.decisions%a.probeEvery() == 0 {
 		// Probe: take the mode the scores would reject.

@@ -111,10 +111,13 @@ func TestAdaptivePreferParallel(t *testing.T) {
 	if a.PreferParallel(n, 2*time.Millisecond, time.Millisecond) {
 		t.Fatal("cold PreferParallel ignored worse prediction")
 	}
-	// Warm observed outcomes override predictions.
+	// Warm observed outcomes override predictions. Eager-path outcomes
+	// live in their own namespace (PreferParallel is an eager decision);
+	// rendezvous outcomes of the same size class must not leak into it.
 	for i := 0; i < 5; i++ {
-		a.ObserveOutcome(n, ModeParallel, 4*time.Millisecond)
-		a.ObserveOutcome(n, ModeSingle, time.Millisecond)
+		a.ObserveEagerOutcome(n, ModeParallel, 4*time.Millisecond)
+		a.ObserveEagerOutcome(n, ModeSingle, time.Millisecond)
+		a.ObserveOutcome(n, ModeSingle, time.Nanosecond) // rendezvous: different namespace
 	}
 	if a.PreferParallel(n, time.Microsecond, time.Hour) {
 		t.Fatal("observed outcomes did not override predictions")

@@ -62,10 +62,49 @@ func class(n int) int {
 // per epoch, not once per message.
 func SizeBucket(n int) int { return class(n) }
 
+// Path discriminates the protocol regime an observation measured. The
+// combined (path-less) estimate drives the split strategies; the
+// per-path planes let the engine re-derive the eager/rendezvous
+// threshold from live measurements — the regimes have different cost
+// shapes (PIO copy vs. handshake plus DMA), so their crossover moves
+// when only one of them degrades.
+type Path int
+
+const (
+	// PathEager is an eager-container measurement (one-way PIO-regime
+	// transfer time, from the container's ack round trip).
+	PathEager Path = iota
+	// PathRdv is a whole-rendezvous measurement on a single rail:
+	// handshake plus transfer plus completion, comparable to what the
+	// start-up sampling's rendezvous curve measured.
+	PathRdv
+
+	numPaths
+)
+
 // Config tunes a Tracker.
 type Config struct {
 	// Peers and Rails dimension the (peer, rail) pair table.
 	Peers, Rails int
+	// EagerPrior and RdvPrior, when non-nil, hold each protocol
+	// regime's own sampled curve per rail. They are the slope donors
+	// when a plane refit has a single populated size class: borrowing
+	// the combined (min-envelope) prior's slope there would fit, say,
+	// the rendezvous plane with the eager curve's shape and derive a
+	// wrong crossover for exactly the repeated-size workloads the live
+	// threshold targets. Missing entries fall back to the combined
+	// prior. Entries may be nil (a rail without an eager regime).
+	EagerPrior, RdvPrior []strategy.Estimator
+	// PathGroup assigns each rail to a shared host path (same id = the
+	// rails contend on one underlying resource, e.g. every loopback TCP
+	// rail rides the kernel's one loopback queue; a shared-memory rail
+	// has its own ring). Negative means unshared. When transfers on
+	// group-mates overlap in time, the observer attributes the overlap
+	// to contention and discounts the observed duration — without this,
+	// striping over loopback rails teaches the tracker that every rail
+	// is slow exactly when the plans stripe hardest. Nil disables the
+	// attribution entirely.
+	PathGroup []int
 	// HalfLife is the decay half-life of the observation cells: an
 	// observation half as old as this counts double. Default 250ms (of
 	// the environment clock — virtual on the simulator).
@@ -120,19 +159,41 @@ type pair struct {
 	warmth  atomic.Uint32 // observations folded in (saturating)
 }
 
-// Tracker is one node's telemetry state: a (peer, rail) pair table, the
-// global epoch, and counters.
+// Tracker is one node's telemetry state: a (peer, rail) pair table (plus
+// one plane per protocol path), the global epoch, and counters.
 type Tracker struct {
 	env    rt.Env
 	cfg    Config
 	priors []strategy.Estimator // per rail: the cold-start sampled table
 
-	pairs []pair // peer*Rails + rail
+	pairs  []pair           // peer*Rails + rail: the combined estimate
+	planes [numPaths][]pair // per-path regimes (eager threshold derivation)
 
-	epoch  atomic.Uint64
-	refits atomic.Uint64
-	obs    atomic.Uint64
+	groups map[int]*hostPath // shared-path contention bookkeeping
+
+	epoch     atomic.Uint64
+	refits    atomic.Uint64
+	obs       atomic.Uint64
+	contended atomic.Uint64
 }
+
+// hostPath tracks the recent transfer spans of one shared host path so
+// concurrent-transfer overlap can be attributed to contention.
+type hostPath struct {
+	mu     sync.Mutex
+	recent []transferSpan
+	next   int
+}
+
+// transferSpan is one observed transfer's time interval on a rail.
+type transferSpan struct {
+	start, end time.Duration
+	rail       int
+}
+
+// pathSpans bounds the per-group span memory: overlap only matters
+// against transfers recent enough to still be in flight together.
+const pathSpans = 64
 
 // Stats is a snapshot of a Tracker's counters.
 type Stats struct {
@@ -157,12 +218,25 @@ func NewTracker(env rt.Env, cfg Config, priors []strategy.Estimator) (*Tracker, 
 	if len(priors) != cfg.Rails {
 		return nil, fmt.Errorf("telemetry: %d priors for %d rails", len(priors), cfg.Rails)
 	}
-	return &Tracker{
+	if cfg.PathGroup != nil && len(cfg.PathGroup) != cfg.Rails {
+		return nil, fmt.Errorf("telemetry: %d path groups for %d rails", len(cfg.PathGroup), cfg.Rails)
+	}
+	t := &Tracker{
 		env:    env,
 		cfg:    cfg,
 		priors: priors,
 		pairs:  make([]pair, cfg.Peers*cfg.Rails),
-	}, nil
+		groups: make(map[int]*hostPath),
+	}
+	for p := range t.planes {
+		t.planes[p] = make([]pair, cfg.Peers*cfg.Rails)
+	}
+	for _, g := range cfg.PathGroup {
+		if g >= 0 && t.groups[g] == nil {
+			t.groups[g] = &hostPath{recent: make([]transferSpan, 0, pathSpans)}
+		}
+	}
+	return t, nil
 }
 
 // Peers returns the tracked peer count.
@@ -192,12 +266,106 @@ func (t *Tracker) pair(peer, rail int) *pair {
 	return &t.pairs[peer*t.cfg.Rails+rail]
 }
 
+func (t *Tracker) planePair(path Path, peer, rail int) *pair {
+	return &t.planes[path][peer*t.cfg.Rails+rail]
+}
+
+// ContentionAdjusted counts fabric observations whose duration was
+// discounted for shared-path overlap (diagnostics and tests).
+func (t *Tracker) ContentionAdjusted() uint64 { return t.contended.Load() }
+
 // ObserveTransfer implements the fabric.Telemetry hook: the transfer
 // layer reports one completed wire transfer (write duration on livenet,
-// modeled occupancy plus wire latency on simnet). Same accounting as
-// Observe.
+// ring copy time on shmnet, modeled occupancy plus wire latency on
+// simnet). When the rail shares a host path with others (PathGroup),
+// the duration is first discounted by the time this transfer overlapped
+// concurrent transfers on its group-mates: on one-host TCP every rail
+// rides the same kernel loopback queue, so under striping each rail's
+// raw measurement includes the others' traffic — attributing that
+// inflation to the rail itself would teach the tracker that striping
+// makes every rail slow, exactly the regime where estimates matter.
 func (t *Tracker) ObserveTransfer(peer, rail, bytes int, d time.Duration) {
+	if rail >= 0 && rail < len(t.cfg.PathGroup) {
+		if g := t.cfg.PathGroup[rail]; g >= 0 {
+			d = t.attributeContention(t.groups[g], rail, d)
+		}
+	}
 	t.Observe(peer, rail, bytes, d)
+}
+
+// attributeContention discounts a transfer's duration by its overlap
+// with concurrent transfers on other rails of the same host path. With
+// overlapSum = total concurrent-transfer time from group-mates inside
+// [start, end], the adjusted duration is d² / (d + overlapSum): no
+// overlap leaves d unchanged, full overlap with k concurrent
+// group-mates yields d/(k+1) — the equal-share bandwidth model of a
+// saturated common path.
+func (t *Tracker) attributeContention(g *hostPath, rail int, d time.Duration) time.Duration {
+	if g == nil || d <= 0 {
+		return d
+	}
+	end := t.env.Now()
+	start := end - d
+	var overlap time.Duration
+	g.mu.Lock()
+	for _, s := range g.recent {
+		if s.rail == rail {
+			continue
+		}
+		lo, hi := max(start, s.start), min(end, s.end)
+		if hi > lo {
+			overlap += hi - lo
+		}
+	}
+	span := transferSpan{start: start, end: end, rail: rail}
+	if len(g.recent) < pathSpans {
+		g.recent = append(g.recent, span)
+	} else {
+		g.recent[g.next] = span
+		g.next = (g.next + 1) % pathSpans
+	}
+	g.mu.Unlock()
+	if overlap <= 0 {
+		return d
+	}
+	t.contended.Add(1)
+	adj := time.Duration(float64(d) * float64(d) / float64(d+overlap))
+	if adj < time.Nanosecond {
+		adj = time.Nanosecond
+	}
+	return adj
+}
+
+// pathPrior returns the slope-donor prior of one regime plane: the
+// regime's own sampled curve when configured, the combined prior
+// otherwise.
+func (t *Tracker) pathPrior(path Path, rail int) strategy.Estimator {
+	var per []strategy.Estimator
+	switch path {
+	case PathEager:
+		per = t.cfg.EagerPrior
+	case PathRdv:
+		per = t.cfg.RdvPrior
+	}
+	if rail < len(per) && per[rail] != nil {
+		return per[rail]
+	}
+	return t.priors[rail]
+}
+
+// ObservePath folds one measured transfer into a per-path regime plane
+// (and nothing else): the engine feeds eager-container times into
+// PathEager and whole single-rail rendezvous times into PathRdv, from
+// which the live eager threshold is derived. Same accounting rules as
+// Observe.
+func (t *Tracker) ObservePath(path Path, peer, rail, bytes int, d time.Duration) {
+	if path < 0 || path >= numPaths {
+		return
+	}
+	if peer < 0 || peer >= t.cfg.Peers || rail < 0 || rail >= t.cfg.Rails || bytes < 0 || d <= 0 {
+		return
+	}
+	t.observeInto(t.planePair(path, peer, rail), t.pathPrior(path, rail), bytes, d)
 }
 
 // Observe folds one measured transfer into the (peer, rail) pair:
@@ -208,7 +376,14 @@ func (t *Tracker) Observe(peer, rail, bytes int, d time.Duration) {
 	if peer < 0 || peer >= t.cfg.Peers || rail < 0 || rail >= t.cfg.Rails || bytes < 0 || d <= 0 {
 		return
 	}
-	p := t.pair(peer, rail)
+	t.observeInto(t.pair(peer, rail), t.priors[rail], bytes, d)
+}
+
+// observeInto is the shared accounting: decayed-cell update, drift
+// detection, refit, warmth and epoch bookkeeping for one pair (combined
+// or plane). prior donates the slope when the pair's data spans a
+// single size class.
+func (t *Tracker) observeInto(p *pair, prior strategy.Estimator, bytes int, d time.Duration) {
 	now := t.env.Now()
 	ns := float64(d.Nanoseconds())
 
@@ -240,7 +415,7 @@ func (t *Tracker) Observe(peer, rail, bytes int, d time.Duration) {
 		refit = true // first observations establish the initial fit
 	}
 	if refit {
-		p.refit(t, t.priors[rail])
+		p.refit(t, prior)
 	}
 	p.mu.Unlock()
 
@@ -350,21 +525,30 @@ func priorSlope(prior strategy.Estimator, x float64) float64 {
 // RailEstimator adapts one (peer, rail) pair to strategy.Estimator:
 // the static sampled prior warmed away by the live fit.
 type RailEstimator struct {
-	t          *Tracker
-	peer, rail int
-	prior      strategy.Estimator
+	t     *Tracker
+	p     *pair
+	prior strategy.Estimator
 }
 
 // Estimator returns the live estimator of a (peer, rail) pair, backed
 // by the given cold-start prior (the rail's sampled RailProfile).
 func (t *Tracker) Estimator(peer, rail int, prior strategy.Estimator) *RailEstimator {
-	return &RailEstimator{t: t, peer: peer, rail: rail, prior: prior}
+	return &RailEstimator{t: t, p: t.pair(peer, rail), prior: prior}
+}
+
+// PathEstimator returns the live estimator of one protocol regime of a
+// (peer, rail) pair, backed by the regime's own prior (the sampled
+// eager or rendezvous curve). With no plane observations it reproduces
+// the prior exactly, so the derived eager threshold starts at the
+// start-up table's and moves only as the regime is actually measured.
+func (t *Tracker) PathEstimator(path Path, peer, rail int, prior strategy.Estimator) *RailEstimator {
+	return &RailEstimator{t: t, p: t.planePair(path, peer, rail), prior: prior}
 }
 
 // weight returns how much the live fit is trusted: 0 with no
 // observations, 1 from WarmupObs on.
 func (e *RailEstimator) weight() float64 {
-	w := float64(e.t.pair(e.peer, e.rail).warmth.Load()) / float64(e.t.cfg.WarmupObs)
+	w := float64(e.p.warmth.Load()) / float64(e.t.cfg.WarmupObs)
 	if w > 1 {
 		return 1
 	}
@@ -375,7 +559,7 @@ func (e *RailEstimator) weight() float64 {
 // prediction. Lock-free — two atomic loads plus the prior's table
 // lookup.
 func (e *RailEstimator) Estimate(n int) time.Duration {
-	p := e.t.pair(e.peer, e.rail)
+	p := e.p
 	w := e.weight()
 	if w == 0 {
 		return e.prior.Estimate(n)

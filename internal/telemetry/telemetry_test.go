@@ -202,3 +202,92 @@ func TestCacheHitMissEvict(t *testing.T) {
 		t.Fatal("entries not tracked")
 	}
 }
+
+// Two rails in one path group, transfers overlapping fully: the
+// observer must attribute the overlap to contention and record roughly
+// the equal-share duration, while an ungrouped tracker records the raw
+// inflated one.
+func TestContentionAttributionDiscountsOverlap(t *testing.T) {
+	prior := linEst{alpha: 10 * time.Microsecond, beta: 1}
+	env := &fakeEnv{}
+	shared, err := NewTracker(env, Config{Peers: 2, Rails: 2, WarmupObs: 4, PathGroup: []int{0, 0}},
+		[]strategy.Estimator{prior, prior})
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := NewTracker(env, Config{Peers: 2, Rails: 2, WarmupObs: 4},
+		[]strategy.Estimator{prior, prior})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Striping regime: both rails carry a 64 KiB chunk at the same time,
+	// each observed at 2ms — twice the uncontended 1ms, because the
+	// common path split its bandwidth.
+	const bytes = 64 << 10
+	const inflated = 2 * time.Millisecond
+	for i := 0; i < 8; i++ {
+		env.now += 10 * time.Millisecond
+		// Rail 0 completes first, rail 1 completes just after; their
+		// spans overlap almost entirely.
+		shared.ObserveTransfer(1, 0, bytes, inflated)
+		raw.ObserveTransfer(1, 0, bytes, inflated)
+		env.now += 10 * time.Microsecond
+		shared.ObserveTransfer(1, 1, bytes, inflated)
+		raw.ObserveTransfer(1, 1, bytes, inflated)
+	}
+	if shared.ContentionAdjusted() == 0 {
+		t.Fatal("no observation was contention-adjusted despite full overlap")
+	}
+
+	adjEst := shared.Estimator(1, 1, prior).Estimate(bytes)
+	rawEst := raw.Estimator(1, 1, prior).Estimate(bytes)
+	if adjEst >= rawEst {
+		t.Fatalf("contention attribution did not lower the estimate: adjusted %v, raw %v", adjEst, rawEst)
+	}
+	// Full overlap with one group-mate halves the attributed duration;
+	// allow slack for the blend with the prior and the first round
+	// (rail 1's first span has no prior rail-0 span fully inside it).
+	if adjEst > rawEst*3/4 {
+		t.Fatalf("adjusted estimate %v too close to raw %v, want about half", adjEst, rawEst)
+	}
+
+	// Ungrouped rails must never be adjusted.
+	if raw.ContentionAdjusted() != 0 {
+		t.Fatalf("ungrouped tracker adjusted %d observations", raw.ContentionAdjusted())
+	}
+}
+
+// The per-path planes are independent of the combined estimate and of
+// each other, and reproduce their own priors when cold.
+func TestPathPlanesAreIndependent(t *testing.T) {
+	eagerPrior := linEst{alpha: 5 * time.Microsecond, beta: 1}
+	rdvPrior := linEst{alpha: 50 * time.Microsecond, beta: 0.5}
+	combinedPrior := linEst{alpha: 10 * time.Microsecond, beta: 1}
+	env := &fakeEnv{}
+	tr := newTestTracker(t, env, combinedPrior)
+
+	// Cold: both planes are their priors.
+	if got := tr.PathEstimator(PathEager, 1, 0, eagerPrior).Estimate(1 << 10); got != eagerPrior.Estimate(1<<10) {
+		t.Fatalf("cold eager plane %v, want prior %v", got, eagerPrior.Estimate(1<<10))
+	}
+	if got := tr.PathEstimator(PathRdv, 1, 0, rdvPrior).Estimate(1 << 10); got != rdvPrior.Estimate(1<<10) {
+		t.Fatalf("cold rdv plane %v, want prior %v", got, rdvPrior.Estimate(1<<10))
+	}
+
+	// Warm only the eager plane, 10x the prior's cost.
+	for i := 0; i < 8; i++ {
+		env.now += time.Millisecond
+		tr.ObservePath(PathEager, 1, 0, 1<<10, 10*eagerPrior.Estimate(1<<10))
+	}
+	warmEager := tr.PathEstimator(PathEager, 1, 0, eagerPrior).Estimate(1 << 10)
+	if warmEager < 5*eagerPrior.Estimate(1<<10) {
+		t.Fatalf("eager plane did not warm to the observations: %v", warmEager)
+	}
+	if got := tr.PathEstimator(PathRdv, 1, 0, rdvPrior).Estimate(1 << 10); got != rdvPrior.Estimate(1<<10) {
+		t.Fatalf("rdv plane moved (%v) when only the eager plane was fed", got)
+	}
+	if got := tr.Estimator(1, 0, combinedPrior).Estimate(1 << 10); got != combinedPrior.Estimate(1<<10) {
+		t.Fatalf("combined estimate moved (%v) when only a plane was fed", got)
+	}
+}

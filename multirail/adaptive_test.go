@@ -173,13 +173,15 @@ func TestAdaptiveReplansOffThrottledRailTCP(t *testing.T) {
 	estAt := c.LiveEstimate(0, 1, 0, size)
 	bytesAt := c.RailStats(0)[0].Bytes
 
-	// Recovery. Loopback rails share one kernel path, so per-rail
-	// attribution under striping contention is noisy and the recovered
-	// plan share need not return to a clean 1/3 (the sim leg asserts
-	// that); what must hold is that the feedback loop keeps the rail
-	// alive — its live estimate improves from the throttled level while
-	// it keeps carrying real bytes (its plan share plus the periodic
-	// iso probes).
+	// Recovery. Loopback rails share one kernel path, so raw per-rail
+	// measurements under striping are correlated; the telemetry
+	// observer's overlap-aware contention attribution (PathGroup)
+	// subtracts the time a transfer spent overlapping its group-mates,
+	// which is what lets these bounds be tighter than the plain
+	// wall-clock noise would allow: the recovered rail must win back a
+	// real plan share (not just a token probe) while its estimate
+	// clearly improves from the throttled level. The sim leg asserts
+	// the exact 1/3 return.
 	c.ThrottleRail(0, 1)
 	recovered := 0
 	streak := 0
@@ -190,8 +192,8 @@ func TestAdaptiveReplansOffThrottledRailTCP(t *testing.T) {
 			recovered = i
 			break
 		}
-		if c.LiveEstimate(0, 1, 0, size) < estAt*95/100 &&
-			railShare(c.PlanFor(0, 1, size), 0) >= 0.02 {
+		if c.LiveEstimate(0, 1, 0, size) < estAt*9/10 &&
+			railShare(c.PlanFor(0, 1, size), 0) >= 0.08 {
 			// Or the plans are already striping real bytes back onto it
 			// while the estimate improves.
 			streak++

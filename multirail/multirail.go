@@ -43,6 +43,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/rt"
 	"repro/internal/sampling"
+	"repro/internal/shmnet"
 	"repro/internal/simnet"
 	"repro/internal/strategy"
 	"repro/internal/telemetry"
@@ -56,8 +57,14 @@ const (
 	// time (or paced wall-clock time when Live is set).
 	FabricSim = "sim"
 	// FabricTCP is the live fabric: one real TCP connection per
-	// (node pair, rail), always on the wall clock.
+	// (node pair, rail), always on the wall clock. With ShmRails > 0 it
+	// becomes the mixed fabric: shared-memory rails first, TCP rails
+	// after them — one heterogeneous rail set behind one engine.
 	FabricTCP = "tcp"
+	// FabricShm is the shared-memory fabric: every rail of every node
+	// pair is a pair of lock-free ring buffers moved by plain memory
+	// copies (the paper's PIO regime), always on the wall clock.
+	FabricShm = "shm"
 )
 
 // FabricStats aggregates a rail's fabric-level traffic counters (what
@@ -165,6 +172,25 @@ type Config struct {
 	// TCPEagerMax caps eager payloads on TCP rails; larger messages take
 	// the rendezvous path (default 32 KiB).
 	TCPEagerMax int
+	// ShmRails is the number of shared-memory rails joining every node
+	// pair. With Fabric = FabricShm it is the cluster's whole rail set
+	// (default 2); combined with FabricTCP it rides alongside the TCP
+	// rails as a mixed heterogeneous fabric — shm rails take indices
+	// 0..ShmRails-1, TCP rails follow. Intra-host traffic then has a
+	// genuine PIO-regime lane, and the strategies face rails with truly
+	// different cost models.
+	ShmRails int
+	// ShmEagerMax caps eager payloads on shm rails (default 64 KiB —
+	// the PIO regime stretches further on a memory path).
+	ShmEagerMax int
+	// ShmRingBytes is each shm ring direction's payload capacity
+	// (default 256 KiB). Larger frames stream through in pieces.
+	ShmRingBytes int
+	// ShmDir is the directory for the mmap-backed ring files
+	// (Distributed mode with shm rails only). Every process of the
+	// cluster must run on one host and name the same directory, which
+	// must not hold ring files of a previous session.
+	ShmDir string
 	// Distributed hosts only LocalNode in this process (TCP fabric
 	// only): it listens on ListenAddr for connections from higher-id
 	// nodes and dials Peers[j] for every lower-id node j. Calls on
@@ -254,7 +280,10 @@ type Cluster struct {
 	sim      *rt.SimEnv // nil when live
 	live     *rt.LiveEnv
 	fab      fabric.Fabric
-	engines  []*core.Engine // indexed by node id; nil when not hosted
+	tcpFab   *livenet.Fabric // the TCP substrate, when one exists
+	shmFab   *shmnet.Fabric  // the shm substrate, when one exists
+	kinds    []string        // per-rail kind ("shm", "tcp", or a profile name)
+	engines  []*core.Engine  // indexed by node id; nil when not hosted
 	profiles []*sampling.RailProfile
 
 	wg       sync.WaitGroup // user actors (live mode)
@@ -281,11 +310,17 @@ func New(cfg Config) (*Cluster, error) {
 			kind = FabricSim
 		}
 	}
-	if kind == FabricTCP {
+	if kind == FabricTCP || kind == FabricShm {
 		cfg.Live = true
 	}
-	if cfg.Distributed && kind != FabricTCP {
-		return nil, fmt.Errorf("multirail: distributed mode requires the %q fabric", FabricTCP)
+	if kind == FabricShm && cfg.ShmRails == 0 {
+		cfg.ShmRails = 2
+	}
+	if cfg.Distributed && kind == FabricSim {
+		return nil, fmt.Errorf("multirail: distributed mode requires a live fabric (%q or %q)", FabricTCP, FabricShm)
+	}
+	if cfg.ShmRails > 0 && kind == FabricSim {
+		return nil, fmt.Errorf("multirail: shm rails require a live fabric (%q or %q)", FabricTCP, FabricShm)
 	}
 	c := &Cluster{cfg: cfg, kind: kind}
 	if cfg.Live {
@@ -304,19 +339,22 @@ func New(cfg Config) (*Cluster, error) {
 			CoresPerNode: cfg.CoresPerNode,
 			TimeScale:    cfg.TimeScale,
 		})
-	case FabricTCP:
-		lcfg := livenet.Config{
-			Nodes:        cfg.Nodes,
-			Rails:        cfg.TCPRails,
-			CoresPerNode: cfg.CoresPerNode,
-			EagerMax:     cfg.TCPEagerMax,
-			ListenAddr:   cfg.ListenAddr,
-			Peers:        cfg.Peers,
+		for _, p := range cfg.Rails {
+			c.kinds = append(c.kinds, p.Name)
 		}
-		if cfg.Distributed {
-			c.fab, err = livenet.NewDistributed(c.live, cfg.LocalNode, lcfg)
-		} else {
-			c.fab, err = livenet.NewLoopback(c.live, lcfg)
+	case FabricTCP, FabricShm:
+		c.fab, c.shmFab, c.tcpFab, err = buildLiveFabric(c.live, cfg, kind)
+		if err == nil {
+			if c.shmFab != nil {
+				for r := 0; r < c.shmFab.NumRails(); r++ {
+					c.kinds = append(c.kinds, "shm")
+				}
+			}
+			if c.tcpFab != nil {
+				for r := 0; r < c.tcpFab.NumRails(); r++ {
+					c.kinds = append(c.kinds, "tcp")
+				}
+			}
 		}
 	default:
 		err = fmt.Errorf("multirail: unknown fabric %q", kind)
@@ -337,20 +375,17 @@ func New(cfg Config) (*Cluster, error) {
 		EagerParallel: cfg.EagerParallel,
 		Workers:       cfg.Workers,
 		Shards:        cfg.Shards,
-		// The TCP fabric feeds the engine's per-core workers directly
-		// (multicore progression); the modeled fabric keeps the inline
-		// progression actor whose CPU charges the model depends on.
-		DirectProgress: kind == FabricTCP,
+		// Live fabrics (TCP, shm, mixed) feed the engine's per-core
+		// workers directly (multicore progression); the modeled fabric
+		// keeps the inline progression actor whose CPU charges the model
+		// depends on.
+		DirectProgress: kind != FabricSim,
 		Tracer:         cfg.Tracer,
 	}
 	ecfg.Pioman.Workers = cfg.RecvWorkers
 	if cfg.GreedyEager {
 		ecfg.Eager = core.PolicyGreedy
 	}
-	var (
-		adaptiveTrackers []*telemetry.Tracker
-		sharedAdaptive   *strategy.Adaptive
-	)
 	for i := 0; i < cfg.Nodes; i++ {
 		var eng *core.Engine
 		if !cfg.Distributed || i == cfg.LocalNode {
@@ -360,13 +395,22 @@ func New(cfg Config) (*Cluster, error) {
 				// tracker, plan cache and adaptive chooser, so one node's
 				// observations never leak into another's decisions.
 				priors := make([]strategy.Estimator, len(c.profiles))
+				eagerPriors := make([]strategy.Estimator, len(c.profiles))
+				rdvPriors := make([]strategy.Estimator, len(c.profiles))
 				for r, p := range c.profiles {
 					priors[r] = p
+					if p.Eager != nil {
+						eagerPriors[r] = p.Eager
+					}
+					rdvPriors[r] = p.Rdv
 				}
 				tr, terr := telemetry.NewTracker(c.env, telemetry.Config{
-					Peers:    cfg.Nodes,
-					Rails:    c.fab.NumRails(),
-					HalfLife: cfg.TelemetryHalfLife,
+					Peers:      cfg.Nodes,
+					Rails:      c.fab.NumRails(),
+					HalfLife:   cfg.TelemetryHalfLife,
+					PathGroup:  c.pathGroups(),
+					EagerPrior: eagerPriors,
+					RdvPrior:   rdvPriors,
 				}, priors)
 				if terr != nil {
 					c.fab.Close()
@@ -375,14 +419,14 @@ func New(cfg Config) (*Cluster, error) {
 				ncfg.Telemetry = tr
 				ncfg.PlanCache = telemetry.NewCache(cfg.PlanCacheSize)
 				ncfg.ProbeEvery = cfg.TelemetryProbeEvery
+				// Each engine chains its own tracker's epoch bump onto the
+				// chooser's verdict-flip callback (core.NewEngine), so a
+				// caller-tuned chooser shared across hosted nodes stales
+				// every node's cached plans without wiring here.
 				if ad, ok := cfg.Splitter.(*strategy.Adaptive); ok {
-					// Caller-tuned chooser, shared across hosted nodes: a
-					// verdict flip must stale every node's cached plans.
 					ncfg.Splitter = ad
-					adaptiveTrackers = append(adaptiveTrackers, tr)
-					sharedAdaptive = ad
 				} else {
-					ncfg.Splitter = &strategy.Adaptive{Multi: cfg.Splitter, OnVerdictChange: tr.BumpEpoch}
+					ncfg.Splitter = &strategy.Adaptive{Multi: cfg.Splitter}
 				}
 			}
 			eng, err = core.NewEngine(c.env, c.fab.Node(i), c.profiles, ncfg)
@@ -397,15 +441,92 @@ func New(cfg Config) (*Cluster, error) {
 			c.watchRails(i)
 		}
 	}
-	if sharedAdaptive != nil {
-		trackers := adaptiveTrackers
-		sharedAdaptive.ChainVerdictChange(func() {
-			for _, tr := range trackers {
-				tr.BumpEpoch()
-			}
-		})
-	}
 	return c, nil
+}
+
+// buildLiveFabric constructs the wall-clock byte-moving substrate:
+// shared-memory rails, TCP rails, or both mixed into one heterogeneous
+// rail set (shm rails first). Exactly the sub-fabrics that exist are
+// returned alongside the combined one.
+func buildLiveFabric(env *rt.LiveEnv, cfg Config, kind string) (fabric.Fabric, *shmnet.Fabric, *livenet.Fabric, error) {
+	var (
+		shmF *shmnet.Fabric
+		tcpF *livenet.Fabric
+		err  error
+	)
+	if kind == FabricShm || cfg.ShmRails > 0 {
+		scfg := shmnet.Config{
+			Nodes:        cfg.Nodes,
+			Rails:        cfg.ShmRails,
+			CoresPerNode: cfg.CoresPerNode,
+			EagerMax:     cfg.ShmEagerMax,
+			RingBytes:    cfg.ShmRingBytes,
+			Dir:          cfg.ShmDir,
+		}
+		if cfg.Distributed {
+			shmF, err = shmnet.NewDistributed(env, cfg.LocalNode, scfg)
+		} else {
+			shmF, err = shmnet.NewHosted(env, scfg)
+		}
+		if err != nil {
+			return nil, nil, nil, err
+		}
+	}
+	if kind == FabricTCP {
+		lcfg := livenet.Config{
+			Nodes:        cfg.Nodes,
+			Rails:        cfg.TCPRails,
+			CoresPerNode: cfg.CoresPerNode,
+			EagerMax:     cfg.TCPEagerMax,
+			ListenAddr:   cfg.ListenAddr,
+			Peers:        cfg.Peers,
+		}
+		if cfg.Distributed {
+			tcpF, err = livenet.NewDistributed(env, cfg.LocalNode, lcfg)
+		} else {
+			tcpF, err = livenet.NewLoopback(env, lcfg)
+		}
+		if err != nil {
+			if shmF != nil {
+				shmF.Close()
+			}
+			return nil, nil, nil, err
+		}
+	}
+	switch {
+	case shmF != nil && tcpF != nil:
+		local := -1
+		if cfg.Distributed {
+			local = cfg.LocalNode
+		}
+		mixed, merr := fabric.NewMix(local, shmF, tcpF)
+		if merr != nil {
+			shmF.Close()
+			tcpF.Close()
+			return nil, nil, nil, merr
+		}
+		return mixed, shmF, tcpF, nil
+	case shmF != nil:
+		return shmF, shmF, nil, nil
+	default:
+		return tcpF, nil, tcpF, nil
+	}
+}
+
+// pathGroups assigns each rail to a shared host path for the telemetry
+// observer's contention attribution: on a loopback (one-process) TCP
+// cluster every TCP rail rides the kernel's one loopback queue, so they
+// form one group; shm rails have their own rings and stay unshared, as
+// do the genuinely separate NICs of a distributed deployment.
+func (c *Cluster) pathGroups() []int {
+	groups := make([]int, c.fab.NumRails())
+	for r := range groups {
+		groups[r] = -1
+		if !c.cfg.Distributed && c.kinds[r] == "tcp" {
+			groups[r] = 0
+		}
+	}
+	return groups
 }
 
 // watchRails runs an actor that forwards a hosted node's Down
@@ -435,7 +556,7 @@ func (c *Cluster) sampleProfiles(kind string) ([]*sampling.RailProfile, error) {
 		return sampling.Load(c.cfg.SamplingFrom)
 	}
 	scfg := sampling.Config{MinSize: c.cfg.SamplingMin, MaxSize: c.cfg.SamplingMax}
-	if kind != FabricTCP {
+	if kind == FabricSim {
 		// The paper samples at launch; doing it on a private simulated
 		// twin keeps the user cluster's clock at zero.
 		return sampling.SampleProfiles(c.cfg.Rails, scfg)
@@ -451,17 +572,20 @@ func (c *Cluster) sampleProfiles(kind string) ([]*sampling.RailProfile, error) {
 		return sampling.SampleLive(c.fab, scfg)
 	}
 	// A distributed process hosts one node, so it cannot ping-pong with
-	// itself: measure a loopback twin of the TCP rails instead. On real
-	// multi-host deployments the twin's loopback numbers misstate the
-	// rails' actual latency and bandwidth — supply SamplingFrom (a
-	// sampling file measured on the real network, see cmd/nmsample) for
-	// accurate thresholds and striping ratios.
-	twin, err := livenet.NewLoopback(rt.NewLive(), livenet.Config{
-		Nodes:        2,
-		Rails:        c.cfg.TCPRails,
-		CoresPerNode: c.cfg.CoresPerNode,
-		EagerMax:     c.cfg.TCPEagerMax,
-	})
+	// itself: measure a loopback twin of the rails instead — same kinds,
+	// same shape, hosted in this process. For shm rails the twin is
+	// accurate (the real rails are intra-host memory copies too); for
+	// TCP rails on real multi-host deployments the twin's loopback
+	// numbers misstate actual latency and bandwidth — supply
+	// SamplingFrom (a sampling file measured on the real network, see
+	// cmd/nmsample) for accurate thresholds and striping ratios.
+	tcfg := c.cfg
+	tcfg.Nodes = 2
+	tcfg.Distributed = false
+	tcfg.Peers = nil
+	tcfg.ListenAddr = ""
+	tcfg.ShmDir = "" // the hosted twin uses heap rings, not the ring files
+	twin, _, _, err := buildLiveFabric(rt.NewLive(), tcfg, kind)
 	if err != nil {
 		return nil, fmt.Errorf("multirail: sampling twin: %w", err)
 	}
@@ -488,26 +612,43 @@ func (c *Cluster) Local() int {
 }
 
 // ListenAddr returns the TCP fabric's accept address (useful with the
-// default ephemeral port); empty for other fabrics.
+// default ephemeral port); empty for fabrics without TCP rails.
 func (c *Cluster) ListenAddr() string {
-	if f, ok := c.fab.(*livenet.Fabric); ok {
-		return f.LocalAddr()
+	if c.tcpFab != nil {
+		return c.tcpFab.LocalAddr()
 	}
 	return ""
 }
 
-// FabricKind returns the resolved substrate (FabricSim or FabricTCP) —
-// what Config.Fabric, Live and the defaults actually selected.
-func (c *Cluster) FabricKind() string { return c.kind }
+// FabricKind returns the resolved substrate — FabricSim, FabricTCP,
+// FabricShm, or "shm+tcp" for the mixed heterogeneous fabric.
+func (c *Cluster) FabricKind() string {
+	if c.shmFab != nil && c.tcpFab != nil {
+		return "shm+tcp"
+	}
+	return c.kind
+}
+
+// RailKind returns what rail r is made of: "shm", "tcp", or the modeled
+// profile's name on the simulated fabric. On the mixed fabric the shm
+// rails come first.
+func (c *Cluster) RailKind(rail int) string { return c.kinds[rail] }
 
 // Err returns the first transport error the fabric observed (TCP read
-// or write failures), or nil. The modeled fabric never errors. A
-// non-nil Err does not imply data loss: in-flight work on a rail that
-// died is re-planned onto the survivors (see README, "Fault
-// tolerance") — it is the diagnostic for why a rail went Down.
+// or write failures, shm attach problems), or nil. The modeled fabric
+// never errors. A non-nil Err does not imply data loss: in-flight work
+// on a rail that died is re-planned onto the survivors (see README,
+// "Fault tolerance") — it is the diagnostic for why a rail went Down.
 func (c *Cluster) Err() error {
-	if f, ok := c.fab.(*livenet.Fabric); ok {
-		return f.Err()
+	if c.tcpFab != nil {
+		if err := c.tcpFab.Err(); err != nil {
+			return err
+		}
+	}
+	if c.shmFab != nil {
+		if err := c.shmFab.Err(); err != nil {
+			return err
+		}
 	}
 	return nil
 }
@@ -564,6 +705,16 @@ func (c *Cluster) Estimate(rail, size int) time.Duration {
 
 // Threshold returns the sampled rendezvous threshold of a rail.
 func (c *Cluster) Threshold(rail int) int { return c.profiles[rail].Threshold() }
+
+// EagerThreshold returns the size up to which `node` currently prefers
+// the eager path for traffic to `peer`: the sampled maximum over its
+// usable (Up) rails, or — under AdaptiveTelemetry — the threshold
+// derived live from the per-(peer, rail) eager/rendezvous fits. Down
+// rails never contribute: a dead rail's profile cannot force rendezvous
+// on sizes the survivors would send eagerly.
+func (c *Cluster) EagerThreshold(node, peer int) int {
+	return c.engine(node).EagerThresholdTo(peer)
+}
 
 // SaveSampling writes the start-up sampling in the nmad-go format.
 func (c *Cluster) SaveSampling(w io.Writer) error {
