@@ -1,0 +1,184 @@
+// Command railvet runs the project's static analysis suite
+// (internal/analyzers) over Go packages: the mechanized form of the
+// engine's concurrency and hot-path invariants.
+//
+// Usage:
+//
+//	go run ./cmd/railvet ./...          # analyze the module
+//	go run ./cmd/railvet -tests ./...   # include test files
+//	go run ./cmd/railvet -run nolockio ./internal/core
+//
+// The binary also speaks the `go vet -vettool` unitchecker protocol,
+// so CI can run it through the build cache:
+//
+//	go build -o railvet ./cmd/railvet
+//	go vet -vettool=$PWD/railvet ./...
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"strings"
+
+	"repro/internal/analyzers"
+)
+
+func main() {
+	// `go vet -vettool` probes the tool's identity with -V=full before
+	// handing it per-package config files.
+	if len(os.Args) == 2 && strings.HasPrefix(os.Args[1], "-V") {
+		fmt.Printf("railvet version 1\n")
+		return
+	}
+	// The go command also queries the tool's flag surface; railvet
+	// exposes none through the vet path.
+	if len(os.Args) == 2 && os.Args[1] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	if len(os.Args) == 2 && strings.HasSuffix(os.Args[1], ".cfg") {
+		os.Exit(unitcheck(os.Args[1]))
+	}
+
+	tests := flag.Bool("tests", false, "also analyze test files (in-package and external test packages)")
+	run := flag.String("run", "", "comma-separated pass names to run (default: all)")
+	list := flag.Bool("list", false, "list the passes and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: railvet [-tests] [-run pass,pass] [packages]\n\npasses:\n")
+		for _, a := range analyzers.All() {
+			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+	if *list {
+		for _, a := range analyzers.All() {
+			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	passes, err := selectPasses(*run)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	pkgs, err := analyzers.Load(wd, patterns, *tests)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	findings := analyzers.Analyze(pkgs, passes)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "railvet: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+func selectPasses(names string) ([]*analyzers.Analyzer, error) {
+	if names == "" {
+		return analyzers.All(), nil
+	}
+	var out []*analyzers.Analyzer
+	for _, name := range strings.Split(names, ",") {
+		a := analyzers.ByName(strings.TrimSpace(name))
+		if a == nil {
+			return nil, fmt.Errorf("railvet: unknown pass %q", name)
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// vetConfig is the per-package JSON config the go command hands a
+// -vettool (the x/tools unitchecker protocol).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes one package described by a vet config file and
+// returns the process exit code: the go command treats a non-zero exit
+// as "vet failed" and relays whatever was printed to stderr.
+func unitcheck(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "railvet: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+	// railvet keeps no cross-package facts, but the protocol requires
+	// the facts file to exist before this package's dependents run.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if cfg.SucceedOnTypecheckFailure {
+				return 0
+			}
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		files = append(files, f)
+	}
+	pkg, info, err := analyzers.TypeCheck(fset, cfg.ImportPath, files, cfg.ImportMap, cfg.PackageFile)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	findings := analyzers.Analyze([]*analyzers.Package{{
+		PkgPath: cfg.ImportPath, Fset: fset, Files: files, Pkg: pkg, Info: info,
+	}}, analyzers.All())
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,108 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AtomicMix rejects mixed atomic/plain access to a field: once any
+// code in the package touches a field through sync/atomic functions
+// (atomic.AddUint64(&s.n, 1), atomic.LoadInt64(&s.n), ...), every
+// plain read or write of that field elsewhere is a data race — one the
+// race detector only reports when the schedule happens to interleave.
+// The typed atomics (atomic.Uint64 and friends) make this mistake
+// unrepresentable; this pass polices the code that hasn't migrated,
+// and the migration itself (a half-converted field is exactly a mixed
+// access).
+var AtomicMix = &Analyzer{
+	Name: "atomicmix",
+	Doc:  "fields touched via sync/atomic must never be accessed plainly",
+	Run:  runAtomicMix,
+}
+
+func runAtomicMix(pass *Pass) {
+	// Phase 1: fields whose address is taken by a sync/atomic call.
+	atomicFields := make(map[*types.Var]token.Pos) // field -> first atomic site
+	atomicArgs := make(map[ast.Expr]bool)          // the &f expressions themselves
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pass.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			if !isAtomicOpName(fn.Name()) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				if fld := fieldOf(pass.Info, un.X); fld != nil {
+					if _, seen := atomicFields[fld]; !seen {
+						atomicFields[fld] = call.Pos()
+					}
+					atomicArgs[ast.Unparen(un.X)] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+
+	// Phase 2: any other selection of those fields is a plain access.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			if atomicArgs[ast.Expr(sel)] {
+				return true
+			}
+			fld := fieldOf(pass.Info, sel)
+			if fld == nil {
+				return true
+			}
+			first, isAtomic := atomicFields[fld]
+			if !isAtomic {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"plain access to %s, which is managed by sync/atomic (first atomic use at %s) — racy even if it looks read-only; use the atomic accessor",
+				types.ExprString(sel), describePos(pass.Fset, first))
+			return true
+		})
+	}
+}
+
+// isAtomicOpName matches the sync/atomic function families.
+func isAtomicOpName(name string) bool {
+	for _, prefix := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "And", "Or"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldOf resolves expr to a struct field object, or nil.
+func fieldOf(info *types.Info, expr ast.Expr) *types.Var {
+	sel, ok := ast.Unparen(expr).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	obj, ok := info.Uses[sel.Sel].(*types.Var)
+	if !ok || !obj.IsField() {
+		return nil
+	}
+	return obj
+}

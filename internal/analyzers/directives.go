@@ -1,0 +1,179 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// directivePrefix starts every railvet annotation comment.
+const directivePrefix = "//railvet:"
+
+// funcFlags records which declared functions carry marker annotations.
+type funcFlags struct {
+	hot      map[*types.Func]bool
+	upfilter map[*types.Func]bool
+}
+
+// ignoreRange is one //railvet:ignore directive's suppression scope.
+type ignoreRange struct {
+	pass      string
+	file      string
+	fromLine  int
+	toLine    int
+	pos       token.Pos
+	justified bool
+}
+
+// directives is the per-package annotation index.
+type directives struct {
+	flags   *funcFlags
+	ignores []ignoreRange
+	// errors are malformed annotations, reported unsuppressably under
+	// the pass name "railvet".
+	errors []Diagnostic
+}
+
+// suppressed reports whether a diagnostic at pos is covered by an
+// ignore directive for the given pass.
+func (d *directives) suppressed(fset *token.FileSet, pass string, pos token.Pos) bool {
+	p := fset.Position(pos)
+	for i := range d.ignores {
+		ig := &d.ignores[i]
+		if !ig.justified || ig.pass != pass {
+			continue
+		}
+		if ig.file == p.Filename && ig.fromLine <= p.Line && p.Line <= ig.toLine {
+			return true
+		}
+	}
+	return false
+}
+
+// scanDirectives indexes every railvet annotation in the package.
+func scanDirectives(fset *token.FileSet, files []*ast.File, info *types.Info, passNames map[string]bool) *directives {
+	d := &directives{flags: &funcFlags{
+		hot:      make(map[*types.Func]bool),
+		upfilter: make(map[*types.Func]bool),
+	}}
+
+	// Function-doc annotations: hotpath, upfilter, and whole-function
+	// ignores.
+	for _, f := range files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			fn, _ := info.Defs[fd.Name].(*types.Func)
+			for _, c := range fd.Doc.List {
+				kind, rest, ok := splitDirective(c.Text)
+				if !ok {
+					continue
+				}
+				switch kind {
+				case "hotpath":
+					if fn != nil {
+						d.flags.hot[fn] = true
+					}
+				case "upfilter":
+					if fn != nil {
+						d.flags.upfilter[fn] = true
+					}
+				case "ignore":
+					d.addIgnore(fset, c, rest, funcLines(fset, fd), passNames)
+				default:
+					d.errf(c.Pos(), "unknown railvet directive %q", kind)
+				}
+			}
+		}
+	}
+
+	// Line-scoped ignores (and misplaced markers) anywhere else.
+	seen := make(map[token.Pos]bool)
+	for _, f := range files {
+		if f.Doc != nil {
+			for _, c := range f.Doc.List {
+				seen[c.Pos()] = true // package docs may cite the grammar
+			}
+		}
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Doc != nil {
+				for _, c := range fd.Doc.List {
+					seen[c.Pos()] = true
+				}
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if seen[c.Pos()] {
+					continue
+				}
+				kind, rest, ok := splitDirective(c.Text)
+				if !ok {
+					continue
+				}
+				switch kind {
+				case "ignore":
+					line := fset.Position(c.Pos()).Line
+					d.addIgnore(fset, c, rest, [2]int{line, line + 1}, passNames)
+				case "hotpath", "upfilter":
+					d.errf(c.Pos(), "railvet:%s must be in a function's doc comment", kind)
+				default:
+					d.errf(c.Pos(), "unknown railvet directive %q", kind)
+				}
+			}
+		}
+	}
+	return d
+}
+
+// addIgnore validates and records one ignore directive. Grammar:
+// //railvet:ignore <pass> <justification...>
+func (d *directives) addIgnore(fset *token.FileSet, c *ast.Comment, rest string, lines [2]int, passNames map[string]bool) {
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		d.errf(c.Pos(), "railvet:ignore needs a pass name and a justification")
+		return
+	}
+	pass := fields[0]
+	if !passNames[pass] {
+		d.errf(c.Pos(), "railvet:ignore names unknown pass %q", pass)
+		return
+	}
+	if len(fields) < 2 {
+		d.errf(c.Pos(), "railvet:ignore %s needs a justification — an unexplained suppression is reviewer folklore again", pass)
+		return
+	}
+	d.ignores = append(d.ignores, ignoreRange{
+		pass:      pass,
+		file:      fset.Position(c.Pos()).Filename,
+		fromLine:  lines[0],
+		toLine:    lines[1],
+		pos:       c.Pos(),
+		justified: true,
+	})
+}
+
+func (d *directives) errf(pos token.Pos, format string, args ...any) {
+	d.errors = append(d.errors, Diagnostic{Pass: "railvet", Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// splitDirective parses "//railvet:<kind> <rest>".
+func splitDirective(text string) (kind, rest string, ok bool) {
+	if !strings.HasPrefix(text, directivePrefix) {
+		return "", "", false
+	}
+	body := text[len(directivePrefix):]
+	if i := strings.IndexAny(body, " \t"); i >= 0 {
+		return body[:i], strings.TrimSpace(body[i+1:]), true
+	}
+	return body, "", true
+}
+
+// funcLines returns the first and last source line of a declaration.
+func funcLines(fset *token.FileSet, fd *ast.FuncDecl) [2]int {
+	return [2]int{fset.Position(fd.Pos()).Line, fset.Position(fd.End()).Line}
+}

@@ -1,0 +1,229 @@
+package analyzers
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The fixture harness mirrors x/tools analysistest: each pass has a
+// package under testdata/src/<pass>/ whose source carries
+//
+//	expr // want "substring"
+//
+// comments on every line a finding is expected, and demonstrates at
+// least one //railvet:ignore suppression (a line that would fire but
+// carries no want). Findings and wants must match one-to-one.
+
+// stdExports lists export data for the standard-library packages the
+// fixtures import (plus their dependency closure), once per test run.
+var stdExports = sync.OnceValues(func() (map[string]string, error) {
+	cmd := exec.Command("go", "list", "-export", "-deps", "-json=ImportPath,Export",
+		"sync", "sync/atomic", "net", "time", "fmt")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list std: %v\n%s", err, stderr.String())
+	}
+	exports := make(map[string]string)
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p struct{ ImportPath, Export string }
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, err
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+})
+
+// loadFixture parses and type-checks testdata/src/<name> as one package.
+func loadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	exports, err := stdExports()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, info, err := TypeCheck(fset, "fixture/"+name, files, nil, exports)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", name, err)
+	}
+	return &Package{PkgPath: "fixture/" + name, Fset: fset, Files: files, Pkg: pkg, Info: info}
+}
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+var quotedRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// wants collects file:line -> expected message substrings.
+func wants(t *testing.T, pkg *Package) map[string][]string {
+	t.Helper()
+	out := make(map[string][]string)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				qs := quotedRE.FindAllStringSubmatch(m[1], -1)
+				if len(qs) == 0 {
+					t.Fatalf("%s: malformed want comment %q", key, c.Text)
+				}
+				for _, q := range qs {
+					out[key] = append(out[key], q[1])
+				}
+			}
+		}
+	}
+	return out
+}
+
+// runFixture runs one pass over its fixture and matches findings
+// against the want comments.
+func runFixture(t *testing.T, passName string) {
+	pkg := loadFixture(t, passName)
+	expected := wants(t, pkg)
+	findings := Analyze([]*Package{pkg}, []*Analyzer{ByName(passName)})
+
+	unmatched := make(map[string][]string, len(expected))
+	for k, v := range expected {
+		unmatched[k] = append([]string(nil), v...)
+	}
+	for _, f := range findings {
+		key := fmt.Sprintf("%s:%d", f.Pos.Filename, f.Pos.Line)
+		subs := unmatched[key]
+		hit := -1
+		for i, sub := range subs {
+			if strings.Contains(f.Message, sub) {
+				hit = i
+				break
+			}
+		}
+		if hit < 0 {
+			t.Errorf("unexpected finding: %s", f)
+			continue
+		}
+		unmatched[key] = append(subs[:hit], subs[hit+1:]...)
+	}
+	var missed []string
+	for key, subs := range unmatched {
+		for _, sub := range subs {
+			missed = append(missed, fmt.Sprintf("%s: no finding matching %q", key, sub))
+		}
+	}
+	sort.Strings(missed)
+	for _, m := range missed {
+		t.Error(m)
+	}
+}
+
+// TestDirectiveErrors: malformed annotations are findings themselves,
+// reported under the pass name "railvet" and never suppressible.
+func TestDirectiveErrors(t *testing.T) {
+	const src = `package d
+
+func f() {
+	//railvet:ignore nolockio
+	_ = 0
+	//railvet:ignore nosuchpass because reasons
+	_ = 1
+	//railvet:hotpath
+	_ = 2
+	//railvet:bogus whatever
+	_ = 3
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "d.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, info, err := TypeCheck(fset, "fixture/d", []*ast.File{f}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings := Analyze([]*Package{{PkgPath: "fixture/d", Fset: fset, Files: []*ast.File{f}, Pkg: pkg, Info: info}}, All())
+	want := []string{
+		"needs a justification",
+		"unknown pass \"nosuchpass\"",
+		"must be in a function's doc comment",
+		"unknown railvet directive",
+	}
+	if len(findings) != len(want) {
+		t.Fatalf("got %d findings, want %d:\n%v", len(findings), len(want), findings)
+	}
+	for i, sub := range want {
+		if findings[i].Pass != "railvet" {
+			t.Errorf("finding %d under pass %q, want railvet", i, findings[i].Pass)
+		}
+		if !strings.Contains(findings[i].Message, sub) {
+			t.Errorf("finding %d = %q, want substring %q", i, findings[i].Message, sub)
+		}
+	}
+}
+
+func TestNoLockIOFixture(t *testing.T)   { runFixture(t, "nolockio") }
+func TestHotClockFixture(t *testing.T)   { runFixture(t, "hotclock") }
+func TestRailUpFixture(t *testing.T)     { runFixture(t, "railup") }
+func TestAtomicMixFixture(t *testing.T)  { runFixture(t, "atomicmix") }
+func TestStatsOrderFixture(t *testing.T) { runFixture(t, "statsorder") }
+
+// TestSuiteOnSelf is the meta-check: the analyzers package itself (and
+// the whole module, in CI via cmd/railvet) stays railvet-clean. Here we
+// just assert every pass is registered and named consistently, which
+// the -run flag and ignore validation depend on.
+func TestSuiteRegistry(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, a := range All() {
+		if a.Name == "" || a.Doc == "" || a.Run == nil {
+			t.Fatalf("incomplete analyzer registration: %+v", a)
+		}
+		if seen[a.Name] {
+			t.Fatalf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+		if ByName(a.Name) != a {
+			t.Fatalf("ByName(%q) does not round-trip", a.Name)
+		}
+	}
+	if ByName("nosuchpass") != nil {
+		t.Fatal("ByName invented an analyzer")
+	}
+}

@@ -1,0 +1,103 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// HotClock keeps wall-clock reads out of hot paths. Functions marked
+// //railvet:hotpath — per-frame write loops, delivery paths, telemetry
+// stamps — and everything they reach within their package must not
+// call time.Now, time.Since or time.Until: each such call reads the
+// wall clock *and* the monotonic clock and builds a 24-byte time.Time,
+// twice the cost of the runtime.nanotime read that internal/clock
+// exposes, multiplied by every frame the engine moves. Reachability is
+// computed over the package's static call graph (direct calls and
+// method calls with a concrete receiver); calls that cross package
+// boundaries are trusted to carry their own annotations.
+var HotClock = &Analyzer{
+	Name: "hotclock",
+	Doc:  "no time.Now/time.Since in //railvet:hotpath functions (use internal/clock)",
+	Run:  runHotClock,
+}
+
+func runHotClock(pass *Pass) {
+	// Map declared functions to their bodies.
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[fn] = fd
+			}
+		}
+	}
+
+	// Static same-package call edges. Function literals count as part
+	// of the function that contains them: a closure built on a hot path
+	// usually runs on it.
+	calls := make(map[*types.Func][]*types.Func)
+	for fn, fd := range decls {
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := calleeFunc(pass.Info, call)
+			if callee == nil || callee.Pkg() != pass.Pkg {
+				return true
+			}
+			if _, declared := decls[callee]; declared {
+				calls[fn] = append(calls[fn], callee)
+			}
+			return true
+		})
+	}
+
+	// Hot set: annotated roots plus same-package closure, remembering
+	// one example root for the message.
+	rootOf := make(map[*types.Func]*types.Func)
+	var queue []*types.Func
+	for fn := range decls {
+		if pass.IsHot(fn) {
+			rootOf[fn] = fn
+			queue = append(queue, fn)
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		for _, callee := range calls[fn] {
+			if _, seen := rootOf[callee]; seen {
+				continue
+			}
+			rootOf[callee] = rootOf[fn]
+			queue = append(queue, callee)
+		}
+	}
+
+	for fn, root := range rootOf {
+		fd := decls[fn]
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := isTimeCall(pass.Info, call); ok {
+				if root != fn {
+					pass.Reportf(call.Pos(),
+						"%s on a hot path (reachable from %s, marked railvet:hotpath at %s) — use internal/clock",
+						name, root.Name(), describePos(pass.Fset, decls[root].Pos()))
+				} else {
+					pass.Reportf(call.Pos(),
+						"%s in %s, marked railvet:hotpath — use internal/clock",
+						name, fn.Name())
+				}
+			}
+			return true
+		})
+	}
+}

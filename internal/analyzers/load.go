@@ -1,0 +1,192 @@
+package analyzers
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	PkgPath string
+	Fset    *token.FileSet
+	Files   []*ast.File
+	Pkg     *types.Package
+	Info    *types.Info
+}
+
+// listPkg is the subset of `go list -json` output the loader needs.
+type listPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Standard   bool
+	Export     string
+	DepOnly    bool
+	ForTest    string
+	GoFiles    []string
+	CgoFiles   []string
+	Imports    []string
+	ImportMap  map[string]string
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns with the go tool (compiling export data for
+// every dependency — works fully offline) and type-checks each matched
+// package from source against that export data. includeTests adds the
+// in-package and external test variants.
+func Load(dir string, patterns []string, includeTests bool) ([]*Package, error) {
+	args := []string{"list", "-export", "-deps", "-json"}
+	if includeTests {
+		args = append(args, "-test")
+	}
+	args = append(args, "--")
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list: %v\n%s", err, stderr.String())
+	}
+	var pkgs []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		lp := new(listPkg)
+		if err := dec.Decode(lp); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list output: %v", err)
+		}
+		pkgs = append(pkgs, lp)
+	}
+
+	exports := make(map[string]string)
+	for _, lp := range pkgs {
+		if lp.Export != "" {
+			exports[lp.ImportPath] = lp.Export
+		}
+	}
+
+	// Targets: pattern-matched packages. When test variants are listed,
+	// the augmented variant ("x [x.test]") subsumes the plain one.
+	augmented := make(map[string]bool)
+	for _, lp := range pkgs {
+		if !lp.DepOnly && lp.ForTest != "" {
+			augmented[lp.ForTest] = true
+		}
+	}
+	fset := token.NewFileSet()
+	var out2 []*Package
+	for _, lp := range pkgs {
+		if lp.DepOnly || lp.Standard {
+			continue
+		}
+		if strings.HasSuffix(lp.ImportPath, ".test") {
+			continue // synthesized test binary main
+		}
+		if lp.ForTest == "" && augmented[lp.ImportPath] {
+			continue // the test-augmented variant covers these files
+		}
+		if lp.Error != nil {
+			return nil, fmt.Errorf("%s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		p, err := checkPackage(fset, lp, exports)
+		if err != nil {
+			return nil, err
+		}
+		out2 = append(out2, p)
+	}
+	return out2, nil
+}
+
+// checkPackage parses and type-checks one listed package against the
+// export data of its dependencies.
+func checkPackage(fset *token.FileSet, lp *listPkg, exports map[string]string) (*Package, error) {
+	if len(lp.CgoFiles) > 0 {
+		return nil, fmt.Errorf("%s: cgo packages are not supported by railvet", lp.ImportPath)
+	}
+	var files []*ast.File
+	for _, name := range lp.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(lp.Dir, name)
+		}
+		f, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	pkg, info, err := TypeCheck(fset, lp.ImportPath, files, lp.ImportMap, exports)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %v", lp.ImportPath, err)
+	}
+	return &Package{PkgPath: lp.ImportPath, Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// TypeCheck type-checks parsed files as package path, resolving
+// imports through export-data files (importMap translates source
+// import paths to listed package paths; exports maps those to export
+// data produced by `go list -export`).
+func TypeCheck(fset *token.FileSet, path string, files []*ast.File, importMap map[string]string, exports map[string]string) (*types.Package, *types.Info, error) {
+	lookup := func(p string) (io.ReadCloser, error) {
+		if importMap != nil {
+			if mapped, ok := importMap[p]; ok {
+				p = mapped
+			}
+		}
+		file, ok := exports[p]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", p)
+		}
+		return os.Open(file)
+	}
+	imp := importer.ForCompiler(fset, "gc", lookup)
+	info := NewInfo()
+	conf := types.Config{
+		Importer: unsafeAware{imp},
+		Sizes:    types.SizesFor("gc", runtime.GOARCH),
+	}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// NewInfo allocates the types.Info maps the passes rely on.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+}
+
+// unsafeAware short-circuits the "unsafe" pseudo-package, which has no
+// export data.
+type unsafeAware struct{ types.Importer }
+
+func (u unsafeAware) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return u.Importer.Import(path)
+}

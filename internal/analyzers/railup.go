@@ -1,0 +1,202 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// RailUp enforces the PR 5 eagerThreshold lesson inside the decision
+// packages (core and strategy): any iteration over a []RailView must
+// flow through an Up-filtering helper — strategy.Usable or a function
+// marked //railvet:upfilter — so a Down rail can never decide where
+// live traffic goes. The original bug: a dead rail's sampled threshold
+// forced rendezvous for sizes every survivor would happily send eagerly.
+//
+// A range (or a `for i := 0; i < len(rails)` loop) over a []RailView
+// is accepted when the iterated value is
+//
+//   - the direct result of an upfilter call (`range Usable(rails)`),
+//   - a variable whose latest assignment in the function was an
+//     upfilter call (`rails = Usable(rails)` — the splitters' idiom),
+//   - a slice the function is itself building (make/composite
+//     literal/append: constructing the unfiltered snapshot is fine,
+//     consuming it unfiltered is not), or
+//   - inside a function marked //railvet:upfilter (the filter itself
+//     must look at every rail to do its job).
+//
+// Test files are exempt: tests construct deliberate rail states.
+var RailUp = &Analyzer{
+	Name: "railup",
+	Doc:  "[]RailView iteration in core/strategy must flow through an Up filter",
+	Run:  runRailUp,
+}
+
+func runRailUp(pass *Pass) {
+	switch pass.Pkg.Name() {
+	case "core", "strategy":
+	default:
+		return
+	}
+	for _, f := range pass.Files {
+		pos := pass.Fset.Position(f.Pos())
+		if strings.HasSuffix(pos.Filename, "_test.go") {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok && pass.IsUpfilter(fn) {
+				continue
+			}
+			checkRailUpFunc(pass, fd)
+		}
+	}
+}
+
+func checkRailUpFunc(pass *Pass, fd *ast.FuncDecl) {
+	// Linear taint over the body (closures included: they inherit the
+	// state at their definition point, which a source-order walk
+	// approximates): filtered vars hold Up-only views, builder vars are
+	// under construction locally.
+	filtered := make(map[types.Object]bool)
+	builder := make(map[types.Object]bool)
+
+	objOf := func(e ast.Expr) types.Object {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			return pass.Info.Uses[id]
+		}
+		return nil
+	}
+	defObj := func(e ast.Expr) types.Object {
+		if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+			if o := pass.Info.Defs[id]; o != nil {
+				return o
+			}
+			return pass.Info.Uses[id]
+		}
+		return nil
+	}
+	isUpfilterCall := func(e ast.Expr) bool {
+		call, ok := ast.Unparen(e).(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fn := calleeFunc(pass.Info, call)
+		if fn == nil {
+			return false
+		}
+		if fn.Name() == "Usable" && fn.Pkg() != nil && fn.Pkg().Name() == "strategy" {
+			return true
+		}
+		return pass.IsUpfilter(fn)
+	}
+	isBuilderExpr := func(e ast.Expr) bool {
+		switch v := ast.Unparen(e).(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(v.Fun).(*ast.Ident); ok {
+				if b, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+					return b.Name() == "make" || b.Name() == "append"
+				}
+			}
+		case *ast.CompositeLit:
+			return true
+		}
+		return false
+	}
+	// ok reports whether iterating expr is allowed.
+	iterOK := func(e ast.Expr) bool {
+		e = ast.Unparen(e)
+		if isUpfilterCall(e) {
+			return true
+		}
+		if o := objOf(e); o != nil {
+			return filtered[o] || builder[o]
+		}
+		return false
+	}
+	report := func(n ast.Node, e ast.Expr) {
+		pass.Reportf(n.Pos(),
+			"iterating %s without an Up filter — pass it through strategy.Usable (or a railvet:upfilter helper) so Down rails cannot steer traffic (PR 5 eagerThreshold bug class)",
+			types.ExprString(e))
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.AssignStmt:
+			if len(st.Lhs) != len(st.Rhs) {
+				return true
+			}
+			for i, lhs := range st.Lhs {
+				o := defObj(lhs)
+				if o == nil {
+					continue
+				}
+				rhs := st.Rhs[i]
+				tv, okT := pass.Info.Types[rhs]
+				if !okT || !isRailViewSlice(tv.Type) {
+					continue
+				}
+				switch {
+				case isUpfilterCall(rhs):
+					filtered[o] = true
+					delete(builder, o)
+				case isBuilderExpr(rhs):
+					// append(x, ...) keeps x's class; a fresh make or
+					// literal starts a builder.
+					if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+						if id, ok2 := ast.Unparen(call.Fun).(*ast.Ident); ok2 {
+							if b, ok3 := pass.Info.Uses[id].(*types.Builtin); ok3 && b.Name() == "append" && len(call.Args) > 0 {
+								if src := objOf(call.Args[0]); src != nil && filtered[src] {
+									filtered[o] = true
+									delete(builder, o)
+									continue
+								}
+							}
+						}
+					}
+					builder[o] = true
+					delete(filtered, o)
+				case objOf(rhs) != nil && filtered[objOf(rhs)]:
+					filtered[o] = true
+					delete(builder, o)
+				default:
+					delete(filtered, o)
+					delete(builder, o)
+				}
+			}
+		case *ast.RangeStmt:
+			tv, ok := pass.Info.Types[st.X]
+			if ok && isRailViewSlice(tv.Type) && !iterOK(st.X) {
+				report(st, st.X)
+			}
+		case *ast.ForStmt:
+			// for i := 0; i < len(rails); i++ over a []RailView.
+			if st.Cond == nil {
+				return true
+			}
+			bin, ok := st.Cond.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			for _, side := range []ast.Expr{bin.X, bin.Y} {
+				call, ok := ast.Unparen(side).(*ast.CallExpr)
+				if !ok || len(call.Args) != 1 {
+					continue
+				}
+				if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+					if b, ok := pass.Info.Uses[id].(*types.Builtin); ok && b.Name() == "len" {
+						arg := call.Args[0]
+						tv, okT := pass.Info.Types[arg]
+						if okT && isRailViewSlice(tv.Type) && !iterOK(arg) {
+							report(st, arg)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+}

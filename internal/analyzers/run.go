@@ -1,0 +1,67 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Finding is one post-filtering railvet result.
+type Finding struct {
+	Pass    string
+	Pos     token.Position
+	Message string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Pass, f.Message)
+}
+
+// Analyze runs the given passes over every package, applying the
+// ignore directives, and returns the surviving findings in positional
+// order. Malformed directives surface as findings under the pass name
+// "railvet" and cannot be suppressed.
+func Analyze(pkgs []*Package, passes []*Analyzer) []Finding {
+	names := make(map[string]bool, len(passes))
+	for _, a := range passes {
+		names[a.Name] = true
+	}
+	var out []Finding
+	for _, pkg := range pkgs {
+		dirs := scanDirectives(pkg.Fset, pkg.Files, pkg.Info, names)
+		for _, d := range dirs.errors {
+			out = append(out, Finding{Pass: d.Pass, Pos: pkg.Fset.Position(d.Pos), Message: d.Message})
+		}
+		for _, a := range passes {
+			p := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Pkg,
+				Info:     pkg.Info,
+				funcs:    dirs.flags,
+			}
+			p.report = func(d Diagnostic) {
+				if dirs.suppressed(pkg.Fset, d.Pass, d.Pos) {
+					return
+				}
+				out = append(out, Finding{Pass: d.Pass, Pos: pkg.Fset.Position(d.Pos), Message: d.Message})
+			}
+			a.Run(p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Pass < out[j].Pass
+	})
+	return out
+}

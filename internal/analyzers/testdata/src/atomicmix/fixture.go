@@ -1,0 +1,38 @@
+// Fixture for the atomicmix pass: a field touched through sync/atomic
+// functions must never be read or written plainly.
+package fixture
+
+import "sync/atomic"
+
+type counters struct {
+	hits  uint64
+	reads int64
+	plain int
+}
+
+func bump(c *counters) {
+	atomic.AddUint64(&c.hits, 1)
+	atomic.StoreInt64(&c.reads, 2)
+}
+
+func load(c *counters) uint64 {
+	return atomic.LoadUint64(&c.hits)
+}
+
+func mixedRead(c *counters) uint64 {
+	return c.hits // want "plain access to c.hits"
+}
+
+func mixedWrite(c *counters) {
+	c.reads = 0 // want "plain access to c.reads"
+}
+
+// plain is never touched atomically: ordinary access is fine.
+func fine(c *counters) int {
+	return c.plain
+}
+
+func suppressed(c *counters) uint64 {
+	//railvet:ignore atomicmix fixture: single-owner init phase, no concurrent writer exists yet
+	return c.hits
+}

@@ -1,0 +1,33 @@
+// Fixture for the hotclock pass: no wall-clock reads in functions
+// marked //railvet:hotpath or reachable from one in the same package.
+package fixture
+
+import "time"
+
+//railvet:hotpath
+func hotLoop() {
+	start := time.Now() // want "time.Now in hotLoop"
+	_ = start
+	helper()
+}
+
+// helper is cold by itself but reachable from hotLoop.
+func helper() time.Duration {
+	var t0 time.Time
+	return time.Since(t0) // want "time.Since on a hot path"
+}
+
+//railvet:hotpath
+func hotWithClosure() {
+	tick := func() { _ = time.Now() } // want "time.Now in hotWithClosure"
+	tick()
+}
+
+// cold is not reachable from any hot root: wall-clock reads are fine.
+func cold() time.Time { return time.Now() }
+
+//railvet:hotpath
+func hotShutdown() {
+	//railvet:ignore hotclock fixture: deadline computation needs an absolute wall-clock time
+	_ = time.Now().Add(time.Second)
+}

@@ -1,0 +1,58 @@
+// Fixture for the nolockio pass: no mutex may be held across a fabric
+// send or a net.Conn write.
+package fixture
+
+import (
+	"net"
+	"sync"
+)
+
+// Rail mimics a fabric rail: any named type Rail with the send-method
+// set is treated as a transport by the pass.
+type Rail struct{}
+
+func (r *Rail) SendEager(to int, b []byte) error   { return nil }
+func (r *Rail) SendControl(to int, b []byte) error { return nil }
+
+type shard struct {
+	mu sync.Mutex
+	rw sync.RWMutex
+}
+
+func heldAcrossSend(s *shard, r *Rail) {
+	s.mu.Lock()
+	r.SendEager(0, nil) // want "transport call with s.mu held"
+	s.mu.Unlock()
+}
+
+func heldByDefer(s *shard, r *Rail) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r.SendControl(0, nil) // want "transport call with s.mu held"
+}
+
+func readLockAcrossConnWrite(s *shard, c net.Conn, b []byte) {
+	s.rw.RLock()
+	defer s.rw.RUnlock()
+	c.Write(b) // want "transport call with s.rw held"
+}
+
+func releasedBeforeSend(s *shard, r *Rail) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	r.SendEager(0, nil)
+}
+
+// closureIsIndependent: the literal runs on its own goroutine after the
+// enclosing frame released its locks, so it is analyzed as its own body.
+func closureIsIndependent(s *shard, r *Rail) func() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return func() { r.SendEager(0, nil) }
+}
+
+func suppressed(s *shard, r *Rail) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r.SendEager(0, nil) //railvet:ignore nolockio fixture: demonstrates an audited suppression with a recorded reason
+}

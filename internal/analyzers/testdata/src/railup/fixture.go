@@ -1,0 +1,81 @@
+// Fixture for the railup pass. The package is named strategy because
+// the pass only polices the decision packages (core and strategy) and
+// recognises RailView and Usable by their declaring package's name.
+package strategy
+
+// RailView mirrors the real strategy.RailView surface the pass keys on.
+type RailView struct {
+	Index int
+	Down  bool
+}
+
+// Usable is the canonical Up filter; its own body must look at every
+// rail, which is exactly what the annotation permits.
+//
+//railvet:upfilter
+func Usable(rails []RailView) []RailView {
+	out := make([]RailView, 0, len(rails))
+	for _, r := range rails {
+		if !r.Down {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func rawRange(rails []RailView) int {
+	n := 0
+	for _, r := range rails { // want "iterating rails without an Up filter"
+		n += r.Index
+	}
+	return n
+}
+
+func rawIndexLoop(rails []RailView) int {
+	n := 0
+	for i := 0; i < len(rails); i++ { // want "iterating rails without an Up filter"
+		n += rails[i].Index
+	}
+	return n
+}
+
+func filteredDirect(rails []RailView) int {
+	n := 0
+	for _, r := range Usable(rails) {
+		n += r.Index
+	}
+	return n
+}
+
+func filteredReassigned(rails []RailView) int {
+	rails = Usable(rails)
+	n := 0
+	for _, r := range rails {
+		n += r.Index
+	}
+	return n
+}
+
+// builderLoop constructs a slice locally: building the snapshot is
+// allowed, only consuming an unfiltered one is not.
+func builderLoop(rails []RailView) []RailView {
+	out := make([]RailView, 0, len(rails))
+	for _, r := range Usable(rails) {
+		out = append(out, r)
+	}
+	for i := 0; i < len(out); i++ {
+		out[i].Index++
+	}
+	return out
+}
+
+// suppressed documents a deliberate unfiltered walk.
+//
+//railvet:ignore railup fixture: read-only scoring sweep, rail selection happens downstream of Usable
+func suppressed(rails []RailView) int {
+	n := 0
+	for _, r := range rails {
+		n += r.Index
+	}
+	return n
+}

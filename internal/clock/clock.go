@@ -1,0 +1,35 @@
+// Package clock is the hot-path time source: a runtime.nanotime-class
+// monotonic clock with no wall-clock component.
+//
+// time.Now() reads both the wall clock and the monotonic clock and
+// builds a 24-byte time.Time; per-frame telemetry stamps and per-send
+// decision points only ever need durations, so they pay for machinery
+// they never use (SNIPPETS' samber/hot devel bench measures exactly
+// this tradeoff). Hot paths — anything marked //railvet:hotpath — use
+// clock.Now/clock.Since instead; the hotclock analyzer
+// (internal/analyzers) rejects time.Now/time.Since there.
+//
+// Stamps are int64 nanoseconds from an arbitrary, process-local epoch:
+// they are meaningless across processes and must never be compared to
+// wall-clock time.
+package clock
+
+import (
+	"time"
+	_ "unsafe" // for go:linkname
+)
+
+//go:linkname nanotime runtime.nanotime
+func nanotime() int64
+
+// Now returns the current monotonic reading in nanoseconds from an
+// arbitrary process-local epoch. It never goes backwards and is immune
+// to wall-clock steps (NTP, manual adjustment).
+func Now() int64 { return nanotime() }
+
+// Since returns the elapsed time since a stamp obtained from Now.
+func Since(start int64) time.Duration { return time.Duration(nanotime() - start) }
+
+// Between returns the elapsed time from start to end, both stamps
+// obtained from Now.
+func Between(start, end int64) time.Duration { return time.Duration(end - start) }

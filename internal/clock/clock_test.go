@@ -1,0 +1,55 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestMonotone(t *testing.T) {
+	prev := Now()
+	for i := 0; i < 100_000; i++ {
+		cur := Now()
+		if cur < prev {
+			t.Fatalf("clock went backwards: %d after %d", cur, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestSinceTracksRealTime(t *testing.T) {
+	start := Now()
+	wall := time.Now()
+	time.Sleep(20 * time.Millisecond)
+	got := Since(start)
+	want := time.Since(wall)
+	// The two clocks are sampled a few instructions apart; allow a loose
+	// band — the point is Since measures real elapsed time, not garbage.
+	if diff := got - want; diff < -5*time.Millisecond || diff > 5*time.Millisecond {
+		t.Fatalf("Since = %v, wall elapsed = %v (diff %v)", got, want, diff)
+	}
+	if Between(start, Now()) < got {
+		t.Fatalf("Between went backwards relative to Since")
+	}
+}
+
+func TestSinceNonNegative(t *testing.T) {
+	for i := 0; i < 10_000; i++ {
+		if d := Since(Now()); d < 0 {
+			t.Fatalf("Since(Now()) = %v < 0", d)
+		}
+	}
+}
+
+// The reason this package exists: Now must beat time.Now. Run with
+// `go test -bench . ./internal/clock`.
+func BenchmarkClockNow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = Now()
+	}
+}
+
+func BenchmarkTimeNow(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = time.Now()
+	}
+}

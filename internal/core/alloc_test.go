@@ -1,0 +1,43 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/rt"
+)
+
+// TestEagerSendAllocs is a regression ratchet on the eager send path:
+// one complete Isend/Irecv round trip of a small message, engine to
+// engine over the simulated fabric. The ceiling is ~25% above the
+// measured figure at the time this guard landed — it exists to catch a
+// new per-message heap escape (a closure capture, a slice that stopped
+// being reused, a map rebuilt per send), not to be a tight benchmark.
+// If you lowered the real cost, lower the ceiling too.
+func TestEagerSendAllocs(t *testing.T) {
+	env, eng := pair(t, Config{})
+	payload := []byte("alloc-guard")
+	buf := make([]byte, 64)
+	tag := uint32(0)
+
+	roundTrip := func() {
+		rr := eng[1].Irecv(0, tag, buf)
+		sr := eng[0].Isend(1, tag, payload)
+		env.Go("allocprobe", func(ctx rt.Ctx) {
+			sr.Wait(ctx)
+			if _, err := rr.Wait(ctx); err != nil {
+				t.Error(err)
+			}
+		})
+		env.Run()
+		tag++
+	}
+	roundTrip() // warm the plan cache and telemetry before measuring
+
+	// Measured 74.0/op when this guard landed.
+	const ceiling = 95
+	allocs := testing.AllocsPerRun(50, roundTrip)
+	t.Logf("measured %.1f allocs/op", allocs)
+	if allocs > ceiling {
+		t.Fatalf("eager round trip allocates %.1f/op, ceiling %d — a per-message heap escape crept in", allocs, ceiling)
+	}
+}

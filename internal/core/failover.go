@@ -146,6 +146,8 @@ func (e *Engine) ackRail() int {
 
 // upViews returns the strategy views of the strictly-Up rails, with
 // the static estimators.
+//
+//railvet:upfilter
 func (e *Engine) upViews() []strategy.RailView {
 	return e.upViewsFor(-1)
 }
@@ -153,6 +155,8 @@ func (e *Engine) upViews() []strategy.RailView {
 // upViewsFor returns the strictly-Up rail views for a decision about
 // one destination: in adaptive mode the live (peer, rail) estimators —
 // a rail death is exactly when the current estimates matter most.
+//
+//railvet:upfilter
 func (e *Engine) upViewsFor(dest int) []strategy.RailView {
 	views := e.railViewsFor(dest)
 	up := views[:0]
@@ -272,7 +276,7 @@ func (e *Engine) replan(ctx rt.Ctx) {
 // that accepts a frame of its size.
 func (e *Engine) resendContainer(ctx rt.Ctx, u *unit, views []strategy.RailView) {
 	fit := make([]strategy.RailView, 0, len(views))
-	for _, v := range views {
+	for _, v := range strategy.Usable(views) {
 		if m := e.node.Rail(v.Index).Profile().MaxMsg; m > 0 && len(u.frame) > m {
 			continue
 		}

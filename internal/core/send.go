@@ -196,6 +196,7 @@ func (e *Engine) sendEagerAggregate(ctx rt.Ctx, to int, batch []*SendRequest) {
 func (e *Engine) pickEagerRail(n int, now time.Duration, rails []strategy.RailView) int {
 	fit := make([]strategy.RailView, 0, len(rails))
 	anyUp := false
+	//railvet:ignore railup size-prefilter only: anyUp tracks health and Split's internal Usable does the Up filtering, with the all-down fallback documented above
 	for _, v := range rails {
 		if v.EagerMax == 0 || n <= v.EagerMax {
 			fit = append(fit, v)

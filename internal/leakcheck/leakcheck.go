@@ -1,0 +1,104 @@
+// Package leakcheck fails a test binary whose goroutines outlive its
+// tests. The fabric packages spawn a goroutine per link direction plus
+// health actors; a reader or writer that survives Close is exactly the
+// bug class PR 2's shutdown work fixed, and this check keeps it fixed
+// without vendoring a leak detector.
+//
+// Usage, once per test package:
+//
+//	func TestMain(m *testing.M) { leakcheck.Main(m) }
+//
+// After the tests pass, the checker snapshots all goroutine stacks,
+// discards the benign ones (the test runner itself, the runtime's
+// helpers), and retries for a grace period so goroutines that are
+// mid-exit — a writeLoop draining its last frame after Close returned —
+// are not false positives. Anything still alive after the grace period
+// is printed in full and fails the binary.
+package leakcheck
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+)
+
+// grace is how long a goroutine may straggle after the last test
+// before it counts as leaked.
+const grace = 5 * time.Second
+
+// Main wraps testing.M.Run with the leak check. It does not return.
+func Main(m *testing.M) {
+	code := m.Run()
+	if code == 0 {
+		if stale := wait(grace); len(stale) > 0 {
+			fmt.Fprintf(os.Stderr, "leakcheck: %d goroutine(s) still running after the last test:\n\n%s\n",
+				len(stale), strings.Join(stale, "\n\n"))
+			code = 1
+		}
+	}
+	os.Exit(code)
+}
+
+// wait polls until no suspect goroutines remain or the grace period
+// expires, returning the stacks of the survivors.
+func wait(d time.Duration) []string {
+	deadline := time.Now().Add(d)
+	for {
+		stale := suspects()
+		if len(stale) == 0 || time.Now().After(deadline) {
+			return stale
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// benignMarks identify goroutines that are part of the test harness or
+// the runtime rather than code under test.
+var benignMarks = []string{
+	"testing.Main(",
+	"testing.(*M).Run",
+	"testing.(*T).Run",
+	"testing.tRunner",
+	"testing.runTests",
+	"runtime.goexit",
+	"leakcheck.suspects", // the goroutine taking this snapshot
+	"runtime/pprof",      // profiler writers during -cpuprofile runs
+	"os/signal.signal_recv",
+	"runtime.ReadTrace",
+	"runtime.ensureSigM",
+}
+
+// suspects returns the stacks of goroutines that look like code under
+// test.
+func suspects() []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, len(buf)*2)
+	}
+	var out []string
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		g = strings.TrimSpace(g)
+		if g == "" || isBenign(g) {
+			continue
+		}
+		out = append(out, g)
+	}
+	return out
+}
+
+func isBenign(stack string) bool {
+	for _, mark := range benignMarks {
+		if strings.Contains(stack, mark) {
+			return true
+		}
+	}
+	return false
+}

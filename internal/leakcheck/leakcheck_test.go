@@ -1,0 +1,50 @@
+package leakcheck
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDetectsAndClears(t *testing.T) {
+	release := make(chan struct{})
+	go leakyWorker(release)
+
+	// The blocked goroutine must show up as a suspect.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if stacksContain(suspects(), "leakyWorker") {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("blocked goroutine never reported as a suspect")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Once released, wait() must see it drain within the grace period.
+	close(release)
+	if stale := wait(2 * time.Second); stacksContain(stale, "leakyWorker") {
+		t.Fatalf("released goroutine still reported: %v", stale)
+	}
+}
+
+func TestBenignFilter(t *testing.T) {
+	// The snapshotting goroutine itself (this test, under tRunner) must
+	// never be a suspect, or every binary would fail.
+	if stacks := suspects(); stacksContain(stacks, "TestBenignFilter") {
+		t.Fatalf("the test harness goroutine was reported as a leak:\n%s",
+			strings.Join(stacks, "\n\n"))
+	}
+}
+
+func leakyWorker(release chan struct{}) { <-release }
+
+func stacksContain(stacks []string, substr string) bool {
+	for _, s := range stacks {
+		if strings.Contains(s, substr) {
+			return true
+		}
+	}
+	return false
+}

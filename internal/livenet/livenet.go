@@ -40,6 +40,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/fabric"
 	"repro/internal/model"
 	"repro/internal/railhealth"
@@ -585,7 +586,11 @@ type link struct {
 // writeLoop drains a link's queue onto its connection. Each frame is a
 // uint32 LE length prefix followed by the wire bytes (written with
 // writev, no copy). done events fire when the frame has been handed to
-// the kernel — the live equivalent of "the DMA drained".
+// the kernel — the live equivalent of "the DMA drained". Per-frame
+// timestamps use internal/clock: two wall-clock reads per frame would
+// be pure overhead on the engine's busiest loop.
+//
+//railvet:hotpath
 func (f *Fabric) writeLoop(l *link) {
 	defer f.writers.Done()
 	for {
@@ -593,7 +598,7 @@ func (f *Fabric) writeLoop(l *link) {
 		case of := <-l.out:
 			var lenbuf [4]byte
 			binary.LittleEndian.PutUint32(lenbuf[:], uint32(len(of.data)))
-			start := time.Now()
+			start := clock.Now()
 			if th := of.rail.throttleFactor(); th > 1 {
 				// Chaos throttle: delay the frame BEFORE it reaches the
 				// kernel so delivery itself slows down — the rail behaves
@@ -604,14 +609,14 @@ func (f *Fabric) writeLoop(l *link) {
 				exp := float64(len(of.data)+4)/of.rail.currentRate() + throttleQueue.Seconds()
 				time.Sleep(time.Duration(exp * (th - 1) * 1e9))
 			}
-			writeStart := time.Now()
+			writeStart := clock.Now()
 			bufs := net.Buffers{lenbuf[:], of.data}
 			_, err := bufs.WriteTo(l.conn)
 			// The rate EWMA calibrates on the raw write only: folding the
 			// throttle sleep in would shrink the rate, stretch the next
 			// sleep, and spiral. Occupancy (took) keeps the full delay.
-			calib := time.Since(writeStart)
-			took := time.Since(start)
+			calib := clock.Since(writeStart)
+			took := clock.Since(start)
 			// A failed write is not traffic: counting it would credit the
 			// rail with bytes that never fully reached the wire, and its
 			// near-instant failure duration would calibrate the rate EWMA
@@ -640,7 +645,9 @@ func (f *Fabric) writeLoop(l *link) {
 			// graceful shutdown (bounded: the fabric is going away).
 			var lenbuf [4]byte
 			binary.LittleEndian.PutUint32(lenbuf[:], goodbye)
+			//railvet:ignore hotclock shutdown-only branch; SetWriteDeadline needs an absolute wall-clock time
 			l.conn.SetWriteDeadline(time.Now().Add(250 * time.Millisecond))
+			//nolint:errcheck // best-effort goodbye on a closing fabric: the deadline bounds it and any error means the peer is gone anyway
 			l.conn.Write(lenbuf[:])
 			return
 		}

@@ -1,0 +1,11 @@
+package livenet
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain enforces the shutdown contract mechanically: no reader,
+// writer or health goroutine may survive the last test's Close.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

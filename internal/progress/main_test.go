@@ -1,0 +1,11 @@
+package progress
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain enforces the worker-shutdown contract mechanically: every
+// per-core worker and aggregator goroutine must exit with its engine.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

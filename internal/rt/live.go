@@ -3,23 +3,31 @@ package rt
 import (
 	"sync"
 	"time"
+
+	"repro/internal/clock"
 )
 
 // LiveEnv runs actors as free-running goroutines on the wall clock.
 type LiveEnv struct {
-	epoch time.Time
+	epoch int64 // internal/clock stamp taken at construction
 	wg    sync.WaitGroup
 }
 
 // NewLive returns a wall-clock environment whose epoch is now.
-func NewLive() *LiveEnv { return &LiveEnv{epoch: time.Now()} }
+func NewLive() *LiveEnv { return &LiveEnv{epoch: clock.Now()} }
 
 // WaitIdle blocks until every actor spawned with Go has returned. Useful
 // in tests; production code synchronises through Events instead.
 func (e *LiveEnv) WaitIdle() { e.wg.Wait() }
 
-func (e *LiveEnv) Now() time.Duration { return time.Since(e.epoch) }
-func (e *LiveEnv) IsSim() bool        { return false }
+// Now is the timestamp every send decision and telemetry sample reads,
+// often several times per message; it must stay a bare monotonic-clock
+// subtraction.
+//
+//railvet:hotpath
+func (e *LiveEnv) Now() time.Duration { return clock.Since(e.epoch) }
+
+func (e *LiveEnv) IsSim() bool { return false }
 
 func (e *LiveEnv) Go(name string, fn func(Ctx)) {
 	_ = name // names are for simulation traces; goroutines are anonymous

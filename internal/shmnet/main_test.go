@@ -1,0 +1,13 @@
+package shmnet
+
+import (
+	"testing"
+
+	"repro/internal/leakcheck"
+)
+
+// TestMain enforces the shutdown contract mechanically: no ring
+// writer, reader or park/wake goroutine may survive the last test's
+// Close — a parked reader that misses the goodbye nudge would hang
+// here, not in a flaked CI run three weeks later.
+func TestMain(m *testing.M) { leakcheck.Main(m) }

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/clock"
 	"repro/internal/fabric"
 	"repro/internal/model"
 	"repro/internal/railhealth"
@@ -325,7 +326,11 @@ type link struct {
 // writeLoop drains a link's queue into its send ring. Each frame is a
 // uint32 LE length prefix followed by the wire bytes. done events fire
 // when the frame is fully in the ring — the shared-memory equivalent of
-// "the PIO copy finished".
+// "the PIO copy finished". Per-frame timestamps use internal/clock:
+// on the intra-host rail a frame IS a memcpy, so two wall-clock reads
+// per frame would be a measurable fraction of the frame itself.
+//
+//railvet:hotpath
 func (f *Fabric) writeLoop(n *Node, l *link) {
 	defer f.wg.Done()
 	abort := func() bool { return f.closed.Load() }
@@ -347,7 +352,7 @@ func (f *Fabric) writeLoop(n *Node, l *link) {
 			}
 			var lenbuf [4]byte
 			binary.LittleEndian.PutUint32(lenbuf[:], uint32(len(of.data)))
-			start := time.Now()
+			start := clock.Now()
 			if th := of.rail.throttleFactor(); th > 1 {
 				// Chaos throttle, mirroring livenet: stretch the frame's
 				// transmission before it reaches the ring, plus a
@@ -355,13 +360,13 @@ func (f *Fabric) writeLoop(n *Node, l *link) {
 				exp := float64(len(of.data)+4)/of.rail.currentRate() + throttleQueue.Seconds()
 				time.Sleep(time.Duration(exp * (th - 1) * 1e9))
 			}
-			writeStart := time.Now()
+			writeStart := clock.Now()
 			ok := l.sendR.write(lenbuf[:], abort)
 			if ok {
 				ok = l.sendR.write(of.data, abort)
 			}
-			calib := time.Since(writeStart)
-			took := time.Since(start)
+			calib := clock.Since(writeStart)
+			took := clock.Since(start)
 			of.finish(took, calib, ok)
 			if ok {
 				n.observeWrite(l.peer, of.rail.index, len(of.data), took)

@@ -96,7 +96,10 @@ func EagerCandidates(n int, now time.Duration, rails []RailView, idleCores int, 
 }
 
 // bestRails returns the k rails with the earliest single-message
-// completion, preserving the original order among the selected.
+// completion, preserving the original order among the selected. It
+// never adds rails, so an Up-filtered input stays Up-filtered.
+//
+//railvet:upfilter
 func bestRails(n int, now time.Duration, rails []RailView, k int) []RailView {
 	if k >= len(rails) {
 		return rails

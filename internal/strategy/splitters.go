@@ -230,8 +230,11 @@ type RatioSplit struct {
 }
 
 // NewRatioSplit computes the fixed weights from the rails' estimated
-// throughput at refSize (typically the largest benchmarked message).
+// throughput at refSize (typically the largest benchmarked message). A
+// Down rail contributes no weight: ratios computed over a dead rail
+// would permanently route a share of every message to it.
 func NewRatioSplit(refSize int, rails []RailView) *RatioSplit {
+	rails = Usable(rails)
 	w := make(map[int]float64, len(rails))
 	var sum float64
 	for _, r := range rails {

@@ -64,6 +64,8 @@ type RailView struct {
 // marked Down. When every rail is Down it returns rails unchanged — the
 // engine decides separately whether to send at all, and a last-resort
 // decision over dead rails is still a valid (droppable) decision.
+//
+//railvet:upfilter
 func Usable(rails []RailView) []RailView {
 	up := 0
 	for i := range rails {
@@ -146,6 +148,8 @@ func Validate(n int, chunks []Chunk) error {
 
 // PredictedCompletion returns the maximum predicted completion (relative
 // to now) over the chunks of a split.
+//
+//railvet:ignore railup arithmetic over an already-decided split: the loops build a lookup index and score chunks, they never choose rails
 func PredictedCompletion(now time.Duration, rails []RailView, chunks []Chunk) time.Duration {
 	byIndex := make(map[int]*RailView, len(rails))
 	for i := range rails {
