@@ -69,6 +69,17 @@ func main() {
 	fmt.Printf("wrote %d results to %s\n", len(results), *out)
 }
 
+// histQuantiles pulls p50/p99 (in µs) of one of node 0's latency
+// histograms out of the cluster's metrics snapshot. ok is false when the
+// family has no observations (e.g. no rendezvous ran).
+func histQuantiles(c *multirail.Cluster, family string) (p50, p99 float64, ok bool) {
+	m := c.MetricsSnapshot().Find(family, multirail.MetricLabel{Name: "node", Value: "0"})
+	if m == nil || m.Count == 0 {
+		return 0, 0, false
+	}
+	return m.Quantile(0.5) * 1e6, m.Quantile(0.99) * 1e6, true
+}
+
 func mustCluster(cfg multirail.Config) *multirail.Cluster {
 	c, err := multirail.New(cfg)
 	if err != nil {
@@ -207,11 +218,15 @@ func tcpManyFlows() []Result {
 	const flows, msgs, size = 8, 24, 8 << 10
 	workload.ManyFlows(c, flows, 2, size) // warm-up
 	host := timeOp(3, func() { workload.ManyFlows(c, flows, msgs, size) })
-	return []Result{{
+	row := Result{
 		Op:          fmt.Sprintf("tcp/manyflows/%dx%dx%dB", flows, msgs, size),
 		NsPerOp:     float64(host.Nanoseconds()),
 		BytesPerSec: float64(flows*msgs*size) / host.Seconds(),
-	}}
+	}
+	if p50, p99, ok := histQuantiles(c, "nm_eager_latency_seconds"); ok {
+		row.Extra = map[string]float64{"eager_p50_us": p50, "eager_p99_us": p99}
+	}
+	return []Result{row}
 }
 
 // simMessageRate reports the modeled sustained small-message rate under
@@ -240,14 +255,20 @@ func adaptiveRepeat() []Result {
 	if total := st.PlanHits + st.PlanMisses; total > 0 {
 		hitRate = float64(st.PlanHits) / float64(total)
 	}
-	return []Result{{
+	row := Result{
 		Op:          fmt.Sprintf("tcp/adaptive-repeat/%dB", size),
 		NsPerOp:     float64(host.Nanoseconds()) / 8,
 		BytesPerSec: float64(8*size) / host.Seconds(),
 		Extra: map[string]float64{
 			"plan_hit_rate":  hitRate,
+			"plan_evictions": float64(st.PlanEvictions),
 			"telemetry_obs":  float64(st.TelemetryObs),
 			"telemetry_fits": float64(st.TelemetryRefits),
 		},
-	}}
+	}
+	if p50, p99, ok := histQuantiles(c, "nm_rdv_latency_seconds"); ok {
+		row.Extra["rdv_p50_us"] = p50
+		row.Extra["rdv_p99_us"] = p99
+	}
+	return []Result{row}
 }

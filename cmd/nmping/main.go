@@ -5,6 +5,7 @@
 //
 //	nmping [-strategy hetero|iso|single] [-min 4] [-max 8388608]
 //	       [-iters 3] [-live] [-rails 2] [-shm-rails 1] [-sampling FILE]
+//	       [-metrics-addr 127.0.0.1:9141] [-metrics-hold 30s]
 //
 // With -live the sweep runs over the live TCP fabric: every rail is a
 // real TCP connection (loopback by default) and the engine moves real
@@ -51,6 +52,8 @@ func main() {
 	workers := flag.Int("workers", 0, "progression workers per node (0: one per core)")
 	shards := flag.Int("shards", 0, "flow shards per node (0: 4x workers)")
 	adaptive := flag.Bool("adaptive", false, "enable online telemetry: live estimates, adaptive strategy selection and the hot plan cache")
+	metricsAddr := flag.String("metrics-addr", "", "serve /metrics and /metrics.json on this address (e.g. 127.0.0.1:9141; use :0 for an ephemeral port)")
+	metricsHold := flag.Duration("metrics-hold", 0, "keep the process (and the metrics endpoint) alive this long after the sweep, so a scraper or nmtop can read the final state")
 	flag.Parse()
 
 	if *strategyName == "list" {
@@ -60,7 +63,8 @@ func main() {
 		return
 	}
 	cfg := multirail.Config{Live: *live, TCPRails: *rails, ShmRails: *shmRails,
-		Workers: *workers, Shards: *shards, AdaptiveTelemetry: *adaptive}
+		Workers: *workers, Shards: *shards, AdaptiveTelemetry: *adaptive,
+		MetricsAddr: *metricsAddr}
 	if *shmRails > 0 {
 		cfg.Live = true
 	}
@@ -101,6 +105,9 @@ func main() {
 	defer c.Close()
 
 	fmt.Printf("# strategy=%s rails=%d fabric=%s live=%v\n", *strategyName, c.Rails(), c.FabricKind(), *live)
+	if addr := c.MetricsAddr(); addr != "" {
+		fmt.Printf("# metrics: http://%s/metrics (json: /metrics.json)\n", addr)
+	}
 	if *traceOne {
 		workload.MedianOneWay(c, *maxSize, 1)
 		fmt.Printf("# timeline of one %s transfer:\n", stats.SizeLabel(*maxSize))
@@ -127,6 +134,10 @@ func main() {
 		for node := 0; node < c.Nodes(); node++ {
 			printEngineStats(node, c.EngineStats(node))
 		}
+	}
+	if *metricsHold > 0 {
+		fmt.Printf("# holding %v for scrapers (metrics at http://%s/metrics)\n", *metricsHold, c.MetricsAddr())
+		time.Sleep(*metricsHold)
 	}
 }
 

@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"repro/internal/metrics"
 	"repro/internal/rt"
 )
 
@@ -13,8 +14,12 @@ import (
 // new per-message heap escape (a closure capture, a slice that stopped
 // being reused, a map rebuilt per send), not to be a tight benchmark.
 // If you lowered the real cost, lower the ceiling too.
+// The engines run with a metrics registry installed: observability must
+// not move the ceiling (the ISSUE 7 acceptance bar). Func instruments
+// cost nothing until scraped and histogram Observe is allocation-free,
+// so the measured figure should match the bare-engine one.
 func TestEagerSendAllocs(t *testing.T) {
-	env, eng := pair(t, Config{})
+	env, eng := pair(t, Config{Metrics: metrics.NewRegistry()})
 	payload := []byte("alloc-guard")
 	buf := make([]byte, 64)
 	tag := uint32(0)

@@ -52,6 +52,7 @@ import (
 
 	"repro/internal/fabric"
 	"repro/internal/marcel"
+	"repro/internal/metrics"
 	"repro/internal/pioman"
 	"repro/internal/progress"
 	"repro/internal/rt"
@@ -134,6 +135,11 @@ type Config struct {
 	// Tracer, when non-nil, receives the per-message timeline (the role
 	// FxT tracing plays for the original library).
 	Tracer trace.Tracer
+	// Metrics, when non-nil, is the registry this engine exports into:
+	// counter families over the existing atomics (read at scrape time,
+	// free on the hot path) plus eager/rendezvous latency histograms
+	// (lock-free, allocation-free Observe on the ack paths).
+	Metrics *metrics.Registry
 }
 
 // Engine is one node's communication engine.
@@ -167,6 +173,10 @@ type Engine struct {
 	thrStatic []int
 	thrLive   []atomic.Pointer[thrEntry]
 	thrBucket []atomic.Int32
+
+	// Latency histograms (nil when Config.Metrics is nil).
+	histEager *metrics.Histogram
+	histRdv   *metrics.Histogram
 
 	nextMsgID atomic.Uint64
 
@@ -263,6 +273,7 @@ type Stats struct {
 	// the current estimate epoch.
 	PlanHits        uint64
 	PlanMisses      uint64
+	PlanEvictions   uint64
 	PlanEntries     int
 	TelemetryObs    uint64
 	TelemetryRefits uint64
@@ -361,6 +372,9 @@ func NewEngine(env rt.Env, node fabric.Node, profiles []*sampling.RailProfile, c
 			on.SetTelemetry(e.tele)
 		}
 	}
+	if cfg.Metrics != nil {
+		e.initMetrics(cfg.Metrics)
+	}
 	e.pool = progress.NewPool(env, fmt.Sprintf("nmad-progress-%d", node.ID()), workers)
 	e.sub = progress.NewSubmitter[*SendRequest](e.pool, e.flushDest)
 	e.sched = marcel.New(env, cores)
@@ -420,6 +434,7 @@ func (e *Engine) Stats() Stats {
 		cs := e.cache.Stats()
 		st.PlanHits = cs.Hits
 		st.PlanMisses = cs.Misses
+		st.PlanEvictions = cs.Evictions
 		st.PlanEntries = cs.Entries
 	}
 	st.Shards = make([]ShardStats, len(e.flows))
@@ -510,14 +525,22 @@ func (e *Engine) probeEvery() int {
 // to the sampled eager curve the plane blends with. It runs on the
 // progress worker (or progression actor) handling the ack.
 func (e *Engine) observeUnit(peer, rail, bytes int, sentAt time.Duration, eager bool) {
-	if e.tele == nil || sentAt <= 0 {
+	if sentAt <= 0 {
 		return
 	}
-	if rtt := e.env.Now() - sentAt; rtt > 0 {
-		e.tele.Observe(peer, rail, bytes, rtt/2)
-		if eager {
-			e.tele.ObservePath(telemetry.PathEager, peer, rail, bytes, e.lessAckLeg(rail, rtt))
-		}
+	rtt := e.env.Now() - sentAt
+	if rtt <= 0 {
+		return
+	}
+	if eager && e.histEager != nil {
+		e.histEager.Observe(rtt) // metrics work without telemetry
+	}
+	if e.tele == nil {
+		return
+	}
+	e.tele.Observe(peer, rail, bytes, rtt/2)
+	if eager {
+		e.tele.ObservePath(telemetry.PathEager, peer, rail, bytes, e.lessAckLeg(rail, rtt))
 	}
 }
 

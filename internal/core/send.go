@@ -276,6 +276,14 @@ func (e *Engine) startRendezvous(ctx rt.Ctx, r *SendRequest) {
 	pick := strategy.SingleRail{}.Split(wire.HeaderSize, e.env.Now(), rails)
 	rail := pick[0].Rail
 	r.rdvStart = e.env.Now() // whole-rendezvous clock (telemetry rdv plane)
+	if e.histRdv != nil {
+		start := r.rdvStart
+		r.acked.OnFire(func() {
+			if d := e.env.Now() - start; d > 0 {
+				e.histRdv.Observe(d)
+			}
+		})
+	}
 	us := e.unit(r.To, r.msgID)
 	us.mu.Lock()
 	us.rdvOut[r.msgID] = &pendingRdv{req: r, rail: rail}

@@ -53,6 +53,14 @@ type Stats struct {
 	Bytes     uint64
 	BusyTime  time.Duration
 	LastStart time.Duration
+	// Reconnects counts link re-establishments on the rail (livenet: a
+	// replacement connection registered over a dead one). Zero on
+	// fabrics without reconnection.
+	Reconnects uint64
+	// Stalls counts backpressure episodes (shmnet: a ring write that
+	// found the ring full and had to wait). Zero on fabrics without
+	// bounded rings.
+	Stalls uint64
 }
 
 // RailState is the health of one rail. Rails are a dynamic set: a NIC

@@ -541,6 +541,7 @@ func (f *Fabric) register(conn net.Conn, owner, peer, r int) {
 	rail.links[peer] = l
 	if prev != nil {
 		rail.rate = initialRate // resample on the fresh connection
+		rail.stats.Reconnects++
 	}
 	rail.mu.Unlock()
 	go f.writeLoop(l)

@@ -1,0 +1,65 @@
+package metrics
+
+import (
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler returns the exporter's HTTP surface:
+//
+//	/metrics       Prometheus text exposition
+//	/metrics.json  Snapshot as JSON (what cmd/nmtop consumes)
+//	/debug/pprof/  net/http/pprof, when withPprof is set
+//
+// The handlers are mounted on a private mux — importing this package
+// never touches http.DefaultServeMux.
+func Handler(r *Registry, withPprof bool) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(r.Snapshot())
+	})
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// Server is a running metrics exporter.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Serve starts the exporter on addr ("host:0" picks an ephemeral
+// port — read the result back with Addr). The listener is bound
+// synchronously, so a nil error means the endpoint is scrapeable.
+func Serve(addr string, r *Registry, withPprof bool) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{ln: ln, srv: &http.Server{
+		Handler:           Handler(r, withPprof),
+		ReadHeaderTimeout: 5 * time.Second,
+	}}
+	go s.srv.Serve(ln)
+	return s, nil
+}
+
+// Addr returns the exporter's bound address.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close stops the exporter.
+func (s *Server) Close() error { return s.srv.Close() }

@@ -1,0 +1,305 @@
+// Package metrics is the engine's dependency-free instrumentation
+// plane: a registry of counters, gauges and fixed-bucket histograms
+// organised into labelled families (peer, rail, kind, size-class), with
+// hot-path writes that are lock-free and allocation-free.
+//
+// Two kinds of instruments exist:
+//
+//   - Owned instruments (Counter, Gauge, Histogram) hold their own
+//     atomics. Handles are resolved once at wiring time — the label
+//     lookup, the only allocating step, happens off the hot path — and
+//     every subsequent Inc/Add/Observe is a few atomic operations
+//     (guarded by an AllocsPerRun ratchet in metrics_test.go).
+//   - Func instruments (CounterFunc, GaugeFunc) read an existing value
+//     at scrape time. Subsystems that already keep atomic counters
+//     (engine stats, plan cache, rail health, fabric rails) export them
+//     this way at zero hot-path cost and without double counting.
+//
+// Durations are stored as nanoseconds internally and rendered as
+// seconds in both exposition formats (expose.go), matching Prometheus
+// convention. Histogram observations take a time.Duration the caller
+// measured with the environment clock (internal/clock on live paths) —
+// nothing in this package reads a clock, so the hotclock discipline is
+// preserved by construction.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Kind is the exposition type of a family.
+type Kind string
+
+const (
+	KindCounter   Kind = "counter"
+	KindGauge     Kind = "gauge"
+	KindHistogram Kind = "histogram"
+)
+
+// Label is one name=value pair of a metric's label set.
+type Label struct {
+	Name  string `json:"name"`
+	Value string `json:"value"`
+}
+
+// L builds a label set from alternating name, value strings.
+func L(nv ...string) []Label {
+	if len(nv)%2 != 0 {
+		panic("metrics: L takes alternating name, value pairs")
+	}
+	out := make([]Label, 0, len(nv)/2)
+	for i := 0; i < len(nv); i += 2 {
+		out = append(out, Label{Name: nv[i], Value: nv[i+1]})
+	}
+	return out
+}
+
+// Counter is a monotonically increasing uint64.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+//
+//railvet:hotpath
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+//
+//railvet:hotpath
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a settable int64 level.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+//
+//railvet:hotpath
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add moves the value by d (negative to decrease).
+//
+//railvet:hotpath
+func (g *Gauge) Add(d int64) { g.v.Add(d) }
+
+// Value returns the current level.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket duration histogram: cumulative rendering
+// happens at snapshot time, the hot path only bumps one bucket plus the
+// count and sum atomics. Bucket bounds are fixed at registration.
+type Histogram struct {
+	boundsNS []int64         // upper bounds, ascending, nanoseconds
+	buckets  []atomic.Uint64 // len(boundsNS)+1; last is +Inf
+	count    atomic.Uint64
+	sumNS    atomic.Int64
+}
+
+// Observe records one duration. The caller supplies a duration it
+// measured with the environment clock — Observe itself never reads one.
+//
+//railvet:hotpath
+func (h *Histogram) Observe(d time.Duration) {
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	i := 0
+	for i < len(h.boundsNS) && ns > h.boundsNS[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNS.Add(ns)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observations.
+func (h *Histogram) Sum() time.Duration { return time.Duration(h.sumNS.Load()) }
+
+// DefBuckets is the default latency ladder: 1µs to 2.5s, roughly
+// logarithmic — wide enough for a shm ring copy and a congested
+// cross-host rendezvous on one scale.
+func DefBuckets() []time.Duration {
+	return []time.Duration{
+		1 * time.Microsecond, 2 * time.Microsecond, 5 * time.Microsecond,
+		10 * time.Microsecond, 20 * time.Microsecond, 50 * time.Microsecond,
+		100 * time.Microsecond, 200 * time.Microsecond, 500 * time.Microsecond,
+		1 * time.Millisecond, 2 * time.Millisecond, 5 * time.Millisecond,
+		10 * time.Millisecond, 20 * time.Millisecond, 50 * time.Millisecond,
+		100 * time.Millisecond, 250 * time.Millisecond, 500 * time.Millisecond,
+		1 * time.Second, 2500 * time.Millisecond,
+	}
+}
+
+// metric is one labelled child of a family.
+type metric struct {
+	labels []Label
+
+	counter   *Counter
+	gauge     *Gauge
+	hist      *Histogram
+	counterFn func() uint64
+	gaugeFn   func() float64
+}
+
+// family is one named group of metrics sharing a type and label names.
+type family struct {
+	name, help string
+	kind       Kind
+	labelNames []string
+
+	mu      sync.Mutex
+	order   []string // child keys in registration order
+	metrics map[string]*metric
+}
+
+// Registry holds the families. Registration takes locks and allocates;
+// the returned instrument handles are what hot paths hold on to.
+type Registry struct {
+	mu       sync.Mutex
+	order    []string
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// childKey joins label values; label names are validated against the
+// family, so values alone identify the child.
+func childKey(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	var b strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(0)
+		}
+		b.WriteString(l.Value)
+	}
+	return b.String()
+}
+
+// family returns (creating if needed) the named family, enforcing that
+// every registration agrees on type and label names. Inconsistent reuse
+// of a name is a wiring bug and panics.
+func (r *Registry) family(name, help string, kind Kind, labels []Label) *family {
+	names := make([]string, len(labels))
+	for i, l := range labels {
+		names[i] = l.Name
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind, labelNames: names,
+			metrics: make(map[string]*metric)}
+		r.families[name] = f
+		r.order = append(r.order, name)
+		return f
+	}
+	if f.kind != kind {
+		panic(fmt.Sprintf("metrics: %s registered as %s and %s", name, f.kind, kind))
+	}
+	if len(f.labelNames) != len(names) {
+		panic(fmt.Sprintf("metrics: %s label names %v vs %v", name, f.labelNames, names))
+	}
+	for i := range names {
+		if f.labelNames[i] != names[i] {
+			panic(fmt.Sprintf("metrics: %s label names %v vs %v", name, f.labelNames, names))
+		}
+	}
+	return f
+}
+
+// child returns (creating via mk if needed) the family child for a
+// label set.
+func (f *family) child(labels []Label, mk func() *metric) *metric {
+	k := childKey(labels)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if m := f.metrics[k]; m != nil {
+		return m
+	}
+	m := mk()
+	m.labels = append([]Label(nil), labels...)
+	f.metrics[k] = m
+	f.order = append(f.order, k)
+	return m
+}
+
+// Counter registers (or returns the existing) counter with the given
+// labels.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	f := r.family(name, help, KindCounter, labels)
+	m := f.child(labels, func() *metric { return &metric{counter: &Counter{}} })
+	if m.counter == nil {
+		panic(fmt.Sprintf("metrics: %s%v registered as a func counter", name, labels))
+	}
+	return m.counter
+}
+
+// Gauge registers (or returns the existing) gauge with the given labels.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	f := r.family(name, help, KindGauge, labels)
+	m := f.child(labels, func() *metric { return &metric{gauge: &Gauge{}} })
+	if m.gauge == nil {
+		panic(fmt.Sprintf("metrics: %s%v registered as a func gauge", name, labels))
+	}
+	return m.gauge
+}
+
+// CounterFunc registers a counter whose value is read from fn at scrape
+// time — the bridge for subsystems that already keep their own atomics.
+// fn must be safe to call concurrently and must be monotone.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64, labels ...Label) {
+	f := r.family(name, help, KindCounter, labels)
+	f.child(labels, func() *metric { return &metric{counterFn: fn} })
+}
+
+// GaugeFunc registers a gauge whose value is read from fn at scrape
+// time. fn must be safe to call concurrently.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	f := r.family(name, help, KindGauge, labels)
+	f.child(labels, func() *metric { return &metric{gaugeFn: fn} })
+}
+
+// Histogram registers (or returns the existing) histogram. buckets are
+// the upper bounds, ascending; nil uses DefBuckets. Every child of one
+// family must use the family's bucket ladder.
+func (r *Registry) Histogram(name, help string, buckets []time.Duration, labels ...Label) *Histogram {
+	f := r.family(name, help, KindHistogram, labels)
+	if buckets == nil {
+		buckets = DefBuckets()
+	}
+	m := f.child(labels, func() *metric {
+		h := &Histogram{boundsNS: make([]int64, len(buckets))}
+		for i, b := range buckets {
+			h.boundsNS[i] = int64(b)
+		}
+		if !sort.SliceIsSorted(h.boundsNS, func(i, j int) bool { return h.boundsNS[i] < h.boundsNS[j] }) {
+			panic(fmt.Sprintf("metrics: %s bucket bounds not ascending", name))
+		}
+		h.buckets = make([]atomic.Uint64, len(buckets)+1)
+		return &metric{hist: h}
+	})
+	if m.hist == nil {
+		panic(fmt.Sprintf("metrics: %s%v is not a histogram child", name, labels))
+	}
+	return m.hist
+}

@@ -1,0 +1,239 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_events_total", "events", L("kind", "a")...)
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("counter = %d, want 5", c.Value())
+	}
+	// Re-registering the same name+labels returns the same instrument.
+	if again := r.Counter("test_events_total", "events", L("kind", "a")...); again != c {
+		t.Fatal("re-registration did not return the existing counter")
+	}
+	g := r.Gauge("test_level", "level")
+	g.Set(7)
+	g.Add(-2)
+	if g.Value() != 5 {
+		t.Fatalf("gauge = %d, want 5", g.Value())
+	}
+}
+
+func TestFuncInstruments(t *testing.T) {
+	r := NewRegistry()
+	n := uint64(41)
+	r.CounterFunc("test_fn_total", "fn", func() uint64 { return n })
+	r.GaugeFunc("test_fn_level", "fn", func() float64 { return 2.5 })
+	n++
+	s := r.Snapshot()
+	if m := s.Find("test_fn_total"); m == nil || m.Value != 42 {
+		t.Fatalf("counter func snapshot = %+v, want 42", m)
+	}
+	if m := s.Find("test_fn_level"); m == nil || m.Value != 2.5 {
+		t.Fatalf("gauge func snapshot = %+v, want 2.5", m)
+	}
+}
+
+func TestHistogramBucketsAndQuantile(t *testing.T) {
+	r := NewRegistry()
+	bounds := []time.Duration{time.Millisecond, 10 * time.Millisecond, 100 * time.Millisecond}
+	h := r.Histogram("test_latency_seconds", "lat", bounds)
+	for i := 0; i < 100; i++ {
+		h.Observe(500 * time.Microsecond) // first bucket
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(5 * time.Millisecond) // second bucket
+	}
+	h.Observe(time.Second) // +Inf bucket
+	if h.Count() != 201 {
+		t.Fatalf("count = %d, want 201", h.Count())
+	}
+	m := r.Snapshot().Find("test_latency_seconds")
+	if m == nil {
+		t.Fatal("histogram missing from snapshot")
+	}
+	if len(m.Buckets) != 4 {
+		t.Fatalf("got %d buckets, want 4 (3 bounds + Inf)", len(m.Buckets))
+	}
+	wantCum := []uint64{100, 200, 200, 201}
+	for i, b := range m.Buckets {
+		if b.Count != wantCum[i] {
+			t.Fatalf("bucket %d cumulative = %d, want %d", i, b.Count, wantCum[i])
+		}
+	}
+	if !math.IsInf(m.Buckets[3].LE, 1) {
+		t.Fatalf("last bucket LE = %v, want +Inf", m.Buckets[3].LE)
+	}
+	p50 := m.Quantile(0.5)
+	if p50 < 0.0003 || p50 > 0.002 {
+		t.Fatalf("p50 = %v s, want ~0.001 s (first two buckets split the mass)", p50)
+	}
+	p99 := m.Quantile(0.99)
+	if p99 < 0.001 || p99 > 0.01 {
+		t.Fatalf("p99 = %v s, want inside the second bucket", p99)
+	}
+	// The +Inf observation pins the max quantile at the last finite edge.
+	if q := m.Quantile(1.0); q != 0.1 {
+		t.Fatalf("p100 = %v, want 0.1 (highest finite bound)", q)
+	}
+}
+
+func TestPrometheusText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("nm_test_total", "a counter", L("rail", "0", "kind", "shm")...).Add(3)
+	r.Gauge("nm_test_level", "a gauge").Set(-2)
+	h := r.Histogram("nm_test_seconds", "a histogram", []time.Duration{time.Millisecond})
+	h.Observe(2 * time.Millisecond)
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE nm_test_total counter",
+		`nm_test_total{rail="0",kind="shm"} 3`,
+		"# TYPE nm_test_level gauge",
+		"nm_test_level -2",
+		"# TYPE nm_test_seconds histogram",
+		`nm_test_seconds_bucket{le="0.001"} 0`,
+		`nm_test_seconds_bucket{le="+Inf"} 1`,
+		"nm_test_seconds_sum 0.002",
+		"nm_test_seconds_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prometheus text missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSnapshotJSONRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("nm_rt_total", "c", L("rail", "1")...).Add(9)
+	r.Histogram("nm_rt_seconds", "h", nil).Observe(3 * time.Millisecond)
+	enc, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(enc, &back); err != nil {
+		t.Fatal(err)
+	}
+	if m := back.Find("nm_rt_total", Label{Name: "rail", Value: "1"}); m == nil || m.Value != 9 {
+		t.Fatalf("round-tripped counter = %+v, want 9", m)
+	}
+	h := back.Find("nm_rt_seconds")
+	if h == nil || h.Count != 1 {
+		t.Fatalf("round-tripped histogram = %+v, want count 1", h)
+	}
+	if last := h.Buckets[len(h.Buckets)-1]; !math.IsInf(last.LE, 1) {
+		t.Fatalf("round-tripped +Inf bucket LE = %v, want +Inf", last.LE)
+	}
+	if q := h.Quantile(0.5); q <= 0 {
+		t.Fatalf("round-tripped p50 = %v, want > 0", q)
+	}
+}
+
+// TestIncrementAllocs is the hot-path ratchet of the tentpole: counter,
+// gauge and histogram writes must not allocate. It sits beside the shm
+// frame and eager round-trip ratchets (internal/shmnet, internal/core)
+// as a hard CI failure.
+func TestIncrementAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("alloc_total", "c", L("rail", "0")...)
+	g := r.Gauge("alloc_level", "g")
+	h := r.Histogram("alloc_seconds", "h", nil)
+	if n := testing.AllocsPerRun(1000, func() { c.Inc(); c.Add(3) }); n != 0 {
+		t.Fatalf("counter writes allocate %.1f/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Set(4); g.Add(-1) }); n != 0 {
+		t.Fatalf("gauge writes allocate %.1f/op, want 0", n)
+	}
+	d := 3 * time.Millisecond
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(d) }); n != 0 {
+		t.Fatalf("histogram observe allocates %.1f/op, want 0", n)
+	}
+}
+
+func TestConcurrentWrites(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "c")
+	h := r.Histogram("conc_seconds", "h", nil)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(time.Duration(j) * time.Microsecond)
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() { // concurrent scrapes must race cleanly with writers
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				r.Snapshot()
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+	if c.Value() != 8000 {
+		t.Fatalf("counter = %d, want 8000", c.Value())
+	}
+	if h.Count() != 8000 {
+		t.Fatalf("histogram count = %d, want 8000", h.Count())
+	}
+}
+
+func TestHTTPExporter(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("nm_http_total", "c").Add(11)
+	s, err := Serve("127.0.0.1:0", r, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	get := func(path string) string {
+		resp, err := http.Get("http://" + s.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		return string(body)
+	}
+	if out := get("/metrics"); !strings.Contains(out, "nm_http_total 11") {
+		t.Fatalf("/metrics missing sample:\n%s", out)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(get("/metrics.json")), &snap); err != nil {
+		t.Fatal(err)
+	}
+	if m := snap.Find("nm_http_total"); m == nil || m.Value != 11 {
+		t.Fatalf("/metrics.json counter = %+v, want 11", m)
+	}
+	if out := get("/debug/pprof/cmdline"); out == "" {
+		t.Fatal("pprof endpoint empty")
+	}
+}

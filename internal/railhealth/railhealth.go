@@ -30,22 +30,31 @@ type Tracker struct {
 	env  rt.Env
 	node int
 
-	mu       sync.Mutex
-	states   []fabric.RailState
-	reasons  []string
-	admin    []bool // pinned Down by Disable
-	subs     []rt.Queue
-	onEnable func(rail int)
+	mu      sync.Mutex
+	states  []fabric.RailState
+	reasons []string
+	admin   []bool // pinned Down by Disable
+	// transitions[rail][state] counts how many times the rail *entered*
+	// the state. Bumped in set() under mu — synchronous with event
+	// publication, so the counts always agree with the transition feed.
+	transitions [][numRailStates]uint64
+	subs        []rt.Queue
+	onEnable    func(rail int)
 }
+
+// numRailStates bounds the fabric.RailState enum (Up, Suspect, Down)
+// for the per-rail transition-count arrays.
+const numRailStates = int(fabric.RailDown) + 1
 
 // New returns a tracker for a node with nrails rails, all Up.
 func New(env rt.Env, node, nrails int) *Tracker {
 	return &Tracker{
-		env:     env,
-		node:    node,
-		states:  make([]fabric.RailState, nrails),
-		reasons: make([]string, nrails),
-		admin:   make([]bool, nrails),
+		env:         env,
+		node:        node,
+		states:      make([]fabric.RailState, nrails),
+		reasons:     make([]string, nrails),
+		admin:       make([]bool, nrails),
+		transitions: make([][numRailStates]uint64, nrails),
 	}
 }
 
@@ -139,6 +148,26 @@ func (t *Tracker) Enable(rail int) {
 	}
 }
 
+// Transitions returns how many times the rail has entered the given
+// state since the tracker was created. The initial all-Up construction
+// is not a transition; counts move in lockstep with the Subscribe feed
+// (the metrics plane's nm_rail_transitions_total family reads this).
+func (t *Tracker) Transitions(rail int, s fabric.RailState) uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if rail < 0 || rail >= len(t.transitions) || int(s) >= numRailStates {
+		return 0
+	}
+	return t.transitions[rail][s]
+}
+
+// NumRails returns the number of rails the tracker covers.
+func (t *Tracker) NumRails() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.states)
+}
+
 // AdminDown reports whether the rail is pinned Down by Disable.
 func (t *Tracker) AdminDown(rail int) bool {
 	t.mu.Lock()
@@ -152,6 +181,9 @@ func (t *Tracker) AdminDown(rail int) bool {
 func (t *Tracker) set(rail int, s fabric.RailState, reason string) {
 	t.states[rail] = s
 	t.reasons[rail] = reason
+	if int(s) < numRailStates {
+		t.transitions[rail][s]++
+	}
 	subs := append([]rt.Queue(nil), t.subs...)
 	ev := &fabric.RailEvent{Node: t.node, Rail: rail, State: s, At: t.env.Now(), Reason: reason}
 	t.mu.Unlock()

@@ -70,6 +70,12 @@ type ring struct {
 	// loopback TCP in the very telemetry that should favour it.
 	dataWake  chan struct{}
 	spaceWake chan struct{}
+
+	// stalls, when installed, counts backpressure episodes: one per
+	// write call that found the ring full and had to wait. Process-local
+	// (not part of the shared region) — each producer counts the stalls
+	// it suffered. Set before the producer goroutine starts.
+	stalls *atomic.Uint64
 }
 
 // ringRegionSize returns the bytes a ring with dataBytes of payload
@@ -167,10 +173,17 @@ func nudge(ch chan struct{}) {
 // only abort when the lane is being torn down.
 func (r *ring) write(p []byte, abort func() bool) bool {
 	var b backoff
+	stalled := false
 	for len(p) > 0 {
 		t := r.tail.Load()
 		free := r.size - (t - r.head.Load())
 		if free == 0 {
+			if !stalled { // one episode per write, however long the wait
+				stalled = true
+				if r.stalls != nil {
+					r.stalls.Add(1)
+				}
+			}
 			if abort() {
 				return false
 			}

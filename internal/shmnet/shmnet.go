@@ -230,6 +230,7 @@ func (f *Fabric) register(owner *Node, peer, r int, sendR, recvR *ring) {
 		recvR: recvR,
 	}
 	rail := owner.rails[r]
+	sendR.stalls = &rail.stalls // owner's writer is sendR's only producer
 	rail.mu.Lock()
 	rail.links[peer] = l
 	rail.mu.Unlock()
@@ -689,6 +690,10 @@ type Rail struct {
 	// throttle > 1 slows the rail artificially (chaos hook). Float64
 	// bits; 0 means no throttle.
 	throttle atomic.Uint64
+
+	// stalls counts ring-full backpressure episodes across this rail's
+	// send rings (bumped lock-free by the writer inside ring.write).
+	stalls atomic.Uint64
 }
 
 // currentRate returns the rail's copy-throughput EWMA (bytes/second).
@@ -721,8 +726,10 @@ func (r *Rail) State() fabric.RailState { return r.node.health.State(r.index) }
 // Stats returns a snapshot of the traffic counters.
 func (r *Rail) Stats() fabric.Stats {
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	return r.stats
+	st := r.stats
+	r.mu.Unlock()
+	st.Stalls = r.stalls.Load()
+	return st
 }
 
 // IdleAt predicts when the rail's queued bytes will have been copied,

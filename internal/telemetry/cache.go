@@ -92,9 +92,23 @@ const cacheShards = 16
 type CacheStats struct {
 	// Hits and Misses count lookups; a hit skips re-planning entirely.
 	Hits, Misses uint64
+	// Evictions counts plans dropped by the FIFO capacity policy —
+	// stale-epoch entries age out through here too. The baseline any
+	// replacement-policy change (SIEVE, S3-FIFO) must beat.
+	Evictions uint64
 	// Entries is the current number of cached plans (stale epochs
 	// included until evicted).
 	Entries int
+	// Shards is the per-stripe breakdown, indexed by shard. A single hot
+	// stripe (every flow hashing together) reads as one shard absorbing
+	// all the traffic here.
+	Shards []CacheShardStats
+}
+
+// CacheShardStats is one stripe's activity.
+type CacheShardStats struct {
+	Hits, Misses, Evictions uint64
+	Entries                 int
 }
 
 // Cache is the lock-striped hot plan cache: the common case — repeated
@@ -105,12 +119,18 @@ type CacheStats struct {
 type Cache struct {
 	shards  [cacheShards]cacheShard
 	perCap  int
-	hits    atomic.Uint64
-	misses  atomic.Uint64
 	entries atomic.Int64
 }
 
 type cacheShard struct {
+	// Lookup counters are per stripe (and atomic, updated outside the
+	// stripe lock): the metrics plane exports them per shard, so a
+	// pathological hash distribution is visible in the field instead of
+	// averaged away in a global pair.
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	evictions atomic.Uint64
+
 	mu    sync.Mutex
 	plans map[PlanKey]*Plan
 	fifo  []PlanKey
@@ -141,17 +161,17 @@ func (c *Cache) shard(k PlanKey) *cacheShard {
 	return &c.shards[h%cacheShards]
 }
 
-// Get looks a plan up, counting the hit or miss.
+// Get looks a plan up, counting the hit or miss on the key's stripe.
 func (c *Cache) Get(k PlanKey) (*Plan, bool) {
 	s := c.shard(k)
 	s.mu.Lock()
 	p, ok := s.plans[k]
 	s.mu.Unlock()
 	if ok {
-		c.hits.Add(1)
+		s.hits.Add(1)
 		return p, true
 	}
-	c.misses.Add(1)
+	s.misses.Add(1)
 	return nil, false
 }
 
@@ -165,6 +185,7 @@ func (c *Cache) Put(k PlanKey, p *Plan) {
 			old := s.fifo[0]
 			s.fifo = s.fifo[1:]
 			delete(s.plans, old)
+			s.evictions.Add(1)
 			c.entries.Add(-1)
 		}
 		s.fifo = append(s.fifo, k)
@@ -174,11 +195,38 @@ func (c *Cache) Put(k PlanKey, p *Plan) {
 	s.mu.Unlock()
 }
 
-// Stats returns a snapshot of the cache counters.
-func (c *Cache) Stats() CacheStats {
-	return CacheStats{
-		Hits:    c.hits.Load(),
-		Misses:  c.misses.Load(),
-		Entries: int(c.entries.Load()),
+// NumShards returns the stripe count (the metrics plane registers one
+// child per stripe).
+func (c *Cache) NumShards() int { return cacheShards }
+
+// ShardStats returns one stripe's counters; hot-path cheap enough for
+// scrape-time func metrics (three atomic loads plus one short lock).
+func (c *Cache) ShardStats(i int) CacheShardStats {
+	s := &c.shards[i]
+	s.mu.Lock()
+	entries := len(s.plans)
+	s.mu.Unlock()
+	return CacheShardStats{
+		Hits:      s.hits.Load(),
+		Misses:    s.misses.Load(),
+		Evictions: s.evictions.Load(),
+		Entries:   entries,
 	}
+}
+
+// Stats returns a snapshot of the cache counters, totals plus the
+// per-shard breakdown.
+func (c *Cache) Stats() CacheStats {
+	st := CacheStats{
+		Entries: int(c.entries.Load()),
+		Shards:  make([]CacheShardStats, cacheShards),
+	}
+	for i := range c.shards {
+		ss := c.ShardStats(i)
+		st.Shards[i] = ss
+		st.Hits += ss.Hits
+		st.Misses += ss.Misses
+		st.Evictions += ss.Evictions
+	}
+	return st
 }

@@ -262,6 +262,34 @@ func (t *Tracker) Stats() Stats {
 	}
 }
 
+// Coeffs is a snapshot of one (peer, rail) pair's fitted cost model
+// α + β·n: latency, per-byte cost and how warmed-up the fit is.
+type Coeffs struct {
+	// Alpha is the fitted fixed latency.
+	Alpha time.Duration
+	// BetaNSPerByte is the fitted marginal cost in nanoseconds per byte
+	// (bandwidth ≈ 1e9/Beta bytes per second when Beta > 0).
+	BetaNSPerByte float64
+	// Warmth is how many observations the fit has folded in (saturating
+	// at the configured warm-up count).
+	Warmth int
+}
+
+// FittedCoeffs returns the current fitted coefficients for a pair —
+// three atomic loads, cheap enough for scrape-time gauge funcs. Zero
+// values mean the pair has never been observed.
+func (t *Tracker) FittedCoeffs(peer, rail int) Coeffs {
+	if peer < 0 || peer >= t.cfg.Peers || rail < 0 || rail >= t.cfg.Rails {
+		return Coeffs{}
+	}
+	p := t.pair(peer, rail)
+	return Coeffs{
+		Alpha:         time.Duration(p.alphaNS.Load()),
+		BetaNSPerByte: math.Float64frombits(p.betaFP.Load()),
+		Warmth:        int(p.warmth.Load()),
+	}
+}
+
 func (t *Tracker) pair(peer, rail int) *pair {
 	return &t.pairs[peer*t.cfg.Rails+rail]
 }

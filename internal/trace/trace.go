@@ -3,7 +3,14 @@
 // NewMadeleine. A Tracer receives one Event per step (submission,
 // strategy decision, chunk posted, delivery, completion); the Collector
 // implementation stores them for inspection by tests, tools and
-// examples.
+// examples, and Counts keeps per-Kind totals cheap enough to leave on
+// in production (the metrics plane's nm_trace_events_total family).
+//
+// Clock discipline: event timestamps are never taken here — Event.At is
+// stamped by the engine from its environment clock (rt.LiveEnv.Now is
+// internal/clock-backed, so enabling a Tracer adds no time.Now calls to
+// hot paths), and the Record implementations below are //railvet:hotpath
+// so the hotclock analyzer rejects any wall-clock read creeping in.
 package trace
 
 import (
@@ -12,6 +19,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -41,7 +49,19 @@ const (
 	RailLost
 	// Resent: a transfer unit was re-planned onto a surviving rail.
 	Resent
+
+	// numKinds bounds the Kind enum (for per-kind count arrays).
+	numKinds
 )
+
+// Kinds returns every event kind, in enum order (metrics iteration).
+func Kinds() []Kind {
+	out := make([]Kind, 0, int(numKinds)-1)
+	for k := Submit; k < numKinds; k++ {
+		out = append(out, k)
+	}
+	return out
+}
 
 var kindNames = map[Kind]string{
 	Submit: "submit", Decision: "decision", EagerSent: "eager-sent",
@@ -81,6 +101,74 @@ func (e Event) String() string {
 // use (the live environment records from many goroutines).
 type Tracer interface {
 	Record(Event)
+}
+
+// Counts is a Tracer that keeps one atomic total per event Kind —
+// lock-free, allocation-free, cheap enough to stay installed on every
+// engine. The metrics plane exports it as event counts by kind.
+type Counts struct {
+	counts [numKinds]atomic.Uint64
+}
+
+// NewCounts returns a zeroed per-kind counting tracer.
+func NewCounts() *Counts { return &Counts{} }
+
+// Record implements Tracer.
+//
+//railvet:hotpath
+func (c *Counts) Record(e Event) {
+	if e.Kind > 0 && e.Kind < numKinds {
+		c.counts[e.Kind].Add(1)
+	}
+}
+
+// Of returns the total recorded for one kind.
+func (c *Counts) Of(k Kind) uint64 {
+	if k <= 0 || k >= numKinds {
+		return 0
+	}
+	return c.counts[k].Load()
+}
+
+// Total returns the number of events recorded across all kinds.
+func (c *Counts) Total() uint64 {
+	var n uint64
+	for k := Submit; k < numKinds; k++ {
+		n += c.counts[k].Load()
+	}
+	return n
+}
+
+// tee fans one event stream out to several tracers.
+type tee struct {
+	ts []Tracer
+}
+
+// Tee returns a Tracer forwarding every event to each non-nil tracer in
+// order. With zero or one non-nil tracers no wrapper is allocated.
+func Tee(ts ...Tracer) Tracer {
+	live := make([]Tracer, 0, len(ts))
+	for _, t := range ts {
+		if t != nil {
+			live = append(live, t)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return &tee{ts: live}
+}
+
+// Record implements Tracer.
+//
+//railvet:hotpath
+func (t *tee) Record(e Event) {
+	for _, tr := range t.ts {
+		tr.Record(e)
+	}
 }
 
 // Collector stores events in arrival order.

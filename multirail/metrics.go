@@ -1,0 +1,122 @@
+package multirail
+
+import (
+	"strconv"
+
+	"repro/internal/fabric"
+	"repro/internal/metrics"
+	"repro/internal/railhealth"
+	"repro/internal/trace"
+)
+
+// MetricsSnapshot is a point-in-time copy of every metric family the
+// cluster exports (what /metrics.json serves).
+type MetricsSnapshot = metrics.Snapshot
+
+// MetricLabel selects metrics inside a snapshot (Snapshot.Find).
+type MetricLabel = metrics.Label
+
+// MetricsRegistry returns the cluster's metric registry, for embedding
+// the families in an application's own exporter.
+func (c *Cluster) MetricsRegistry() *metrics.Registry { return c.metricsReg }
+
+// MetricsSnapshot returns a snapshot of every family — engine counters,
+// latency histograms, plan cache, telemetry fits, rail health and
+// traffic, trace event counts. cmd/nmbench embeds it in BENCH_*.json.
+func (c *Cluster) MetricsSnapshot() MetricsSnapshot { return c.metricsReg.Snapshot() }
+
+// MetricsAddr returns the bound address of the metrics exporter, or ""
+// when Config.MetricsAddr was unset. With a ":0" config value this is
+// how the chosen port is discovered.
+func (c *Cluster) MetricsAddr() string {
+	if c.metricsSrv == nil {
+		return ""
+	}
+	return c.metricsSrv.Addr()
+}
+
+// TraceCounts returns how many trace events of one kind the cluster's
+// engines have emitted (counted even with no Config.Tracer installed).
+func (c *Cluster) TraceCounts(k trace.Kind) uint64 { return c.traceCounts.Of(k) }
+
+// railStateNames maps fabric.RailState to the metric label values of the
+// nm_rail_transitions_total family.
+var railStateNames = map[fabric.RailState]string{
+	fabric.RailUp:      "up",
+	fabric.RailSuspect: "suspect",
+	fabric.RailDown:    "down",
+}
+
+// healthTracker resolves the railhealth tracker owning one (node, rail)
+// and the rail's index inside it. On single-substrate fabrics this is
+// the node's tracker itself; on the mixed fabric each sub-fabric keeps
+// its own tracker and the global rail index is offset (shm rails come
+// first). Returns nil for fabrics without a railhealth-backed surface.
+func (c *Cluster) healthTracker(node, rail int) (*railhealth.Tracker, int) {
+	if c.shmFab != nil && c.tcpFab != nil { // mixed: split by rail range
+		if n := c.shmFab.NumRails(); rail < n {
+			t, _ := c.shmFab.Node(node).Health().(*railhealth.Tracker)
+			return t, rail
+		} else {
+			t, _ := c.tcpFab.Node(node).Health().(*railhealth.Tracker)
+			return t, rail - n
+		}
+	}
+	t, _ := c.fab.Node(node).Health().(*railhealth.Tracker)
+	return t, rail
+}
+
+// initClusterMetrics registers the cluster-level families for one hosted
+// node: per-rail traffic and health, plus (once) the per-kind trace
+// event counts. Everything is a func instrument over state the fabrics
+// already maintain — scraping reads it, the data paths never see it.
+func (c *Cluster) initClusterMetrics(node int) {
+	reg := c.metricsReg
+	nodeL := strconv.Itoa(node)
+	n := c.fab.Node(node)
+
+	for r := 0; r < n.NumRails(); r++ {
+		r := r
+		rail := n.Rail(r)
+		lbl := metrics.L("node", nodeL, "rail", strconv.Itoa(r), "kind", c.kinds[r])
+		reg.CounterFunc("nm_rail_frames_total",
+			"Wire frames the rail carried.",
+			func() uint64 { return rail.Stats().Messages }, lbl...)
+		reg.CounterFunc("nm_rail_bytes_total",
+			"Wire bytes the rail carried.",
+			func() uint64 { return rail.Stats().Bytes }, lbl...)
+		reg.CounterFunc("nm_rail_reconnects_total",
+			"Link re-establishments (live TCP rails; 0 elsewhere).",
+			func() uint64 { return rail.Stats().Reconnects }, lbl...)
+		reg.CounterFunc("nm_rail_ring_stalls_total",
+			"Ring-full backpressure episodes (shm rails; 0 elsewhere).",
+			func() uint64 { return rail.Stats().Stalls }, lbl...)
+
+		stateLbl := metrics.L("node", nodeL, "rail", strconv.Itoa(r))
+		health := n.Health()
+		reg.GaugeFunc("nm_rail_state",
+			"Current rail health: 0 up, 1 suspect, 2 down.",
+			func() float64 { return float64(health.State(r)) }, stateLbl...)
+		if tracker, local := c.healthTracker(node, r); tracker != nil {
+			for st, name := range railStateNames {
+				st := st
+				reg.CounterFunc("nm_rail_transitions_total",
+					"Times the rail entered a health state (initial Up excluded).",
+					func() uint64 { return tracker.Transitions(local, st) },
+					metrics.L("node", nodeL, "rail", strconv.Itoa(r), "state", name)...)
+			}
+		}
+	}
+}
+
+// initTraceMetrics registers the process-wide per-kind trace event
+// counts (the Counts tracer is shared by every hosted engine).
+func (c *Cluster) initTraceMetrics() {
+	for _, k := range trace.Kinds() {
+		k := k
+		c.metricsReg.CounterFunc("nm_trace_events_total",
+			"Engine timeline events by kind, across hosted nodes.",
+			func() uint64 { return c.traceCounts.Of(k) },
+			metrics.L("kind", k.String())...)
+	}
+}

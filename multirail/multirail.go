@@ -40,6 +40,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fabric"
 	"repro/internal/livenet"
+	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/rt"
 	"repro/internal/sampling"
@@ -264,6 +265,16 @@ type Config struct {
 	// Tracer, when non-nil, receives every engine's per-message timeline
 	// (use NewTraceCollector for an in-memory sink).
 	Tracer Tracer
+	// MetricsAddr, when non-empty, starts an HTTP exporter on the
+	// address serving /metrics (Prometheus text) and /metrics.json (the
+	// MetricsSnapshot shape cmd/nmtop consumes). Use "127.0.0.1:0" for
+	// an ephemeral port and read it back with Cluster.MetricsAddr. The
+	// families exist either way — MetricsSnapshot works without the
+	// exporter.
+	MetricsAddr string
+	// MetricsPprof additionally mounts net/http/pprof under
+	// /debug/pprof/ on the metrics exporter.
+	MetricsPprof bool
 	// OnRailDown, when non-nil, is called (once per hosted node and
 	// transition, from a cluster actor) whenever a rail goes Down — a
 	// NIC died, its recovery budget ran out, or it was unplugged with
@@ -285,6 +296,10 @@ type Cluster struct {
 	kinds    []string        // per-rail kind ("shm", "tcp", or a profile name)
 	engines  []*core.Engine  // indexed by node id; nil when not hosted
 	profiles []*sampling.RailProfile
+
+	metricsReg  *metrics.Registry // always built; exporter optional
+	metricsSrv  *metrics.Server   // nil unless Config.MetricsAddr set
+	traceCounts *trace.Counts     // per-kind event totals, always on
 
 	wg       sync.WaitGroup // user actors (live mode)
 	nodes    []*Node
@@ -322,7 +337,12 @@ func New(cfg Config) (*Cluster, error) {
 	if cfg.ShmRails > 0 && kind == FabricSim {
 		return nil, fmt.Errorf("multirail: shm rails require a live fabric (%q or %q)", FabricTCP, FabricShm)
 	}
-	c := &Cluster{cfg: cfg, kind: kind}
+	c := &Cluster{
+		cfg:         cfg,
+		kind:        kind,
+		metricsReg:  metrics.NewRegistry(),
+		traceCounts: trace.NewCounts(),
+	}
 	if cfg.Live {
 		c.live = rt.NewLive()
 		c.env = c.live
@@ -380,7 +400,11 @@ func New(cfg Config) (*Cluster, error) {
 		// keeps the inline progression actor whose CPU charges the model
 		// depends on.
 		DirectProgress: kind != FabricSim,
-		Tracer:         cfg.Tracer,
+		// The per-kind event counter rides along whatever tracer the
+		// caller installed; counting is lock-free and allocation-free,
+		// so it stays on even with no Config.Tracer.
+		Tracer:  trace.Tee(c.traceCounts, cfg.Tracer),
+		Metrics: c.metricsReg,
 	}
 	ecfg.Pioman.Workers = cfg.RecvWorkers
 	if cfg.GreedyEager {
@@ -437,9 +461,21 @@ func New(cfg Config) (*Cluster, error) {
 		}
 		c.engines = append(c.engines, eng)
 		c.nodes = append(c.nodes, &Node{cluster: c, id: i})
+		if eng != nil {
+			c.initClusterMetrics(i)
+		}
 		if cfg.OnRailDown != nil && (!cfg.Distributed || i == cfg.LocalNode) {
 			c.watchRails(i)
 		}
+	}
+	c.initTraceMetrics()
+	if cfg.MetricsAddr != "" {
+		srv, serr := metrics.Serve(cfg.MetricsAddr, c.metricsReg, cfg.MetricsPprof)
+		if serr != nil {
+			c.Close()
+			return nil, fmt.Errorf("multirail: metrics exporter: %w", serr)
+		}
+		c.metricsSrv = srv
 	}
 	return c, nil
 }
@@ -680,6 +716,10 @@ func (c *Cluster) Run() {
 // Close stops the engines, tears down the fabric and, in simulation,
 // reclaims every actor.
 func (c *Cluster) Close() {
+	if c.metricsSrv != nil {
+		c.metricsSrv.Close()
+		c.metricsSrv = nil
+	}
 	for _, e := range c.engines {
 		if e != nil {
 			e.Stop()
