@@ -25,6 +25,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/stats"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -40,11 +41,17 @@ func main() {
 		snap, err := fetch(url)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "nmtop: %v\n", err)
-			os.Exit(1)
+			if *once {
+				os.Exit(1) // scripts and CI need the failure to be loud
+			}
+			// Continuous mode rides out exporter restarts instead of dying.
+			time.Sleep(*refresh)
+			continue
 		}
 		now := time.Now()
 		var b strings.Builder
 		render(&b, *addr, snap, prev, now.Sub(prevAt))
+		renderSlowest(&b, *addr)
 		if *once {
 			os.Stdout.WriteString(b.String())
 			return
@@ -221,4 +228,66 @@ func render(b *strings.Builder, addr string, cur metrics.Snapshot, prev *metrics
 // fmtDur renders seconds with a sensible unit.
 func fmtDur(sec float64) string {
 	return time.Duration(sec * 1e9).Round(time.Microsecond).String()
+}
+
+// renderSlowest appends the "slowest recent messages" panel: the flight
+// recorder's ring stitched into spans and ranked by duration. The panel
+// is best-effort — an exporter predating /trace/ring.json just doesn't
+// get one.
+func renderSlowest(b *strings.Builder, addr string) {
+	url := "http://" + addr + "/trace/ring.json"
+	client := http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return
+	}
+	var snap trace.RingSnapshot
+	if json.NewDecoder(resp.Body).Decode(&snap) != nil {
+		return
+	}
+	events := make([]trace.Event, 0, len(snap.Events))
+	for _, j := range snap.Events {
+		events = append(events, j.Event())
+	}
+	spans := trace.Stitch(events)
+	sort.SliceStable(spans, func(i, j int) bool {
+		return spans[i].End()-spans[i].Start() > spans[j].End()-spans[j].Start()
+	})
+	if len(spans) > 5 {
+		spans = spans[:5]
+	}
+	if len(spans) == 0 {
+		return
+	}
+	fmt.Fprintf(b, "\nslowest recent messages (flight recorder, last %d events):\n", len(events))
+	fmt.Fprintf(b, "%-14s %10s %8s %6s  %s\n", "msg", "duration", "size", "events", "path")
+	for i := range spans {
+		s := &spans[i]
+		size := 0
+		if e, ok := s.First(trace.Delivered); ok {
+			size = e.Size
+		} else if e, ok := s.First(trace.Submit); ok {
+			size = e.Size
+		}
+		path := ""
+		for j, e := range s.Events {
+			if j > 0 {
+				path += "→"
+			}
+			path += e.Kind.String()
+		}
+		fmt.Fprintf(b, "%-14s %10v %8s %6d  %s\n",
+			fmt.Sprintf("%d/%d", s.Key.Origin, s.Key.MsgID),
+			(s.End() - s.Start()).Round(time.Microsecond),
+			stats.SizeLabel(size), len(s.Events), path)
+	}
+	if len(snap.Anomalies) > 0 {
+		fmt.Fprintf(b, "anomalies: %d noted", snap.AnomalyTotal)
+		last := snap.Anomalies[len(snap.Anomalies)-1]
+		fmt.Fprintf(b, " — last %q on n%d\n", last.Reason, last.Node)
+	}
 }

@@ -1,0 +1,149 @@
+// Nmtrace stitches distributed message traces — the reading side of the
+// engine's always-on flight recorder. Point it at one or more metrics
+// endpoints (processes started with Config.MetricsAddr or nmping
+// -metrics-addr), and it scrapes every node's /trace/ring.json, aligns
+// the clocks, groups events by trace id (origin node + message id) into
+// cross-node spans, and renders per-message timelines with the duration
+// of every stage. With -perfetto it writes the merged trace as Chrome
+// trace-event JSON instead, loadable in https://ui.perfetto.dev or
+// chrome://tracing.
+//
+// Usage:
+//
+//	nmtrace [-addr host:port[,host:port...]] [-top 20] [-slowest]
+//	        [-perfetto trace.json]
+//
+// A distributed cluster has one exporter per process — list them all so
+// sender and receiver events of one message land in the same span. Any
+// endpoint failing to scrape is fatal (exit 1): a partial trace silently
+// missing one node's events reads like a bug in the engine.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	addrs := flag.String("addr", "127.0.0.1:9141", "comma-separated metrics endpoints to scrape")
+	top := flag.Int("top", 20, "print at most N spans (0 = all)")
+	slowest := flag.Bool("slowest", false, "order spans by duration, slowest first (default: by start time)")
+	perfetto := flag.String("perfetto", "", "write merged trace as Chrome trace-event JSON to this file instead of printing")
+	flag.Parse()
+
+	var events []trace.Event
+	var anomalies []trace.AnomalyJSON
+	for _, addr := range strings.Split(*addrs, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		snap, err := fetchRing(addr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "nmtrace: %v\n", err)
+			os.Exit(1)
+		}
+		for _, j := range snap.Events {
+			events = append(events, j.Event())
+		}
+		anomalies = append(anomalies, snap.Anomalies...)
+	}
+
+	// Each process stamps events with its own monotonic clock; shift
+	// per-node offsets so cross-node causality holds before stitching.
+	offsets := trace.AlignClocks(events)
+	spans := trace.Stitch(events)
+
+	if *perfetto != "" {
+		if err := os.WriteFile(*perfetto, trace.PerfettoJSON(events), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "nmtrace: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("nmtrace: wrote %d spans (%d events) to %s\n", len(spans), len(events), *perfetto)
+		return
+	}
+
+	for node, d := range offsets {
+		if d > 0 {
+			fmt.Printf("clock: node %d shifted +%v\n", node, d)
+		}
+	}
+	if *slowest {
+		sort.SliceStable(spans, func(i, j int) bool {
+			return spans[i].End()-spans[i].Start() > spans[j].End()-spans[j].Start()
+		})
+	}
+	shown := spans
+	if *top > 0 && len(shown) > *top {
+		shown = shown[:*top]
+	}
+	for i := range shown {
+		printSpan(&shown[i])
+	}
+	if len(shown) < len(spans) {
+		fmt.Printf("… %d more spans (-top 0 shows all)\n", len(spans)-len(shown))
+	}
+	if len(anomalies) > 0 {
+		fmt.Println("\nanomalies:")
+		for _, a := range anomalies {
+			fmt.Printf("  %12v n%d %s (%d events dumped)\n",
+				time.Duration(a.AtNs), a.Node, a.Reason, a.Events)
+		}
+	}
+}
+
+func fetchRing(addr string) (trace.RingSnapshot, error) {
+	var snap trace.RingSnapshot
+	url := "http://" + addr + "/trace/ring.json"
+	client := http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		return snap, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return snap, fmt.Errorf("GET %s: status %d", url, resp.StatusCode)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	return snap, err
+}
+
+// printSpan renders one message's cross-node timeline: a header with
+// the trace id and end-to-end figures, then each event with its offset
+// from the span start and the gap since the previous event — the
+// per-stage durations the engine's nm_stage_latency_seconds histograms
+// aggregate, but for one concrete message.
+func printSpan(s *trace.Span) {
+	total := s.End() - s.Start()
+	head := fmt.Sprintf("msg %d/%d  %v", s.Key.Origin, s.Key.MsgID, total.Round(time.Microsecond))
+	if e, ok := s.First(trace.Delivered); ok {
+		head += fmt.Sprintf("  %dB → n%d", e.Size, e.Node)
+	}
+	if !s.Has(trace.Completed) {
+		head += "  [incomplete]"
+	}
+	fmt.Println(head)
+	prev := s.Start()
+	for _, e := range s.Events {
+		rail := ""
+		if e.Rail >= 0 {
+			rail = fmt.Sprintf(" rail=%d", e.Rail)
+		}
+		note := e.Note
+		if note != "" {
+			note = "  " + note
+		}
+		fmt.Printf("  +%-10v %-18s n%d%s size=%d  (Δ %v)%s\n",
+			(e.At - s.Start()).Round(time.Nanosecond), e.Kind, e.Node, rail,
+			e.Size, (e.At - prev).Round(time.Nanosecond), note)
+		prev = e.At
+	}
+}

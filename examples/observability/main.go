@@ -3,14 +3,17 @@
 // /metrics endpoint over HTTP and print a digest — the full loop a
 // production deployment would run with Prometheus and nmtop attached.
 //
-// The exporter serves three surfaces from one registry:
+// The exporter serves five surfaces from one registry:
 //
-//	/metrics       Prometheus text exposition (scrapers)
-//	/metrics.json  the MetricsSnapshot shape (cmd/nmtop)
-//	/debug/pprof/  optional, Config.MetricsPprof
+//	/metrics          Prometheus text exposition (scrapers)
+//	/metrics.json     the MetricsSnapshot shape (cmd/nmtop)
+//	/trace/ring.json  the flight recorder's ring (cmd/nmtrace)
+//	/trace/perfetto   the same ring as Chrome trace-event JSON
+//	/debug/pprof/     optional, Config.MetricsPprof
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -18,6 +21,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/trace"
 	"repro/multirail"
 )
 
@@ -110,5 +114,38 @@ func main() {
 			m.Count,
 			time.Duration(m.Quantile(0.5)*1e9).Round(time.Microsecond),
 			time.Duration(m.Quantile(0.99)*1e9).Round(time.Microsecond))
+	}
+
+	// The tracing plane: scrape the always-on flight recorder (what
+	// cmd/nmtrace does across every node of a distributed cluster) and
+	// stitch the rendezvous message's cross-node span back together by
+	// its trace id.
+	resp, err = http.Get("http://" + c.MetricsAddr() + "/trace/ring.json")
+	if err != nil {
+		panic(err)
+	}
+	var ring trace.RingSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&ring); err != nil {
+		panic(err)
+	}
+	resp.Body.Close()
+	events := make([]trace.Event, 0, len(ring.Events))
+	for _, j := range ring.Events {
+		events = append(events, j.Event())
+	}
+	spans := trace.Stitch(events)
+	fmt.Printf("\nflight recorder: %d events, %d spans stitched\n", len(events), len(spans))
+	for i := range spans {
+		s := &spans[i]
+		if e, ok := s.First(trace.Delivered); !ok || e.Size != 2<<20 {
+			continue
+		}
+		fmt.Printf("rendezvous span msg %d/%d (%v end to end):\n",
+			s.Key.Origin, s.Key.MsgID, (s.End() - s.Start()).Round(time.Microsecond))
+		for _, e := range s.Events {
+			fmt.Printf("  +%-10v %-12s n%d rail=%d size=%d %s\n",
+				(e.At - s.Start()).Round(time.Microsecond), e.Kind, e.Node, e.Rail, e.Size, e.Note)
+		}
+		break
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/metrics"
 	"repro/internal/rt"
+	"repro/internal/trace"
 )
 
 // TestEagerSendAllocs is a regression ratchet on the eager send path:
@@ -18,8 +19,16 @@ import (
 // not move the ceiling (the ISSUE 7 acceptance bar). Func instruments
 // cost nothing until scraped and histogram Observe is allocation-free,
 // so the measured figure should match the bare-engine one.
+// They also run with the production tracing stack — Counts teed with a
+// FlightRecorder, installed as both Tracer and Flight — so the
+// always-on flight recorder is held to the same bar.
 func TestEagerSendAllocs(t *testing.T) {
-	env, eng := pair(t, Config{Metrics: metrics.NewRegistry()})
+	flight := trace.NewFlightRecorder(0)
+	env, eng := pair(t, Config{
+		Metrics: metrics.NewRegistry(),
+		Tracer:  trace.Tee(trace.NewCounts(), flight),
+		Flight:  flight,
+	})
 	payload := []byte("alloc-guard")
 	buf := make([]byte, 64)
 	tag := uint32(0)

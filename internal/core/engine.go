@@ -135,6 +135,12 @@ type Config struct {
 	// Tracer, when non-nil, receives the per-message timeline (the role
 	// FxT tracing plays for the original library).
 	Tracer trace.Tracer
+	// Flight, when non-nil, receives anomaly auto-dumps: the engine
+	// calls NoteAnomaly from its clock when a rail is lost or a unit is
+	// replayed, so the recorder snapshots the events leading up to the
+	// trouble. Tee the recorder into Tracer as well — Flight alone only
+	// wires the dump triggers, not the event stream.
+	Flight *trace.FlightRecorder
 	// Metrics, when non-nil, is the registry this engine exports into:
 	// counter families over the existing atomics (read at scrape time,
 	// free on the hot path) plus eager/rendezvous latency histograms
@@ -177,6 +183,7 @@ type Engine struct {
 	// Latency histograms (nil when Config.Metrics is nil).
 	histEager *metrics.Histogram
 	histRdv   *metrics.Histogram
+	histStage [numStages]*metrics.Histogram
 
 	nextMsgID atomic.Uint64
 
@@ -231,9 +238,11 @@ type pkey struct {
 }
 
 // message is a complete unexpected message awaiting a matching Irecv.
+// origin is the submitting node from the wire header (trace id).
 type message struct {
-	msgID uint64
-	data  []byte
+	msgID  uint64
+	origin int
+	data   []byte
 }
 
 // queuedRTS is a rendezvous announcement waiting for its Irecv.
@@ -702,16 +711,64 @@ func (e *Engine) planRdv(to, n int) (chunks []strategy.Chunk, outcome *strategy.
 	return chunks, modeOf(chunks)
 }
 
-// trace records a timeline event when tracing is enabled. rail is -1 for
-// events that are not rail-specific.
+// trace records a timeline event about one of this node's own messages
+// when tracing is enabled. rail is -1 for events that are not
+// rail-specific.
 func (e *Engine) trace(kind trace.Kind, msgID uint64, rail, size int, note string) {
+	e.traceFrom(e.node.ID(), kind, msgID, rail, size, note)
+}
+
+// traceFrom records a timeline event attributed to a message another
+// node submitted: receiver-side events (Delivered, CTSSent, replayed
+// deliveries) stamp the origin carried by the wire header, so the
+// sender's and receiver's events stitch into one cross-node span.
+func (e *Engine) traceFrom(origin int, kind trace.Kind, msgID uint64, rail, size int, note string) {
 	if e.cfg.Tracer == nil {
 		return
 	}
 	e.cfg.Tracer.Record(trace.Event{
 		At: e.env.Now(), Node: e.node.ID(), MsgID: msgID,
-		Kind: kind, Rail: rail, Size: size, Note: note,
+		Kind: kind, Rail: rail, Size: size, Note: note, Origin: origin,
 	})
+}
+
+// origin is this node's id as carried in wire headers (the node half
+// of every locally submitted message's trace id).
+func (e *Engine) origin() uint32 { return uint32(e.node.ID()) }
+
+// noteAnomaly triggers a flight-recorder auto-dump (no-op without one).
+func (e *Engine) noteAnomaly(reason string) {
+	if e.cfg.Flight != nil {
+		e.cfg.Flight.NoteAnomaly(e.env.Now(), e.node.ID(), reason)
+	}
+}
+
+// noteDecision stamps the moment the strategy chose r's schedule and
+// feeds the submit→decision stage.
+func (e *Engine) noteDecision(r *SendRequest) {
+	r.decideAt = e.env.Now()
+	e.observeStage(stageSubmitDecision, r.decideAt-r.submitAt)
+}
+
+// noteEnqueued feeds the decision→enqueue stage: the time from the
+// schedule decision until every frame of r was handed to the transport.
+func (e *Engine) noteEnqueued(r *SendRequest) {
+	e.observeStage(stageDecisionEnqueue, e.env.Now()-r.decideAt)
+}
+
+// noteCompleted records r's local completion (the last chunk left the
+// host) — called by the worker whose chunkDone fired Done.
+func (e *Engine) noteCompleted(r *SendRequest) {
+	e.observeStage(stageSubmitCompleted, e.env.Now()-r.submitAt)
+	e.trace(trace.Completed, r.msgID, -1, len(r.Data), "")
+}
+
+// noteAcked records r's remote completion (the receiver acknowledged
+// its last unit) — called by the ack handler whose ackDone fired
+// RemoteDone.
+func (e *Engine) noteAcked(r *SendRequest, rail int) {
+	e.observeStage(stageSubmitAcked, e.env.Now()-r.submitAt)
+	e.trace(trace.Acked, r.msgID, rail, len(r.Data), "")
 }
 
 // eagerThreshold returns the size up to which the engine prefers the

@@ -109,13 +109,19 @@ func (e *Engine) onAck(from int, h wire.Header) {
 	// spuriously instant transfer.
 	if !u.replayed {
 		e.observeUnit(from, u.rail, u.bytes(), u.sentAt, !u.isChunk())
+		// The stage plane's wire leg: unit post to ack, per unit.
+		e.observeStage(stageWireAcked, e.env.Now()-u.sentAt)
 	}
 	if u.isChunk() {
-		u.req.ackDone()
+		if u.req.ackDone() {
+			e.noteAcked(u.req, u.rail)
+		}
 		return
 	}
 	for _, r := range u.reqs {
-		r.ackDone()
+		if r.ackDone() {
+			e.noteAcked(r, u.rail)
+		}
 	}
 }
 
@@ -131,7 +137,7 @@ func (e *Engine) ackUnit(ctx rt.Ctx, from int, id, offset uint64, arrival int) {
 	if rail < 0 || rail >= e.node.NumRails() || e.node.Rail(rail).State() != fabric.RailUp {
 		rail = e.ackRail()
 	}
-	e.node.Rail(rail).SendControl(ctx, from, wire.EncodeAck(uint8(rail), id, offset), 0, 0)
+	e.node.Rail(rail).SendControl(ctx, from, wire.EncodeAck(uint8(rail), uint32(from), id, offset), 0, 0)
 }
 
 // ackRail picks the first Up rail (falling back to rail 0 when none is).
@@ -186,10 +192,21 @@ func (e *Engine) healthLoop(ctx rt.Ctx) {
 		switch ev.State {
 		case fabric.RailDown:
 			e.trace(trace.RailLost, 0, ev.Rail, 0, ev.Reason)
+			e.noteAnomaly("rail down")
+			e.replan(ctx)
+		case fabric.RailSuspect:
+			// A suspected rail — livenet lost its link and is holding
+			// the rail through a bounded reconnect — must not strand
+			// its in-flight units behind that backoff: move them onto
+			// the Up rails now, exactly as a Down would. The receiver's
+			// dedup window absorbs any original that still lands.
+			e.trace(trace.RailLost, 0, ev.Rail, 0, "suspect: "+ev.Reason)
+			e.noteAnomaly("rail suspect")
 			e.replan(ctx)
 		case fabric.RailUp:
 			// A recovered rail can carry units stranded while every
 			// rail was down.
+			e.trace(trace.Reconnect, 0, ev.Rail, 0, ev.Reason)
 			e.replan(ctx)
 		}
 	}
@@ -305,6 +322,7 @@ func (e *Engine) resendContainer(ctx rt.Ctx, u *unit, views []strategy.RailView)
 	// the dead rail, but that field is diagnostics-only and the slice
 	// may alias an in-flight transport write, so it must not be touched.
 	e.trace(trace.Resent, u.key.id, rail, len(u.frame), "container failover")
+	e.noteAnomaly("unit replay")
 	e.node.Rail(rail).SendEager(ctx, u.to, u.frame)
 }
 
@@ -334,12 +352,16 @@ func (e *Engine) resendChunk(ctx rt.Ctx, u *unit, views []strategy.RailView) {
 	us.mu.Unlock()
 	u.req.failedOver.Store(true)
 	e.stats.failedOver.Add(1)
+	e.noteAnomaly("unit replay")
 	// The old unit's ack slot is retired only after the replacements
-	// are counted, so the request's remote completion cannot fire early.
+	// are counted, so the request's remote completion cannot fire early
+	// (ackDone cannot hit zero here, but record the stage if it ever did).
 	u.req.addAcks(len(newUnits))
-	u.req.ackDone()
+	if u.req.ackDone() {
+		e.noteAcked(u.req, -1)
+	}
 	for _, nu := range newUnits {
-		frame := wire.EncodeData(uint8(nu.rail), u.req.Tag, u.key.id, nu.off,
+		frame := wire.EncodeData(uint8(nu.rail), e.origin(), u.req.Tag, u.key.id, nu.off,
 			u.req.Data[nu.off:nu.off+nu.size], len(u.req.Data))
 		e.trace(trace.Resent, u.key.id, nu.rail, nu.size, "chunk failover")
 		e.node.Rail(nu.rail).SendData(ctx, u.to, frame, nil)
@@ -361,7 +383,7 @@ func (e *Engine) resendRTS(ctx rt.Ctx, msgID uint64, p *pendingRdv, views []stra
 	us.mu.Unlock()
 	p.req.failedOver.Store(true)
 	prof := e.node.Rail(rail).Profile()
-	rts := wire.EncodeControl(wire.KindRTS, uint8(rail), p.req.Tag, msgID, uint64(len(p.req.Data)))
+	rts := wire.EncodeControl(wire.KindRTS, uint8(rail), e.origin(), p.req.Tag, msgID, uint64(len(p.req.Data)))
 	e.trace(trace.RTSSent, msgID, rail, len(p.req.Data), "failover")
 	e.node.Rail(rail).SendControl(ctx, p.req.To, rts, prof.SendOverhead, prof.RecvOverhead)
 }

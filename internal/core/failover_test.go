@@ -88,7 +88,7 @@ func TestEagerContainerFailsOver(t *testing.T) {
 	req := &SendRequest{To: 1, Tag: 5, Data: []byte("failover"),
 		done: env.NewEvent(), acked: env.NewEvent()}
 	cid := eng[0].newID()
-	frame := wire.EncodeEagerID(cid, 0, []wire.Packet{{Tag: 5, MsgID: cid, Payload: req.Data}})
+	frame := wire.EncodeEagerID(0, cid, 0, []wire.Packet{{Tag: 5, MsgID: cid, Payload: req.Data}})
 	// The container is registered as in flight on rail 0 but its frame
 	// is "lost": the rail dies before it was ever delivered.
 	eng[0].registerContainer(cid, 1, 0, frame, []*SendRequest{req})
@@ -113,7 +113,7 @@ func TestEagerContainerFailsOver(t *testing.T) {
 // ack crossed) delivers its packets exactly once.
 func TestDuplicateEagerContainerIgnored(t *testing.T) {
 	env, _, eng := chaosPair(t, Config{})
-	frame := wire.EncodeEagerID(0xC1D, 0, []wire.Packet{{Tag: 3, MsgID: 0xC1D, Payload: []byte("once")}})
+	frame := wire.EncodeEagerID(0, 0xC1D, 0, []wire.Packet{{Tag: 3, MsgID: 0xC1D, Payload: []byte("once")}})
 	env.Go("app", func(ctx rt.Ctx) {
 		rr := eng[1].Irecv(0, 3, make([]byte, 8))
 		eng[1].node.RecvQ().Push(&fabric.Delivery{From: 0, Rail: 0, Data: frame})

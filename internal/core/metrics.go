@@ -3,9 +3,41 @@ package core
 import (
 	"strconv"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/metrics"
 )
+
+// Stage-latency attribution: each stage is the duration between two
+// adjacent trace events of one message's life on the sender —
+// submit→decision (queueing before the strategy ran), decision→enqueue
+// (encoding and handing frames to the transport), wire→acked (the ack
+// round trip of one transfer unit), and the two end-to-end sums,
+// submit→completed (local: buffer reusable) and submit→acked (remote:
+// nothing can be lost anymore). The cross-node wire→delivered leg is
+// not derivable on one node — cmd/nmtrace computes it from stitched
+// spans.
+const (
+	stageSubmitDecision = iota
+	stageDecisionEnqueue
+	stageWireAcked
+	stageSubmitCompleted
+	stageSubmitAcked
+	numStages
+)
+
+var stageNames = [numStages]string{
+	"submit_decision", "decision_enqueue", "wire_acked",
+	"submit_completed", "submit_acked",
+}
+
+// observeStage feeds one stage histogram (no-op without a registry, or
+// for the non-positive durations a zero anchor would produce).
+func (e *Engine) observeStage(stage int, d time.Duration) {
+	if h := e.histStage[stage]; h != nil && d > 0 {
+		h.Observe(d)
+	}
+}
 
 // initMetrics registers the engine's families with the cluster registry.
 // Everything already counted by an existing atomic is exported as a func
@@ -44,6 +76,11 @@ func (e *Engine) initMetrics(reg *metrics.Registry) {
 	e.histRdv = reg.Histogram("nm_rdv_latency_seconds",
 		"Whole-rendezvous time, RTS to last ack.",
 		metrics.DefBuckets(), metrics.L("node", node)...)
+	for s := 0; s < numStages; s++ {
+		e.histStage[s] = reg.Histogram("nm_stage_latency_seconds",
+			"Per-message stage durations (adjacent trace-event pairs).",
+			metrics.DefBuckets(), metrics.L("node", node, "stage", stageNames[s])...)
+	}
 
 	if cache := e.cache; cache != nil {
 		for i := 0; i < cache.NumShards(); i++ {

@@ -63,7 +63,7 @@ func (e *Engine) Irecv(from int, tag uint32, buf []byte) *RecvRequest {
 		s.unexpect[k] = q[1:]
 		s.matched++
 		s.mu.Unlock()
-		e.deliverTo(req, m.msgID, m.data)
+		e.deliverTo(req, m.origin, m.msgID, m.data)
 		return req
 	}
 	// 2. A rendezvous waiting for its buffer?
@@ -111,11 +111,13 @@ func (e *Engine) attachRdv(s *flowShard, req *RecvRequest, msgID uint64, total, 
 }
 
 // sendCTS answers a rendezvous on the rail the RTS used. It runs as a
-// tasklet-free actor because control sends block briefly.
+// tasklet-free actor because control sends block briefly. The CTS
+// echoes the RTS sender's node id (`to`) as the frame origin — the
+// trace id of the message it clears belongs to that node.
 func (e *Engine) sendCTS(to, rail int, tag uint32, msgID uint64) {
 	prof := e.node.Rail(rail).Profile()
-	cts := wire.EncodeControl(wire.KindCTS, uint8(rail), tag, msgID, 0)
-	e.trace(trace.CTSSent, msgID, rail, 0, "")
+	cts := wire.EncodeControl(wire.KindCTS, uint8(rail), uint32(to), tag, msgID, 0)
+	e.traceFrom(to, trace.CTSSent, msgID, rail, 0, "")
 	e.env.Go(fmt.Sprintf("cts-%d", msgID), func(ctx rt.Ctx) {
 		e.node.Rail(rail).SendControl(ctx, to, cts, prof.RdvHandshakeCPU/2, prof.RdvHandshakeCPU/2)
 	})
@@ -143,8 +145,11 @@ func (e *Engine) handle(ctx rt.Ctx, d *fabric.Delivery) {
 		// deliver its packets twice.
 		if h.MsgID == 0 || e.seen.Mark(d.From, h.MsgID) {
 			for _, p := range pkts {
-				e.deliverEager(d.From, p)
+				e.deliverEager(d.From, int(h.Origin), p)
 			}
+		} else {
+			e.traceFrom(int(h.Origin), trace.ReplayedDelivery, h.MsgID, d.Rail,
+				int(h.TotalLen), "eager container replay dropped")
 		}
 		if h.MsgID != 0 {
 			e.ackUnit(ctx, d.From, h.MsgID, 0, d.Rail)
@@ -186,13 +191,17 @@ func (e *Engine) dispatch(d *fabric.Delivery) {
 			return
 		}
 		if h.MsgID == 0 || e.seen.Mark(from, h.MsgID) {
+			origin := int(h.Origin)
 			for _, p := range pkts {
 				p := p
 				e.pool.Submit(progress.FlowKey(from, p.Tag), progress.Task{
 					Name: "eager",
-					Run:  func(rt.Ctx) { e.deliverEager(from, p) },
+					Run:  func(rt.Ctx) { e.deliverEager(from, origin, p) },
 				})
 			}
+		} else {
+			e.traceFrom(int(h.Origin), trace.ReplayedDelivery, h.MsgID, d.Rail,
+				int(h.TotalLen), "eager container replay dropped")
 		}
 		if h.MsgID != 0 {
 			// The container is safely in receiver memory (its packets are
@@ -237,8 +246,10 @@ func (e *Engine) dispatch(d *fabric.Delivery) {
 }
 
 // deliverEager matches one complete logical packet under its flow's
-// shard lock.
-func (e *Engine) deliverEager(from int, p wire.Packet) {
+// shard lock. origin is the submitting node from the container header
+// (the trace id's node half — equal to `from` on today's unrouted
+// fabrics, but the header is authoritative).
+func (e *Engine) deliverEager(from, origin int, p wire.Packet) {
 	k := key{from, p.Tag}
 	s := e.flow(from, p.Tag)
 	s.mu.Lock()
@@ -247,11 +258,11 @@ func (e *Engine) deliverEager(from int, p wire.Packet) {
 		s.recvs[k] = q[1:]
 		s.matched++
 		s.mu.Unlock()
-		e.deliverTo(req, p.MsgID, p.Payload)
+		e.deliverTo(req, origin, p.MsgID, p.Payload)
 		return
 	}
 	data := append([]byte(nil), p.Payload...) // the container may be reused
-	s.unexpect[k] = append(s.unexpect[k], &message{msgID: p.MsgID, data: data})
+	s.unexpect[k] = append(s.unexpect[k], &message{msgID: p.MsgID, origin: origin, data: data})
 	s.unexpected++
 	s.mu.Unlock()
 	e.stats.unexpected.Add(1)
@@ -280,6 +291,8 @@ func (e *Engine) deliverChunk(from int, h wire.Header, payload []byte) {
 			// (the ack raced a rail failure): drop it — the handler
 			// still re-acks the unit.
 			s.mu.Unlock()
+			e.traceFrom(int(h.Origin), trace.ReplayedDelivery, h.MsgID, -1,
+				len(payload), "chunk replay dropped")
 			return
 		}
 		// Unexpected striped eager message: reassemble into a temporary
@@ -335,7 +348,7 @@ func (e *Engine) deliverChunk(from int, h wire.Header, payload []byte) {
 	req := pa.req
 	if req == nil {
 		// Completed with no posted receive: queue as unexpected.
-		s.unexpect[k] = append(s.unexpect[k], &message{msgID: h.MsgID, data: pa.buf})
+		s.unexpect[k] = append(s.unexpect[k], &message{msgID: h.MsgID, origin: int(h.Origin), data: pa.buf})
 		s.unexpected++
 		s.mu.Unlock()
 		e.stats.unexpected.Add(1)
@@ -344,11 +357,11 @@ func (e *Engine) deliverChunk(from int, h wire.Header, payload []byte) {
 	s.mu.Unlock()
 	if req.Buf != nil && len(pa.buf) > 0 && &req.Buf[0] == &pa.buf[0] {
 		// Rendezvous path: bytes already in place.
-		e.trace(trace.Delivered, h.MsgID, -1, pa.re.Received(), "rendezvous")
+		e.traceFrom(int(h.Origin), trace.Delivered, h.MsgID, -1, pa.re.Received(), "rendezvous")
 		req.complete(pa.re.Received(), nil)
 		return
 	}
-	e.deliverTo(req, h.MsgID, pa.buf[:pa.re.Received()])
+	e.deliverTo(req, int(h.Origin), h.MsgID, pa.buf[:pa.re.Received()])
 }
 
 // handleRTS matches a rendezvous announcement against posted receives.
@@ -406,13 +419,14 @@ func (e *Engine) handleRTS(from, rail int, h wire.Header) {
 }
 
 // deliverTo copies a complete payload into the request's buffer and
-// completes it.
-func (e *Engine) deliverTo(req *RecvRequest, msgID uint64, data []byte) {
+// completes it. origin attributes the Delivered event to the sender's
+// trace id.
+func (e *Engine) deliverTo(req *RecvRequest, origin int, msgID uint64, data []byte) {
 	if len(data) > len(req.Buf) {
 		req.complete(0, fmt.Errorf("core: message of %d bytes exceeds receive buffer %d", len(data), len(req.Buf)))
 		return
 	}
 	copy(req.Buf, data)
-	e.trace(trace.Delivered, msgID, -1, len(data), "")
+	e.traceFrom(origin, trace.Delivered, msgID, -1, len(data), "")
 	req.complete(len(data), nil)
 }

@@ -26,6 +26,13 @@ type SendRequest struct {
 	// whole-rendezvous clock); zero for eager sends. Written once by the
 	// flush worker before the RTS leaves, read by the ack completion.
 	rdvStart time.Duration
+	// submitAt and decideAt anchor the stage-latency attribution:
+	// submitAt is stamped by Isend, decideAt by the flush worker when
+	// the strategy picks this message's schedule. Readers (the flush
+	// worker, the ack handlers) are downstream of those writes through
+	// the submit queue and the transport round trip.
+	submitAt time.Duration
+	decideAt time.Duration
 	// failedOver marks a request some unit of which was replayed onto
 	// another rail: its end-to-end time includes the failover stall and
 	// must not train the original rail's telemetry.
@@ -58,8 +65,10 @@ func (r *SendRequest) addPending(n int) {
 	r.mu.Unlock()
 }
 
-// chunkDone decrements the outstanding-chunk count, firing Done at zero.
-func (r *SendRequest) chunkDone() {
+// chunkDone decrements the outstanding-chunk count, firing Done at
+// zero. It reports whether this call completed the request, so the
+// caller can record the completion stage exactly once.
+func (r *SendRequest) chunkDone() bool {
 	r.mu.Lock()
 	r.pending--
 	fire := r.pending == 0
@@ -67,6 +76,7 @@ func (r *SendRequest) chunkDone() {
 	if fire {
 		r.done.Fire()
 	}
+	return fire
 }
 
 func (r *SendRequest) addAcks(n int) {
@@ -76,8 +86,9 @@ func (r *SendRequest) addAcks(n int) {
 }
 
 // ackDone decrements the outstanding-ack count, firing RemoteDone at
-// zero.
-func (r *SendRequest) ackDone() {
+// zero. It reports whether this call fired it, so the caller can
+// record the remote-completion stage exactly once.
+func (r *SendRequest) ackDone() bool {
 	r.mu.Lock()
 	r.ackPending--
 	fire := r.ackPending == 0
@@ -85,6 +96,7 @@ func (r *SendRequest) ackDone() {
 	if fire {
 		r.acked.Fire()
 	}
+	return fire
 }
 
 func (r *SendRequest) String() string {

@@ -21,9 +21,9 @@ func TestHandlerDropsCorruptFrames(t *testing.T) {
 	env, eng := pair(t, Config{})
 	var got int
 	env.Go("app", func(ctx rt.Ctx) {
-		inject(eng[1], 0, []byte{0xFF, 0xFF, 0xFF})                  // short garbage
-		inject(eng[1], 0, make([]byte, wire.HeaderSize))             // kind 0: corrupt
-		badEager := wire.EncodeControl(wire.KindEager, 0, 1, 1, 999) // count/payload mismatch
+		inject(eng[1], 0, []byte{0xFF, 0xFF, 0xFF})                     // short garbage
+		inject(eng[1], 0, make([]byte, wire.HeaderSize))                // kind 0: corrupt
+		badEager := wire.EncodeControl(wire.KindEager, 0, 0, 1, 1, 999) // count/payload mismatch
 		inject(eng[1], 0, badEager)
 		ctx.Sleep(time.Millisecond)
 		// Normal traffic still flows.
@@ -42,7 +42,7 @@ func TestStaleCTSIgnored(t *testing.T) {
 	env, eng := pair(t, Config{})
 	ok := false
 	env.Go("app", func(ctx rt.Ctx) {
-		inject(eng[0], 0, wire.EncodeControl(wire.KindCTS, 0, 1, 0xDEAD, 0))
+		inject(eng[0], 0, wire.EncodeControl(wire.KindCTS, 0, 0, 1, 0xDEAD, 0))
 		ctx.Sleep(time.Millisecond)
 		rr := eng[1].Irecv(0, 1, make([]byte, 256<<10))
 		eng[0].Isend(1, 1, make([]byte, 256<<10))
@@ -65,14 +65,14 @@ func TestDuplicateChunkIsIdempotent(t *testing.T) {
 	buf := make([]byte, 1024)
 	env.Go("app", func(ctx rt.Ctx) {
 		rr := eng[1].Irecv(0, 1, buf)
-		head := wire.EncodeData(0, 1, 0xABC, 0, bytes.Repeat([]byte{'h'}, 512), 1024)
+		head := wire.EncodeData(0, 0, 1, 0xABC, 0, bytes.Repeat([]byte{'h'}, 512), 1024)
 		inject(eng[1], 0, head)
 		inject(eng[1], 0, head) // replayed offset 0: ignored
 		ctx.Sleep(time.Millisecond)
 		if rr.Done().Fired() {
 			t.Error("duplicate chunk completed the message early")
 		}
-		inject(eng[1], 1, wire.EncodeData(1, 1, 0xABC, 512, bytes.Repeat([]byte{'t'}, 512), 1024))
+		inject(eng[1], 1, wire.EncodeData(1, 0, 1, 0xABC, 512, bytes.Repeat([]byte{'t'}, 512), 1024))
 		n, rerr = rr.Wait(ctx)
 	})
 	env.Run()
@@ -90,7 +90,7 @@ func TestLateChunkReplayAfterCompletionIgnored(t *testing.T) {
 	env, eng := pair(t, Config{})
 	env.Go("app", func(ctx rt.Ctx) {
 		rr := eng[1].Irecv(0, 1, make([]byte, 8))
-		chunk := wire.EncodeData(0, 1, 0x99, 0, []byte("complete"), 8)
+		chunk := wire.EncodeData(0, 0, 1, 0x99, 0, []byte("complete"), 8)
 		inject(eng[1], 0, chunk)
 		if n, err := rr.Wait(ctx); err != nil || n != 8 {
 			t.Errorf("first delivery n=%d err=%v", n, err)
@@ -116,8 +116,8 @@ func TestUnexpectedStripedMessage(t *testing.T) {
 	env, eng := pair(t, Config{})
 	var got []byte
 	env.Go("app", func(ctx rt.Ctx) {
-		inject(eng[1], 0, wire.EncodeData(0, 9, 0x77, 4, []byte("tail"), 8))
-		inject(eng[1], 1, wire.EncodeData(1, 9, 0x77, 0, []byte("head"), 8))
+		inject(eng[1], 0, wire.EncodeData(0, 0, 9, 0x77, 4, []byte("tail"), 8))
+		inject(eng[1], 1, wire.EncodeData(1, 0, 9, 0x77, 0, []byte("head"), 8))
 		ctx.Sleep(time.Millisecond)
 		buf := make([]byte, 8)
 		rr := eng[1].Irecv(0, 9, buf)
@@ -140,7 +140,7 @@ func TestRdvLargerThanBufferViaRTS(t *testing.T) {
 	var rerr error
 	env.Go("app", func(ctx rt.Ctx) {
 		rr := eng[1].Irecv(0, 3, make([]byte, 64))
-		inject(eng[1], 0, wire.EncodeControl(wire.KindRTS, 0, 3, 0x55, 4096))
+		inject(eng[1], 0, wire.EncodeControl(wire.KindRTS, 0, 0, 3, 0x55, 4096))
 		_, rerr = rr.Wait(ctx)
 	})
 	env.Run()

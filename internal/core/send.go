@@ -20,11 +20,8 @@ import (
 func (e *Engine) Isend(to int, tag uint32, data []byte) *SendRequest {
 	req := &SendRequest{To: to, Tag: tag, Data: data, done: e.env.NewEvent(), acked: e.env.NewEvent()}
 	req.msgID = e.newID()
+	req.submitAt = e.env.Now()
 	e.trace(trace.Submit, req.msgID, -1, len(data), "")
-	if e.cfg.Tracer != nil {
-		id, n := req.msgID, len(data)
-		req.done.OnFire(func() { e.trace(trace.Completed, id, -1, n, "") })
-	}
 	e.sub.Put(to, req)
 	return req
 }
@@ -88,8 +85,9 @@ func (e *Engine) sendEagerGreedy(ctx rt.Ctx, to int, batch []*SendRequest) {
 	assign := strategy.AssignGreedy(sizes, e.env.Now(), e.railViewsFor(to))
 	for i, r := range batch {
 		rail := assign[i]
+		e.noteDecision(r)
 		cid := e.newID()
-		frame := wire.EncodeEagerID(cid, uint8(rail), []wire.Packet{{Tag: r.Tag, MsgID: r.msgID, Payload: r.Data}})
+		frame := wire.EncodeEagerID(e.origin(), cid, uint8(rail), []wire.Packet{{Tag: r.Tag, MsgID: r.msgID, Payload: r.Data}})
 		r.addPending(1)
 		e.registerContainer(cid, to, rail, frame, []*SendRequest{r})
 		e.trace(trace.EagerSent, r.msgID, rail, len(r.Data), "greedy")
@@ -98,7 +96,10 @@ func (e *Engine) sendEagerGreedy(ctx rt.Ctx, to int, batch []*SendRequest) {
 		// remote completion reads as a lost message to an observer.
 		e.bumpEager(1, 0, 0, len(r.Data))
 		e.node.Rail(rail).SendEager(ctx, to, frame)
-		r.chunkDone()
+		e.noteEnqueued(r)
+		if r.chunkDone() {
+			e.noteCompleted(r)
+		}
 	}
 }
 
@@ -156,9 +157,10 @@ func (e *Engine) sendEagerAggregate(ctx rt.Ctx, to int, batch []*SendRequest) {
 			i++
 		}
 		cid := e.newID()
-		frame := wire.EncodeEagerID(cid, uint8(rail), pkts)
+		frame := wire.EncodeEagerID(e.origin(), cid, uint8(rail), pkts)
 		for _, r := range group {
 			r.addPending(1)
+			e.noteDecision(r)
 		}
 		e.registerContainer(cid, to, rail, frame, group)
 		e.trace(trace.EagerSent, group[0].msgID, rail, total, fmt.Sprintf("%d packets aggregated", len(group)))
@@ -172,7 +174,10 @@ func (e *Engine) sendEagerAggregate(ctx rt.Ctx, to int, batch []*SendRequest) {
 		e.bumpEager(len(group), agg, 0, total)
 		e.node.Rail(rail).SendEager(ctx, to, frame)
 		for _, r := range group {
-			r.chunkDone()
+			e.noteEnqueued(r)
+			if r.chunkDone() {
+				e.noteCompleted(r)
+			}
 		}
 	}
 }
@@ -233,6 +238,7 @@ func (e *Engine) pickEagerRail(n int, now time.Duration, rails []strategy.RailVi
 // delay. The submitting core returns immediately — "the application can
 // then resume its computation".
 func (e *Engine) sendEagerParallel(r *SendRequest, to int, plan strategy.EagerPlan) {
+	e.noteDecision(r)
 	r.addPending(len(plan.Chunks))
 	// Register every chunk before the first tasklet can run: a chunk
 	// delivered and acked while its siblings are still being encoded
@@ -248,14 +254,17 @@ func (e *Engine) sendEagerParallel(r *SendRequest, to int, plan strategy.EagerPl
 	e.bumpEager(1, 0, 1, len(r.Data))
 	for _, c := range plan.Chunks {
 		c := c
-		frame := wire.EncodeData(uint8(c.Rail), r.Tag, r.msgID, c.Offset,
+		frame := wire.EncodeData(uint8(c.Rail), e.origin(), r.Tag, r.msgID, c.Offset,
 			r.Data[c.Offset:c.Offset+c.Size], len(r.Data))
 		e.trace(trace.OffloadStart, r.msgID, c.Rail, c.Size, "")
 		e.sched.SubmitIdle(marcel.Tasklet{
 			Name: fmt.Sprintf("eager-chunk-%d", r.msgID),
 			Run: func(tctx rt.Ctx) {
 				e.node.Rail(c.Rail).SendEager(tctx, to, frame)
-				r.chunkDone()
+				if r.chunkDone() {
+					e.noteEnqueued(r) // the last offloaded copy was posted
+					e.noteCompleted(r)
+				}
 			},
 		})
 	}
@@ -275,6 +284,7 @@ func (e *Engine) startRendezvous(ctx rt.Ctx, r *SendRequest) {
 	rails := e.railViewsFor(r.To)
 	pick := strategy.SingleRail{}.Split(wire.HeaderSize, e.env.Now(), rails)
 	rail := pick[0].Rail
+	e.noteDecision(r)        // protocol decision: rendezvous, RTS on `rail`
 	r.rdvStart = e.env.Now() // whole-rendezvous clock (telemetry rdv plane)
 	if e.histRdv != nil {
 		start := r.rdvStart
@@ -290,7 +300,7 @@ func (e *Engine) startRendezvous(ctx rt.Ctx, r *SendRequest) {
 	us.mu.Unlock()
 	e.stats.rdvSent.Add(1)
 	prof := e.node.Rail(rail).Profile()
-	rts := wire.EncodeControl(wire.KindRTS, uint8(rail), r.Tag, r.msgID, uint64(len(r.Data)))
+	rts := wire.EncodeControl(wire.KindRTS, uint8(rail), e.origin(), r.Tag, r.msgID, uint64(len(r.Data)))
 	e.trace(trace.RTSSent, r.msgID, rail, len(r.Data), "")
 	e.node.Rail(rail).SendControl(ctx, r.To, rts, prof.SendOverhead, prof.RecvOverhead)
 }
@@ -325,16 +335,19 @@ func (e *Engine) onCTS(peer int, msgID uint64) {
 	e.env.Go(fmt.Sprintf("rdv-send-%d", msgID), func(ctx rt.Ctx) {
 		events := make([]rt.Event, 0, len(chunks))
 		for _, c := range chunks {
-			frame := wire.EncodeData(uint8(c.Rail), r.Tag, r.msgID, c.Offset,
+			frame := wire.EncodeData(uint8(c.Rail), e.origin(), r.Tag, r.msgID, c.Offset,
 				r.Data[c.Offset:c.Offset+c.Size], len(r.Data))
 			done := e.env.NewEvent()
 			events = append(events, done)
 			e.trace(trace.ChunkPosted, msgID, c.Rail, c.Size, "")
 			e.node.Rail(c.Rail).SendData(ctx, r.To, frame, done)
 		}
+		e.noteEnqueued(r) // every chunk DMA is posted
 		for _, ev := range events {
 			ev.Wait(ctx)
-			r.chunkDone()
+			if r.chunkDone() {
+				e.noteCompleted(r)
+			}
 		}
 	})
 }

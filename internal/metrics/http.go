@@ -8,15 +8,24 @@ import (
 	"time"
 )
 
+// Endpoint is an extra route mounted on the exporter mux — how the
+// trace package's ring/Perfetto handlers ride the metrics server
+// without this package importing them.
+type Endpoint struct {
+	Path string
+	H    http.HandlerFunc
+}
+
 // Handler returns the exporter's HTTP surface:
 //
 //	/metrics       Prometheus text exposition
 //	/metrics.json  Snapshot as JSON (what cmd/nmtop consumes)
 //	/debug/pprof/  net/http/pprof, when withPprof is set
 //
+// plus any extra endpoints the caller mounts (e.g. /trace/ring.json).
 // The handlers are mounted on a private mux — importing this package
 // never touches http.DefaultServeMux.
-func Handler(r *Registry, withPprof bool) http.Handler {
+func Handler(r *Registry, withPprof bool, extra ...Endpoint) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
@@ -33,6 +42,9 @@ func Handler(r *Registry, withPprof bool) http.Handler {
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 	}
+	for _, e := range extra {
+		mux.HandleFunc(e.Path, e.H)
+	}
 	return mux
 }
 
@@ -45,13 +57,13 @@ type Server struct {
 // Serve starts the exporter on addr ("host:0" picks an ephemeral
 // port — read the result back with Addr). The listener is bound
 // synchronously, so a nil error means the endpoint is scrapeable.
-func Serve(addr string, r *Registry, withPprof bool) (*Server, error) {
+func Serve(addr string, r *Registry, withPprof bool, extra ...Endpoint) (*Server, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
 	s := &Server{ln: ln, srv: &http.Server{
-		Handler:           Handler(r, withPprof),
+		Handler:           Handler(r, withPprof, extra...),
 		ReadHeaderTimeout: 5 * time.Second,
 	}}
 	go s.srv.Serve(ln)

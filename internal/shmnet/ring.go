@@ -76,6 +76,9 @@ type ring struct {
 	// (not part of the shared region) — each producer counts the stalls
 	// it suffered. Set before the producer goroutine starts.
 	stalls *atomic.Uint64
+	// onStall, when installed alongside stalls, fires once per episode
+	// from the producer goroutine (Config.OnStall, rail-bound).
+	onStall func()
 }
 
 // ringRegionSize returns the bytes a ring with dataBytes of payload
@@ -182,6 +185,9 @@ func (r *ring) write(p []byte, abort func() bool) bool {
 				stalled = true
 				if r.stalls != nil {
 					r.stalls.Add(1)
+				}
+				if r.onStall != nil {
+					r.onStall()
 				}
 			}
 			if abort() {

@@ -59,6 +59,12 @@ type Config struct {
 	// AttachTimeout bounds how long a distributed node waits for its
 	// peer's ring files to appear (default 10s).
 	AttachTimeout time.Duration
+	// OnStall, when set, fires once per ring-full backpressure episode
+	// on any of a hosted node's send rings, with the rail index. It is
+	// called from the producer goroutine mid-write, so it must be cheap
+	// and must not block — multirail wires it to the flight recorder's
+	// anomaly dump, which is rate-limited internally.
+	OnStall func(rail int)
 }
 
 func (c *Config) defaults() {
@@ -231,6 +237,10 @@ func (f *Fabric) register(owner *Node, peer, r int, sendR, recvR *ring) {
 	}
 	rail := owner.rails[r]
 	sendR.stalls = &rail.stalls // owner's writer is sendR's only producer
+	if hook := f.cfg.OnStall; hook != nil {
+		idx := r
+		sendR.onStall = func() { hook(idx) }
+	}
 	rail.mu.Lock()
 	rail.links[peer] = l
 	rail.mu.Unlock()

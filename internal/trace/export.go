@@ -1,0 +1,145 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+)
+
+// EventJSON is the wire form of an Event on /trace/ring.json — stable
+// field names for cmd/nmtrace and external scrapers. Kind travels both
+// as the enum value (for machines) and its name (for eyes).
+type EventJSON struct {
+	AtNs     int64  `json:"at_ns"`
+	Node     int    `json:"node"`
+	Origin   int    `json:"origin"`
+	MsgID    uint64 `json:"msg_id"`
+	Kind     int    `json:"kind"`
+	KindName string `json:"kind_name"`
+	Rail     int    `json:"rail"`
+	Size     int    `json:"size"`
+	Note     string `json:"note,omitempty"`
+}
+
+// JSONFromEvent converts an Event to its export form.
+func JSONFromEvent(e Event) EventJSON {
+	return EventJSON{
+		AtNs: int64(e.At), Node: e.Node, Origin: e.Origin, MsgID: e.MsgID,
+		Kind: int(e.Kind), KindName: e.Kind.String(), Rail: e.Rail,
+		Size: e.Size, Note: e.Note,
+	}
+}
+
+// Event converts back from the export form.
+func (j EventJSON) Event() Event {
+	return Event{
+		At: time.Duration(j.AtNs), Node: j.Node, Origin: j.Origin,
+		MsgID: j.MsgID, Kind: Kind(j.Kind), Rail: j.Rail,
+		Size: j.Size, Note: j.Note,
+	}
+}
+
+// AnomalyJSON is the export form of one anomaly dump (events elided —
+// the dump's ring contents overlap the live ring; Reason and timing
+// are what a scraper needs).
+type AnomalyJSON struct {
+	AtNs   int64  `json:"at_ns"`
+	Node   int    `json:"node"`
+	Reason string `json:"reason"`
+	Events int    `json:"events"`
+}
+
+// RingSnapshot is the body of /trace/ring.json.
+type RingSnapshot struct {
+	Total        uint64        `json:"total"`
+	Overwritten  uint64        `json:"overwritten"`
+	AnomalyTotal uint64        `json:"anomaly_total"`
+	Events       []EventJSON   `json:"events"`
+	Anomalies    []AnomalyJSON `json:"anomalies"`
+}
+
+// TakeRingSnapshot captures the recorder's state in export form.
+func TakeRingSnapshot(f *FlightRecorder) RingSnapshot {
+	evs := f.Snapshot()
+	out := RingSnapshot{
+		Total:        f.TotalRecorded(),
+		Overwritten:  f.Overwritten(),
+		AnomalyTotal: f.AnomalyTotal(),
+		Events:       make([]EventJSON, 0, len(evs)),
+		Anomalies:    []AnomalyJSON{},
+	}
+	for _, e := range evs {
+		out.Events = append(out.Events, JSONFromEvent(e))
+	}
+	for _, a := range f.Anomalies() {
+		out.Anomalies = append(out.Anomalies, AnomalyJSON{
+			AtNs: int64(a.At), Node: a.Node, Reason: a.Reason, Events: len(a.Events),
+		})
+	}
+	return out
+}
+
+// RingHandler serves the flight recorder as /trace/ring.json.
+func RingHandler(f *FlightRecorder) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(TakeRingSnapshot(f))
+	}
+}
+
+// perfettoEvent is one entry of the Chrome trace-event JSON format
+// (the "JSON Array Format" Perfetto and chrome://tracing both load).
+type perfettoEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TsUs  float64        `json:"ts"`
+	DurUs float64        `json:"dur,omitempty"`
+	Pid   int            `json:"pid"`
+	Tid   uint64         `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// PerfettoJSON renders events as Chrome trace-event JSON: one "X"
+// complete slice per message span on its origin node's track, plus an
+// "i" instant per event on the node that recorded it — so a mixed
+// shm+tcp cluster's sender and receiver activity line up vertically in
+// the Perfetto UI. Process id = node, thread id = message id.
+func PerfettoJSON(events []Event) []byte {
+	spans := Stitch(events)
+	out := struct {
+		TraceEvents []perfettoEvent `json:"traceEvents"`
+	}{TraceEvents: []perfettoEvent{}}
+	us := func(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+	for _, s := range spans {
+		dur := us(s.End()) - us(s.Start())
+		if dur <= 0 {
+			dur = 0.001 // zero-width slices vanish in the UI
+		}
+		out.TraceEvents = append(out.TraceEvents, perfettoEvent{
+			Name:  fmt.Sprintf("msg %d/%d", s.Key.Origin, s.Key.MsgID),
+			Phase: "X", TsUs: us(s.Start()), DurUs: dur,
+			Pid: s.Key.Origin, Tid: s.Key.MsgID,
+		})
+		for _, e := range s.Events {
+			args := map[string]any{"rail": e.Rail, "size": e.Size}
+			if e.Note != "" {
+				args["note"] = e.Note
+			}
+			out.TraceEvents = append(out.TraceEvents, perfettoEvent{
+				Name: e.Kind.String(), Phase: "i", TsUs: us(e.At),
+				Pid: e.Node, Tid: s.Key.MsgID, Args: args,
+			})
+		}
+	}
+	b, _ := json.Marshal(out)
+	return b
+}
+
+// PerfettoHandler serves the flight recorder as /trace/perfetto.
+func PerfettoHandler(f *FlightRecorder) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(PerfettoJSON(f.Snapshot()))
+	}
+}

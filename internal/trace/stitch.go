@@ -1,0 +1,122 @@
+package trace
+
+import (
+	"sort"
+	"time"
+)
+
+// SpanKey is the cross-node trace id of one message: the node that
+// submitted it plus its sender-assigned message id. The wire headers
+// carry both, so events recorded on different nodes stitch by equality.
+type SpanKey struct {
+	Origin int
+	MsgID  uint64
+}
+
+// Span is one message's stitched timeline: every event recorded about
+// it, on any node, time-ordered.
+type Span struct {
+	Key    SpanKey
+	Events []Event
+}
+
+// Start returns the span's earliest timestamp.
+func (s *Span) Start() time.Duration {
+	if len(s.Events) == 0 {
+		return 0
+	}
+	return s.Events[0].At
+}
+
+// End returns the span's latest timestamp.
+func (s *Span) End() time.Duration {
+	if len(s.Events) == 0 {
+		return 0
+	}
+	return s.Events[len(s.Events)-1].At
+}
+
+// First returns the earliest event of the given kind, and whether one
+// exists.
+func (s *Span) First(k Kind) (Event, bool) {
+	for _, e := range s.Events {
+		if e.Kind == k {
+			return e, true
+		}
+	}
+	return Event{}, false
+}
+
+// Has reports whether the span contains an event of the given kind.
+func (s *Span) Has(k Kind) bool {
+	_, ok := s.First(k)
+	return ok
+}
+
+// Stitch groups events by trace id into per-message spans, each
+// time-ordered, the set ordered by span start. Events with MsgID 0
+// (rail-level: RailLost, Reconnect) are not message events and are
+// skipped.
+func Stitch(events []Event) []Span {
+	byKey := make(map[SpanKey][]Event)
+	for _, e := range events {
+		if e.MsgID == 0 {
+			continue
+		}
+		k := SpanKey{Origin: e.Origin, MsgID: e.MsgID}
+		byKey[k] = append(byKey[k], e)
+	}
+	out := make([]Span, 0, len(byKey))
+	for k, evs := range byKey {
+		sort.SliceStable(evs, func(i, j int) bool { return evs[i].At < evs[j].At })
+		out = append(out, Span{Key: k, Events: evs})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := &out[i], &out[j]
+		if a.Start() != b.Start() {
+			return a.Start() < b.Start()
+		}
+		if a.Key.Origin != b.Key.Origin {
+			return a.Key.Origin < b.Key.Origin
+		}
+		return a.Key.MsgID < b.Key.MsgID
+	})
+	return out
+}
+
+// AlignClocks shifts each node's timestamps so cross-node causality
+// holds: when nodes run separate clocks (distributed scrape), a
+// receiver's Delivered can read earlier than the sender's EagerSent.
+// For every span the send→deliver pair gives a lower bound on the
+// receiver clock's offset; the per-node maximum of those bounds is
+// added to that node's events. Nodes sharing a clock (one-process
+// clusters, the common test shape) need no shift and get none.
+// It returns the per-node offsets applied.
+func AlignClocks(events []Event) map[int]time.Duration {
+	offset := make(map[int]time.Duration)
+	for _, s := range Stitch(events) {
+		// Skewed clocks are exactly why the deliver event may sort
+		// before the send here — find the send first, then compare.
+		var sentAt time.Duration = -1
+		for _, e := range s.Events {
+			if (e.Kind == EagerSent || e.Kind == ChunkPosted) &&
+				e.Node == s.Key.Origin && (sentAt < 0 || e.At < sentAt) {
+				sentAt = e.At
+			}
+		}
+		if sentAt < 0 {
+			continue
+		}
+		for _, e := range s.Events {
+			if e.Kind == Delivered && e.Node != s.Key.Origin && sentAt-e.At > offset[e.Node] {
+				offset[e.Node] = sentAt - e.At
+			}
+		}
+	}
+	for i := range events {
+		if d, ok := offset[events[i].Node]; ok && d > 0 {
+			events[i].At += d
+		}
+	}
+	return offset
+}

@@ -49,6 +49,17 @@ const (
 	RailLost
 	// Resent: a transfer unit was re-planned onto a surviving rail.
 	Resent
+	// Acked: the last outstanding transfer unit of a message was
+	// acknowledged by the receiver (sender side — the point after which
+	// failover will never replay any of its frames).
+	Acked
+	// ReplayedDelivery: the receiver dropped a frame the dedup window
+	// recognised as already delivered (a failover replay arriving after
+	// the original made it through).
+	ReplayedDelivery
+	// Reconnect: a rail came back Up after a reconnect (Note holds the
+	// health reason; MsgID is 0).
+	Reconnect
 
 	// numKinds bounds the Kind enum (for per-kind count arrays).
 	numKinds
@@ -67,7 +78,8 @@ var kindNames = map[Kind]string{
 	Submit: "submit", Decision: "decision", EagerSent: "eager-sent",
 	OffloadStart: "offload", RTSSent: "rts", CTSSent: "cts",
 	ChunkPosted: "chunk", Delivered: "delivered", Completed: "completed",
-	RailLost: "rail-down", Resent: "resent",
+	RailLost: "rail-down", Resent: "resent", Acked: "acked",
+	ReplayedDelivery: "replayed-delivery", Reconnect: "reconnect",
 }
 
 func (k Kind) String() string {
@@ -86,6 +98,12 @@ type Event struct {
 	Rail  int // -1 when not rail-specific
 	Size  int
 	Note  string
+	// Origin is the node that submitted the message. Together with
+	// MsgID it forms the message's trace id: the wire headers carry it
+	// to the far endpoint so receiver-side events land on the same
+	// cross-node span as the sender's (see SpanKey). Rail events
+	// (RailLost, Reconnect) carry the observing node.
+	Origin int
 }
 
 func (e Event) String() string {
@@ -93,8 +111,8 @@ func (e Event) String() string {
 	if e.Rail >= 0 {
 		rail = fmt.Sprintf(" rail=%d", e.Rail)
 	}
-	return fmt.Sprintf("%12v n%d msg=%d %-10s%s size=%d %s",
-		e.At, e.Node, e.MsgID, e.Kind, rail, e.Size, e.Note)
+	return fmt.Sprintf("%12v n%d msg=%d/%d %-10s%s size=%d %s",
+		e.At, e.Node, e.Origin, e.MsgID, e.Kind, rail, e.Size, e.Note)
 }
 
 // Tracer receives events. Implementations must be safe for concurrent
@@ -171,20 +189,46 @@ func (t *tee) Record(e Event) {
 	}
 }
 
-// Collector stores events in arrival order.
+// DefaultCollectorCap bounds a NewCollector: a long-running cluster
+// with a Collector installed must not grow its trace without limit.
+// Tests that need every event of an unbounded run use NewCollectorCap
+// with an explicit 0 (unlimited).
+const DefaultCollectorCap = 1 << 16
+
+// Collector stores events in arrival order, up to a cap; events past
+// the cap are counted in Dropped rather than stored.
 type Collector struct {
-	mu     sync.Mutex
-	events []Event
+	mu      sync.Mutex
+	events  []Event
+	cap     int
+	dropped uint64
 }
 
-// NewCollector returns an empty collector.
-func NewCollector() *Collector { return &Collector{} }
+// NewCollector returns an empty collector bounded at DefaultCollectorCap.
+func NewCollector() *Collector { return &Collector{cap: DefaultCollectorCap} }
+
+// NewCollectorCap returns an empty collector holding at most cap
+// events; cap 0 means unlimited (test helpers only — never install an
+// unbounded collector on a production cluster).
+func NewCollectorCap(cap int) *Collector { return &Collector{cap: cap} }
 
 // Record implements Tracer.
 func (c *Collector) Record(e Event) {
 	c.mu.Lock()
-	c.events = append(c.events, e)
+	if c.cap > 0 && len(c.events) >= c.cap {
+		c.dropped++
+	} else {
+		c.events = append(c.events, e)
+	}
 	c.mu.Unlock()
+}
+
+// Dropped returns the number of events discarded because the collector
+// was full.
+func (c *Collector) Dropped() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dropped
 }
 
 // Events returns a snapshot of all recorded events.

@@ -49,7 +49,7 @@ func (k Kind) String() string {
 }
 
 // HeaderSize is the encoded size of a Header in bytes.
-const HeaderSize = 1 + 1 + 2 + 4 + 8 + 8 + 8 + 8
+const HeaderSize = 1 + 1 + 2 + 4 + 4 + 8 + 8 + 8 + 8
 
 // Header prefixes every network message.
 type Header struct {
@@ -60,6 +60,13 @@ type Header struct {
 	Count uint16
 	// Tag is the application-level matching tag (single-packet messages).
 	Tag uint32
+	// Origin is the node that submitted the message this frame belongs
+	// to. Together with MsgID it is the message's trace id: frames
+	// about message X carry X's origin — RTS/Data/Eager stamp the
+	// sender's own node id, CTS and Ack echo the id of the node the
+	// transfer came from — so both endpoints record trace events
+	// against one identity and cross-node spans stitch by equality.
+	Origin uint32
 	// MsgID identifies the logical message across chunks and rails.
 	MsgID uint64
 	// Offset is the byte offset of a KindData chunk in its message.
@@ -83,10 +90,11 @@ func (h *Header) Encode(dst []byte) []byte {
 	buf[1] = h.Rail
 	binary.LittleEndian.PutUint16(buf[2:], h.Count)
 	binary.LittleEndian.PutUint32(buf[4:], h.Tag)
-	binary.LittleEndian.PutUint64(buf[8:], h.MsgID)
-	binary.LittleEndian.PutUint64(buf[16:], h.Offset)
-	binary.LittleEndian.PutUint64(buf[24:], h.ChunkLen)
-	binary.LittleEndian.PutUint64(buf[32:], h.TotalLen)
+	binary.LittleEndian.PutUint32(buf[8:], h.Origin)
+	binary.LittleEndian.PutUint64(buf[12:], h.MsgID)
+	binary.LittleEndian.PutUint64(buf[20:], h.Offset)
+	binary.LittleEndian.PutUint64(buf[28:], h.ChunkLen)
+	binary.LittleEndian.PutUint64(buf[36:], h.TotalLen)
 	return append(dst, buf[:]...)
 }
 
@@ -101,10 +109,11 @@ func DecodeHeader(b []byte) (Header, []byte, error) {
 		Rail:     b[1],
 		Count:    binary.LittleEndian.Uint16(b[2:]),
 		Tag:      binary.LittleEndian.Uint32(b[4:]),
-		MsgID:    binary.LittleEndian.Uint64(b[8:]),
-		Offset:   binary.LittleEndian.Uint64(b[16:]),
-		ChunkLen: binary.LittleEndian.Uint64(b[24:]),
-		TotalLen: binary.LittleEndian.Uint64(b[32:]),
+		Origin:   binary.LittleEndian.Uint32(b[8:]),
+		MsgID:    binary.LittleEndian.Uint64(b[12:]),
+		Offset:   binary.LittleEndian.Uint64(b[20:]),
+		ChunkLen: binary.LittleEndian.Uint64(b[28:]),
+		TotalLen: binary.LittleEndian.Uint64(b[36:]),
 	}
 	if h.Kind < KindEager || h.Kind > KindAck {
 		return Header{}, nil, fmt.Errorf("%w: kind %d", ErrCorrupt, b[0])
@@ -135,21 +144,22 @@ func AggregateSize(pkts []Packet) int {
 // EncodeEager builds an eager container carrying pkts on the given rail.
 // The container id defaults to the packet's MsgID for single-packet
 // containers; use EncodeEagerID when the container must be individually
-// acknowledgeable (failover resend tracking).
+// acknowledgeable (failover resend tracking) or trace-attributed
+// (origin carried to the receiver).
 func EncodeEager(rail uint8, pkts []Packet) []byte {
 	var id uint64
 	if len(pkts) == 1 {
 		id = pkts[0].MsgID
 	}
-	return EncodeEagerID(id, rail, pkts)
+	return EncodeEagerID(0, id, rail, pkts)
 }
 
-// EncodeEagerID builds an eager container with an explicit container id
-// carried in the header's MsgID field. The id identifies the container —
-// not its packets — so the receiver can acknowledge it as one unit. It
-// panics if pkts is empty or exceeds 65535 entries (the engine never
-// aggregates that many).
-func EncodeEagerID(id uint64, rail uint8, pkts []Packet) []byte {
+// EncodeEagerID builds an eager container with an explicit origin node
+// and container id carried in the header. The id identifies the
+// container — not its packets — so the receiver can acknowledge it as
+// one unit. It panics if pkts is empty or exceeds 65535 entries (the
+// engine never aggregates that many).
+func EncodeEagerID(origin uint32, id uint64, rail uint8, pkts []Packet) []byte {
 	if len(pkts) == 0 || len(pkts) > 0xFFFF {
 		panic(fmt.Sprintf("wire: invalid eager packet count %d", len(pkts)))
 	}
@@ -157,7 +167,7 @@ func EncodeEagerID(id uint64, rail uint8, pkts []Packet) []byte {
 	for _, p := range pkts {
 		total += uint64(len(p.Payload))
 	}
-	h := Header{Kind: KindEager, Rail: rail, Count: uint16(len(pkts)), TotalLen: total, MsgID: id}
+	h := Header{Kind: KindEager, Rail: rail, Count: uint16(len(pkts)), TotalLen: total, MsgID: id, Origin: origin}
 	if len(pkts) == 1 {
 		h.Tag = pkts[0].Tag
 	}
@@ -203,9 +213,11 @@ func DecodeEager(b []byte) ([]Packet, error) {
 	return pkts, nil
 }
 
-// EncodeControl builds an RTS/CTS/Ack control message.
-func EncodeControl(kind Kind, rail uint8, tag uint32, msgID, totalLen uint64) []byte {
-	h := Header{Kind: kind, Rail: rail, Tag: tag, MsgID: msgID, TotalLen: totalLen}
+// EncodeControl builds an RTS/CTS/Ack control message. Origin is the
+// trace id's node half: an RTS carries the sender's own id, a CTS
+// echoes the id of the node whose RTS it answers.
+func EncodeControl(kind Kind, rail uint8, origin, tag uint32, msgID, totalLen uint64) []byte {
+	h := Header{Kind: kind, Rail: rail, Origin: origin, Tag: tag, MsgID: msgID, TotalLen: totalLen}
 	return h.Encode(nil)
 }
 
@@ -213,15 +225,17 @@ func EncodeControl(kind Kind, rail uint8, tag uint32, msgID, totalLen uint64) []
 // container (offset 0, msgID = container id) or a rendezvous/parallel
 // chunk (msgID, offset). The sender retires the matching outstanding
 // unit; unacknowledged units are re-planned when their rail dies.
-func EncodeAck(rail uint8, msgID, offset uint64) []byte {
-	h := Header{Kind: KindAck, Rail: rail, MsgID: msgID, Offset: offset}
+// Origin echoes the id of the node the unit came from.
+func EncodeAck(rail uint8, origin uint32, msgID, offset uint64) []byte {
+	h := Header{Kind: KindAck, Rail: rail, Origin: origin, MsgID: msgID, Offset: offset}
 	return h.Encode(nil)
 }
 
-// EncodeData frames one chunk of a rendezvous transfer.
-func EncodeData(rail uint8, tag uint32, msgID uint64, offset int, chunk []byte, totalLen int) []byte {
+// EncodeData frames one chunk of a rendezvous transfer. Origin is the
+// sending node's id (the transfer's trace id node half).
+func EncodeData(rail uint8, origin, tag uint32, msgID uint64, offset int, chunk []byte, totalLen int) []byte {
 	h := Header{
-		Kind: KindData, Rail: rail, Tag: tag, MsgID: msgID,
+		Kind: KindData, Rail: rail, Origin: origin, Tag: tag, MsgID: msgID,
 		Offset: uint64(offset), ChunkLen: uint64(len(chunk)), TotalLen: uint64(totalLen),
 	}
 	out := h.Encode(make([]byte, 0, HeaderSize+len(chunk)))

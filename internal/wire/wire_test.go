@@ -10,7 +10,7 @@ import (
 
 func TestHeaderRoundTrip(t *testing.T) {
 	h := Header{
-		Kind: KindData, Rail: 3, Count: 7, Tag: 0xDEADBEEF,
+		Kind: KindData, Rail: 3, Count: 7, Tag: 0xDEADBEEF, Origin: 12,
 		MsgID: 1234567890123, Offset: 1 << 40, ChunkLen: 42, TotalLen: 99,
 	}
 	enc := h.Encode(nil)
@@ -116,14 +116,14 @@ func TestDecodeEagerRejectsTruncationAndTrailing(t *testing.T) {
 		t.Fatal("trailing garbage accepted")
 	}
 	// Wrong kind
-	ctl := EncodeControl(KindRTS, 0, 1, 2, 3)
+	ctl := EncodeControl(KindRTS, 0, 0, 1, 2, 3)
 	if _, err := DecodeEager(ctl); err == nil {
 		t.Fatal("control message decoded as eager")
 	}
 }
 
 func TestControlRoundTrip(t *testing.T) {
-	enc := EncodeControl(KindCTS, 1, 9, 1000, 4096)
+	enc := EncodeControl(KindCTS, 1, 0, 9, 1000, 4096)
 	h, rest, err := DecodeHeader(enc)
 	if err != nil || len(rest) != 0 {
 		t.Fatal(err)
@@ -135,7 +135,7 @@ func TestControlRoundTrip(t *testing.T) {
 
 func TestDataRoundTrip(t *testing.T) {
 	payload := bytes.Repeat([]byte{7}, 1000)
-	enc := EncodeData(1, 4, 88, 512, payload, 4096)
+	enc := EncodeData(1, 0, 4, 88, 512, payload, 4096)
 	h, got, err := DecodeData(enc)
 	if err != nil {
 		t.Fatal(err)
@@ -149,11 +149,11 @@ func TestDataRoundTrip(t *testing.T) {
 }
 
 func TestDecodeDataRejectsLengthMismatch(t *testing.T) {
-	enc := EncodeData(0, 0, 1, 0, []byte("abc"), 3)
+	enc := EncodeData(0, 0, 0, 1, 0, []byte("abc"), 3)
 	if _, _, err := DecodeData(enc[:len(enc)-1]); err == nil {
 		t.Fatal("length mismatch accepted")
 	}
-	ctl := EncodeControl(KindAck, 0, 0, 1, 0)
+	ctl := EncodeControl(KindAck, 0, 0, 0, 1, 0)
 	if _, _, err := DecodeData(ctl); err == nil {
 		t.Fatal("ack decoded as data")
 	}

@@ -39,6 +39,13 @@ func (c *Cluster) MetricsAddr() string {
 // engines have emitted (counted even with no Config.Tracer installed).
 func (c *Cluster) TraceCounts(k trace.Kind) uint64 { return c.traceCounts.Of(k) }
 
+// Flight returns the cluster's always-on flight recorder: the last few
+// thousand trace events of every hosted engine in a lock-free ring,
+// with the anomaly dumps the engines captured (rail down, unit replay,
+// shm ring stall). The metrics exporter serves it at /trace/ring.json
+// and /trace/perfetto; this accessor is the in-process view.
+func (c *Cluster) Flight() *FlightRecorder { return c.flight }
+
 // railStateNames maps fabric.RailState to the metric label values of the
 // nm_rail_transitions_total family.
 var railStateNames = map[fabric.RailState]string{
@@ -110,7 +117,8 @@ func (c *Cluster) initClusterMetrics(node int) {
 }
 
 // initTraceMetrics registers the process-wide per-kind trace event
-// counts (the Counts tracer is shared by every hosted engine).
+// counts (the Counts tracer is shared by every hosted engine) and the
+// flight recorder's own health counters.
 func (c *Cluster) initTraceMetrics() {
 	for _, k := range trace.Kinds() {
 		k := k
@@ -119,4 +127,13 @@ func (c *Cluster) initTraceMetrics() {
 			func() uint64 { return c.traceCounts.Of(k) },
 			metrics.L("kind", k.String())...)
 	}
+	c.metricsReg.CounterFunc("nm_flight_events_total",
+		"Events the flight recorder has seen (ring wrap included).",
+		c.flight.TotalRecorded)
+	c.metricsReg.CounterFunc("nm_flight_overwritten_total",
+		"Flight-recorder events lost to ring wrap.",
+		c.flight.Overwritten)
+	c.metricsReg.CounterFunc("nm_flight_anomalies_total",
+		"Anomaly dumps noted (rail down, unit replay, ring stall).",
+		c.flight.AnomalyTotal)
 }

@@ -34,6 +34,7 @@ package multirail
 import (
 	"fmt"
 	"io"
+	"strconv"
 	"sync"
 	"time"
 
@@ -112,6 +113,11 @@ type (
 	TraceEvent = trace.Event
 	// TraceCollector stores timeline events in memory.
 	TraceCollector = trace.Collector
+	// FlightRecorder is the always-on lock-free ring of recent trace
+	// events every cluster carries (see Cluster.Flight).
+	FlightRecorder = trace.FlightRecorder
+	// TraceSpan is one message's stitched timeline (trace.Stitch).
+	TraceSpan = trace.Span
 )
 
 // NewTraceCollector returns an in-memory trace sink for Config.Tracer.
@@ -297,9 +303,10 @@ type Cluster struct {
 	engines  []*core.Engine  // indexed by node id; nil when not hosted
 	profiles []*sampling.RailProfile
 
-	metricsReg  *metrics.Registry // always built; exporter optional
-	metricsSrv  *metrics.Server   // nil unless Config.MetricsAddr set
-	traceCounts *trace.Counts     // per-kind event totals, always on
+	metricsReg  *metrics.Registry     // always built; exporter optional
+	metricsSrv  *metrics.Server       // nil unless Config.MetricsAddr set
+	traceCounts *trace.Counts         // per-kind event totals, always on
+	flight      *trace.FlightRecorder // ring of recent events, always on
 
 	wg       sync.WaitGroup // user actors (live mode)
 	nodes    []*Node
@@ -342,6 +349,7 @@ func New(cfg Config) (*Cluster, error) {
 		kind:        kind,
 		metricsReg:  metrics.NewRegistry(),
 		traceCounts: trace.NewCounts(),
+		flight:      trace.NewFlightRecorder(0),
 	}
 	if cfg.Live {
 		c.live = rt.NewLive()
@@ -363,7 +371,13 @@ func New(cfg Config) (*Cluster, error) {
 			c.kinds = append(c.kinds, p.Name)
 		}
 	case FabricTCP, FabricShm:
-		c.fab, c.shmFab, c.tcpFab, err = buildLiveFabric(c.live, cfg, kind)
+		// A stalling shm ring is backpressure worth a flight-recorder
+		// dump: the ring around the stall shows which messages filled it.
+		onStall := func(rail int) {
+			c.flight.NoteAnomaly(c.env.Now(), c.Local(),
+				"shm ring stall: rail "+strconv.Itoa(rail))
+		}
+		c.fab, c.shmFab, c.tcpFab, err = buildLiveFabric(c.live, cfg, kind, onStall)
 		if err == nil {
 			if c.shmFab != nil {
 				for r := 0; r < c.shmFab.NumRails(); r++ {
@@ -400,10 +414,11 @@ func New(cfg Config) (*Cluster, error) {
 		// keeps the inline progression actor whose CPU charges the model
 		// depends on.
 		DirectProgress: kind != FabricSim,
-		// The per-kind event counter rides along whatever tracer the
-		// caller installed; counting is lock-free and allocation-free,
-		// so it stays on even with no Config.Tracer.
-		Tracer:  trace.Tee(c.traceCounts, cfg.Tracer),
+		// The per-kind event counter and the flight recorder ride along
+		// whatever tracer the caller installed; both are lock-free and
+		// allocation-free, so they stay on even with no Config.Tracer.
+		Tracer:  trace.Tee(c.traceCounts, c.flight, cfg.Tracer),
+		Flight:  c.flight,
 		Metrics: c.metricsReg,
 	}
 	ecfg.Pioman.Workers = cfg.RecvWorkers
@@ -470,7 +485,9 @@ func New(cfg Config) (*Cluster, error) {
 	}
 	c.initTraceMetrics()
 	if cfg.MetricsAddr != "" {
-		srv, serr := metrics.Serve(cfg.MetricsAddr, c.metricsReg, cfg.MetricsPprof)
+		srv, serr := metrics.Serve(cfg.MetricsAddr, c.metricsReg, cfg.MetricsPprof,
+			metrics.Endpoint{Path: "/trace/ring.json", H: trace.RingHandler(c.flight)},
+			metrics.Endpoint{Path: "/trace/perfetto", H: trace.PerfettoHandler(c.flight)})
 		if serr != nil {
 			c.Close()
 			return nil, fmt.Errorf("multirail: metrics exporter: %w", serr)
@@ -484,7 +501,7 @@ func New(cfg Config) (*Cluster, error) {
 // shared-memory rails, TCP rails, or both mixed into one heterogeneous
 // rail set (shm rails first). Exactly the sub-fabrics that exist are
 // returned alongside the combined one.
-func buildLiveFabric(env *rt.LiveEnv, cfg Config, kind string) (fabric.Fabric, *shmnet.Fabric, *livenet.Fabric, error) {
+func buildLiveFabric(env *rt.LiveEnv, cfg Config, kind string, onStall func(rail int)) (fabric.Fabric, *shmnet.Fabric, *livenet.Fabric, error) {
 	var (
 		shmF *shmnet.Fabric
 		tcpF *livenet.Fabric
@@ -498,6 +515,7 @@ func buildLiveFabric(env *rt.LiveEnv, cfg Config, kind string) (fabric.Fabric, *
 			EagerMax:     cfg.ShmEagerMax,
 			RingBytes:    cfg.ShmRingBytes,
 			Dir:          cfg.ShmDir,
+			OnStall:      onStall,
 		}
 		if cfg.Distributed {
 			shmF, err = shmnet.NewDistributed(env, cfg.LocalNode, scfg)
@@ -621,7 +639,7 @@ func (c *Cluster) sampleProfiles(kind string) ([]*sampling.RailProfile, error) {
 	tcfg.Peers = nil
 	tcfg.ListenAddr = ""
 	tcfg.ShmDir = "" // the hosted twin uses heap rings, not the ring files
-	twin, _, _, err := buildLiveFabric(rt.NewLive(), tcfg, kind)
+	twin, _, _, err := buildLiveFabric(rt.NewLive(), tcfg, kind, nil)
 	if err != nil {
 		return nil, fmt.Errorf("multirail: sampling twin: %w", err)
 	}
