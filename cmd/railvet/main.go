@@ -4,15 +4,25 @@
 //
 // Usage:
 //
-//	go run ./cmd/railvet ./...          # analyze the module
-//	go run ./cmd/railvet -tests ./...   # include test files
+//	go run ./cmd/railvet ./...            # analyze the module
+//	go run ./cmd/railvet -tests ./...     # include test files
 //	go run ./cmd/railvet -run nolockio ./internal/core
+//	go run ./cmd/railvet -json ./...      # machine-readable findings
+//	go run ./cmd/railvet -stale ./...     # also flag dead //railvet:ignore directives
+//	go run ./cmd/railvet -ratchet         # re-measure alloc ratchets, lower ceilings
+//	go run ./cmd/railvet -hotalloc-write  # regenerate the hot-path escape baseline
 //
 // The binary also speaks the `go vet -vettool` unitchecker protocol,
 // so CI can run it through the build cache:
 //
 //	go build -o railvet ./cmd/railvet
 //	go vet -vettool=$PWD/railvet ./...
+//
+// In that mode each package's cross-package facts are serialized into
+// the .vetx file the go command threads through the build cache, so
+// dependency summaries survive between runs; the whole-program hot set,
+// which needs dependents as well as dependencies, is only available to
+// the standalone driver.
 //
 // Exit status: 0 clean, 1 findings, 2 usage or load failure.
 package main
@@ -21,10 +31,8 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"go/ast"
-	"go/parser"
-	"go/token"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/analyzers"
@@ -34,7 +42,7 @@ func main() {
 	// `go vet -vettool` probes the tool's identity with -V=full before
 	// handing it per-package config files.
 	if len(os.Args) == 2 && strings.HasPrefix(os.Args[1], "-V") {
-		fmt.Printf("railvet version 1\n")
+		fmt.Printf("railvet version 3\n")
 		return
 	}
 	// The go command also queries the tool's flag surface; railvet
@@ -50,8 +58,16 @@ func main() {
 	tests := flag.Bool("tests", false, "also analyze test files (in-package and external test packages)")
 	run := flag.String("run", "", "comma-separated pass names to run (default: all)")
 	list := flag.Bool("list", false, "list the passes and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as JSON (file/line/col/pass/message) for tooling")
+	stale := flag.Bool("stale", false, "flag //railvet:ignore directives whose pass no longer fires there")
+	factsCache := flag.String("factscache", "", "directory for the cross-package facts cache (CI: key it on go.sum + analyzer sources)")
+	escapes := flag.Bool("escapes", true, "collect go tool compile -m -m escape data so hotalloc can run")
+	baselinePath := flag.String("hotalloc-baseline", "", "hot-path escape baseline file (default: hotalloc_baseline.json at the module root)")
+	baselineWrite := flag.Bool("hotalloc-write", false, "regenerate the hot-path escape baseline from current code and exit")
+	ratchetMode := flag.Bool("ratchet", false, "re-run the AllocsPerRun ratchet tests and lower ceilings in ratchets.json that improved")
+	ratchetDry := flag.Bool("ratchet-dry", false, "with -ratchet: report what would change without rewriting ratchets.json")
 	flag.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: railvet [-tests] [-run pass,pass] [packages]\n\npasses:\n")
+		fmt.Fprintf(os.Stderr, "usage: railvet [-tests] [-run pass,pass] [-json] [-stale] [packages]\n       railvet -ratchet [-ratchet-dry]\n       railvet -hotalloc-write [packages]\n\npasses:\n")
 		for _, a := range analyzers.All() {
 			fmt.Fprintf(os.Stderr, "  %-10s %s\n", a.Name, a.Doc)
 		}
@@ -62,6 +78,9 @@ func main() {
 			fmt.Printf("%-10s %s\n", a.Name, a.Doc)
 		}
 		return
+	}
+	if *ratchetMode {
+		os.Exit(runRatchet(*ratchetDry))
 	}
 	passes, err := selectPasses(*run)
 	if err != nil {
@@ -77,19 +96,129 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	pkgs, err := analyzers.Load(wd, patterns, *tests)
+	pkgs, err := analyzers.Load(wd, patterns, analyzers.LoadOpts{
+		Tests:      *tests,
+		FactsCache: *factsCache,
+		Escapes:    *escapes,
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	findings := analyzers.Analyze(pkgs, passes)
-	for _, f := range findings {
-		fmt.Println(f)
+
+	bp := *baselinePath
+	if bp == "" {
+		bp = findUp(wd, "hotalloc_baseline.json")
+	}
+	if *baselineWrite {
+		os.Exit(writeBaseline(bp, wd, pkgs))
+	}
+	baseline, err := loadBaseline(bp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	findings := analyzers.AnalyzeOpts(pkgs, passes, analyzers.Options{
+		Stale:    *stale,
+		Baseline: baseline,
+	})
+	if *jsonOut {
+		printJSON(findings)
+	} else {
+		for _, f := range findings {
+			fmt.Println(f)
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "railvet: %d finding(s)\n", len(findings))
 		os.Exit(1)
 	}
+}
+
+// jsonFinding is the -json wire shape: stable field names so findings
+// can be diffed across PRs and consumed by tooling.
+type jsonFinding struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Pass    string `json:"pass"`
+	Message string `json:"message"`
+}
+
+func printJSON(findings []analyzers.Finding) {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, jsonFinding{
+			File: f.Pos.Filename, Line: f.Pos.Line, Col: f.Pos.Column,
+			Pass: f.Pass, Message: f.Message,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+}
+
+// findUp walks from dir toward the filesystem root looking for name;
+// returns the path next to go.mod (creation target) if never found.
+func findUp(dir, name string) string {
+	d := dir
+	for {
+		p := filepath.Join(d, name)
+		if _, err := os.Stat(p); err == nil {
+			return p
+		}
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return filepath.Join(d, name) // module root: the canonical location
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return filepath.Join(dir, name)
+		}
+		d = parent
+	}
+}
+
+func loadBaseline(path string) (map[string]int, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	baseline := make(map[string]int)
+	if err := json.Unmarshal(data, &baseline); err != nil {
+		return nil, fmt.Errorf("parsing %s: %v", path, err)
+	}
+	return baseline, nil
+}
+
+// writeBaseline regenerates the hot-path escape baseline from the
+// current code: every escape currently inside a hot function becomes
+// tolerated. Run it after deliberately accepting an escape — the diff
+// is the review artifact.
+func writeBaseline(path, wd string, pkgs []*analyzers.Package) int {
+	counts := analyzers.HotAllocCounts(pkgs)
+	data, err := json.MarshalIndent(counts, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	rel := path
+	if r, err := filepath.Rel(wd, path); err == nil {
+		rel = r
+	}
+	fmt.Printf("railvet: wrote %d hot-path escape baseline entries to %s\n", len(counts), rel)
+	return 0
 }
 
 func selectPasses(names string) ([]*analyzers.Analyzer, error) {
@@ -105,80 +234,4 @@ func selectPasses(names string) ([]*analyzers.Analyzer, error) {
 		out = append(out, a)
 	}
 	return out, nil
-}
-
-// vetConfig is the per-package JSON config the go command hands a
-// -vettool (the x/tools unitchecker protocol).
-type vetConfig struct {
-	ID                        string
-	Compiler                  string
-	Dir                       string
-	ImportPath                string
-	GoFiles                   []string
-	NonGoFiles                []string
-	ImportMap                 map[string]string
-	PackageFile               map[string]string
-	Standard                  map[string]bool
-	PackageVetx               map[string]string
-	VetxOnly                  bool
-	VetxOutput                string
-	SucceedOnTypecheckFailure bool
-}
-
-// unitcheck analyzes one package described by a vet config file and
-// returns the process exit code: the go command treats a non-zero exit
-// as "vet failed" and relays whatever was printed to stderr.
-func unitcheck(cfgPath string) int {
-	data, err := os.ReadFile(cfgPath)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return 2
-	}
-	var cfg vetConfig
-	if err := json.Unmarshal(data, &cfg); err != nil {
-		fmt.Fprintf(os.Stderr, "railvet: parsing %s: %v\n", cfgPath, err)
-		return 2
-	}
-	// railvet keeps no cross-package facts, but the protocol requires
-	// the facts file to exist before this package's dependents run.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			return 2
-		}
-	}
-	if cfg.VetxOnly {
-		return 0
-	}
-	fset := token.NewFileSet()
-	var files []*ast.File
-	for _, name := range cfg.GoFiles {
-		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
-		if err != nil {
-			if cfg.SucceedOnTypecheckFailure {
-				return 0
-			}
-			fmt.Fprintln(os.Stderr, err)
-			return 2
-		}
-		files = append(files, f)
-	}
-	pkg, info, err := analyzers.TypeCheck(fset, cfg.ImportPath, files, cfg.ImportMap, cfg.PackageFile)
-	if err != nil {
-		if cfg.SucceedOnTypecheckFailure {
-			return 0
-		}
-		fmt.Fprintln(os.Stderr, err)
-		return 2
-	}
-	findings := analyzers.Analyze([]*analyzers.Package{{
-		PkgPath: cfg.ImportPath, Fset: fset, Files: files, Pkg: pkg, Info: info,
-	}}, analyzers.All())
-	for _, f := range findings {
-		fmt.Fprintln(os.Stderr, f)
-	}
-	if len(findings) > 0 {
-		return 1
-	}
-	return 0
 }

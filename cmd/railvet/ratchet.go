@@ -1,0 +1,139 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"os"
+	"os/exec"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/ratchet"
+)
+
+// runRatchet re-measures every entry in ratchets.json by running its
+// registered test, parses the RATCHET lines the tests log, and lowers
+// any ceiling whose measurement improved (ratchets only tighten).
+// Returns the process exit code: 0 on success (including "nothing to
+// lower"), 1 when a measurement exceeds its committed ceiling, 2 on
+// operational failure.
+func runRatchet(dry bool) int {
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	path, err := ratchet.Find(wd)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "railvet:", err)
+		return 2
+	}
+	entries, err := ratchet.Load(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "railvet:", err)
+		return 2
+	}
+	if len(entries) == 0 {
+		fmt.Println("railvet: no ratchet entries")
+		return 0
+	}
+
+	// Group entries by package so each test binary runs once, with a
+	// -run regexp selecting exactly the anchored tests.
+	byPkg := make(map[string][]string)
+	for _, e := range entries {
+		byPkg[e.Package] = append(byPkg[e.Package], e.Test)
+	}
+	results := make(map[string]float64)
+	pkgs := make([]string, 0, len(byPkg))
+	for p := range byPkg {
+		pkgs = append(pkgs, p)
+	}
+	sort.Strings(pkgs)
+	for _, p := range pkgs {
+		tests := dedup(byPkg[p])
+		runRE := "^(" + strings.Join(tests, "|") + ")$"
+		cmd := exec.Command("go", "test", "-count=1", "-run", runRE, "-v", p)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			// A ratchet test can fail legitimately (regression): its
+			// RATCHET line still tells us the measurement. Anything else
+			// is an operational failure.
+			if !bytes.Contains(out, []byte("RATCHET ")) {
+				fmt.Fprintf(os.Stderr, "railvet: go test %s: %v\n%s", p, err, out)
+				return 2
+			}
+		}
+		parseRatchetLines(out, results)
+	}
+
+	changes := ratchet.Update(entries, results)
+	exit := 0
+	moved := false
+	for _, c := range changes {
+		switch {
+		case c.NotMeasured:
+			fmt.Fprintf(os.Stderr, "railvet: ratchet %s: test logged no RATCHET line — is the test anchor in %s stale?\n", c.Name, ratchet.FileName)
+			exit = 2
+		case c.Regression:
+			fmt.Fprintf(os.Stderr, "railvet: ratchet %s: measured %g exceeds ceiling %g — regression, fix the code (loosening the ceiling is a hand-written diff)\n", c.Name, c.Measured, c.From)
+			if exit == 0 {
+				exit = 1
+			}
+		default:
+			fmt.Printf("railvet: ratchet %s: ceiling %g -> %g (measured %g)\n", c.Name, c.From, c.To, c.Measured)
+			moved = true
+		}
+	}
+	if !moved {
+		fmt.Println("railvet: all ratchet ceilings already tight")
+	}
+	if moved && !dry {
+		if err := ratchet.Save(path, entries); err != nil {
+			fmt.Fprintln(os.Stderr, "railvet:", err)
+			return 2
+		}
+		fmt.Printf("railvet: wrote %s\n", path)
+	} else if moved {
+		fmt.Println("railvet: dry run, file unchanged")
+	}
+	return exit
+}
+
+// parseRatchetLines extracts "RATCHET <name> measured=<v> ceiling=<v>"
+// lines from test output. go test -v prefixes log lines with
+// indentation and file:line, so match on the RATCHET token anywhere in
+// the line.
+func parseRatchetLines(out []byte, results map[string]float64) {
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	for sc.Scan() {
+		line := sc.Text()
+		i := strings.Index(line, "RATCHET ")
+		if i < 0 {
+			continue
+		}
+		fields := strings.Fields(line[i:])
+		// RATCHET <name> measured=<v> ceiling=<v>
+		if len(fields) < 3 || !strings.HasPrefix(fields[2], "measured=") {
+			continue
+		}
+		v, err := strconv.ParseFloat(strings.TrimPrefix(fields[2], "measured="), 64)
+		if err != nil {
+			continue
+		}
+		results[fields[1]] = v
+	}
+}
+
+func dedup(in []string) []string {
+	sort.Strings(in)
+	out := in[:0]
+	for i, s := range in {
+		if i == 0 || s != in[i-1] {
+			out = append(out, s)
+		}
+	}
+	return out
+}

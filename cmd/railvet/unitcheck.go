@@ -1,0 +1,147 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+
+	"repro/internal/analyzers"
+)
+
+// vetConfig is the per-package JSON config the go command hands a
+// -vettool (the x/tools unitchecker protocol).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes one package described by a vet config file and
+// returns the process exit code: the go command treats a non-zero exit
+// as "vet failed" and relays whatever was printed to stderr.
+//
+// Cross-package facts ride the protocol's vetx files: each package's
+// computed summary is serialized to VetxOutput, and dependents get it
+// back through PackageVetx, so nolockio and hotclock follow calls
+// across package edges even under `go vet`. The whole-program hot set
+// is out of reach here — vet runs bottom-up, so a package never sees
+// its dependents' hotpath roots; the standalone driver covers that.
+func unitcheck(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "railvet: parsing %s: %v\n", cfgPath, err)
+		return 2
+	}
+
+	// The standard library is outside the fact universe: the standalone
+	// driver cannot source-check it (cgo), so producing facts for it
+	// here would make the two gates disagree. Write the (empty) vetx
+	// stamp the protocol requires and move on.
+	if cfg.Standard[cfg.ImportPath] {
+		if cfg.VetxOutput != "" {
+			if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 2
+			}
+		}
+		return 0
+	}
+
+	// Dependency facts from previously-written vetx files. Packages
+	// railvet could not summarize (std, cgo) wrote empty files; those
+	// decode to nil and simply contribute nothing.
+	deps := make(analyzers.FactSet)
+	for path, vetx := range cfg.PackageVetx {
+		if cfg.Standard[path] {
+			continue
+		}
+		b, err := os.ReadFile(vetx)
+		if err != nil {
+			continue
+		}
+		if pf, err := analyzers.DecodeFacts(b); err == nil && pf != nil {
+			deps[path] = pf
+		}
+	}
+
+	fset := token.NewFileSet()
+	pkg, bad := parseAndCheck(fset, &cfg)
+	if bad && !cfg.SucceedOnTypecheckFailure && !cfg.VetxOnly {
+		return 2
+	}
+
+	// The protocol requires the facts file to exist before dependents
+	// run, even when this package yielded nothing.
+	if cfg.VetxOutput != "" {
+		var enc []byte
+		if pkg != nil {
+			pkg.Deps = deps
+			pkg.Facts = analyzers.ComputeFacts(pkg, deps)
+			if b, err := analyzers.EncodeFacts(pkg.Facts); err == nil {
+				enc = b
+			}
+		}
+		if err := os.WriteFile(cfg.VetxOutput, enc, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
+	if cfg.VetxOnly || pkg == nil {
+		return 0
+	}
+
+	findings := analyzers.Analyze([]*analyzers.Package{pkg}, analyzers.All())
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, f)
+	}
+	if len(findings) > 0 {
+		return 1
+	}
+	return 0
+}
+
+// parseAndCheck builds the Package for a vet config. bad reports a
+// parse or type-check failure; the caller decides whether that is fatal
+// (cgo-heavy or generated packages fail here — for VetxOnly dependency
+// runs they just produce no facts).
+func parseAndCheck(fset *token.FileSet, cfg *vetConfig) (pkg *analyzers.Package, bad bool) {
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			if !cfg.VetxOnly && !cfg.SucceedOnTypecheckFailure {
+				fmt.Fprintln(os.Stderr, err)
+			}
+			return nil, true
+		}
+		files = append(files, f)
+	}
+	tp, info, err := analyzers.TypeCheck(fset, cfg.ImportPath, files, cfg.ImportMap, cfg.PackageFile)
+	if err != nil {
+		if !cfg.VetxOnly && !cfg.SucceedOnTypecheckFailure {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		return nil, true
+	}
+	return &analyzers.Package{
+		PkgPath: cfg.ImportPath, Fset: fset, Files: files, Pkg: tp, Info: info,
+	}, false
+}

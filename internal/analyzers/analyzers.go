@@ -81,6 +81,21 @@ type Pass struct {
 	Pkg      *types.Package
 	Info     *types.Info
 
+	// Facts holds the cross-package summaries for this package and
+	// everything it depends on (and, in whole-module runs, every other
+	// module package). May be nil for bare fixture runs.
+	Facts FactSet
+	// HotRoots maps funcID -> hotpath-root funcID for every function on
+	// a hot path, computed over the whole loaded fact set.
+	HotRoots map[string]string
+	// Escapes holds the package's escape-analysis diagnostics when the
+	// driver collected them (go tool compile -m -m); nil means hotalloc
+	// has no data and stays silent.
+	Escapes []EscapeSite
+	// Baseline maps funcID -> tolerated heap-escape count (hotalloc's
+	// committed ratchet: only *new* escapes fail).
+	Baseline map[string]int
+
 	funcs  *funcFlags
 	report func(Diagnostic)
 }
@@ -112,6 +127,8 @@ func All() []*Analyzer {
 		RailUp,
 		AtomicMix,
 		StatsOrder,
+		LockOrder,
+		HotAlloc,
 	}
 }
 
@@ -307,15 +324,31 @@ func funcBodies(files []*ast.File, separateLits bool) []funcBody {
 	var out []funcBody
 	for _, f := range files {
 		for _, d := range f.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			out = append(out, funcBody{decl: fd, body: fd.Body})
-			if separateLits {
-				ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch decl := d.(type) {
+			case *ast.FuncDecl:
+				if decl.Body == nil {
+					continue
+				}
+				out = append(out, funcBody{decl: decl, body: decl.Body})
+				if separateLits {
+					ast.Inspect(decl.Body, func(n ast.Node) bool {
+						if fl, ok := n.(*ast.FuncLit); ok {
+							out = append(out, funcBody{decl: decl, body: fl.Body, lit: true})
+						}
+						return true
+					})
+				}
+			case *ast.GenDecl:
+				// Function literals nested in top-level composite
+				// literals (handler tables, `var hooks = []func(){...}`)
+				// are bodies too — without this they escaped every
+				// body-scoped pass.
+				if !separateLits {
+					continue
+				}
+				ast.Inspect(decl, func(n ast.Node) bool {
 					if fl, ok := n.(*ast.FuncLit); ok {
-						out = append(out, funcBody{decl: fd, body: fl.Body, lit: true})
+						out = append(out, funcBody{body: fl.Body, lit: true})
 					}
 					return true
 				})

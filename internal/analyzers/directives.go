@@ -25,6 +25,7 @@ type ignoreRange struct {
 	toLine    int
 	pos       token.Pos
 	justified bool
+	used      bool // suppressed at least one finding this run
 }
 
 // directives is the per-package annotation index.
@@ -46,10 +47,41 @@ func (d *directives) suppressed(fset *token.FileSet, pass string, pos token.Pos)
 			continue
 		}
 		if ig.file == p.Filename && ig.fromLine <= p.Line && p.Line <= ig.toLine {
+			ig.used = true
 			return true
 		}
 	}
 	return false
+}
+
+// stale returns a diagnostic for every justified ignore that suppressed
+// nothing, restricted to the passes that actually ran (selected minus
+// muted): the finding it was written for is gone, so the suppression —
+// and its justification — are dead weight that will silently swallow
+// the next real finding on that line.
+func (d *directives) stale(selected, muted map[string]bool) []Diagnostic {
+	var out []Diagnostic
+	for i := range d.ignores {
+		ig := &d.ignores[i]
+		if !ig.justified || ig.used || !selected[ig.pass] || muted[ig.pass] {
+			continue
+		}
+		out = append(out, Diagnostic{
+			Pass: "railvet",
+			Pos:  ig.pos,
+			Message: fmt.Sprintf("stale suppression: railvet:ignore %s covers %s:%d-%d but the pass no longer fires there — delete it (or it will silently swallow the next real finding)",
+				ig.pass, shortFile(ig.file), ig.fromLine, ig.toLine),
+		})
+	}
+	return out
+}
+
+// shortFile trims a path to its base name for messages.
+func shortFile(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
 }
 
 // scanDirectives indexes every railvet annotation in the package.

@@ -7,6 +7,7 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"go/types"
 	"io"
 	"os"
 	"os/exec"
@@ -54,60 +55,140 @@ var stdExports = sync.OnceValues(func() (map[string]string, error) {
 	return exports, nil
 })
 
-// loadFixture parses and type-checks testdata/src/<name> as one package.
-func loadFixture(t *testing.T, name string) *Package {
+// loadFixture parses and type-checks testdata/src/<name>. A flat
+// directory is one package ("fixture/<name>"); sub-directories become
+// separate packages ("fixture/<name>/<sub>") that may import each other
+// by those paths, type-checked in import order — the shape the
+// cross-package fixtures need. Packages are returned in dependency
+// order, as Analyze requires.
+func loadFixture(t *testing.T, name string) []*Package {
 	t.Helper()
-	dir := filepath.Join("testdata", "src", name)
-	entries, err := os.ReadDir(dir)
+	root := filepath.Join("testdata", "src", name)
+	entries, err := os.ReadDir(root)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fset := token.NewFileSet()
-	var files []*ast.File
+	var subs []string
 	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
-			continue
+		if e.IsDir() {
+			subs = append(subs, e.Name())
 		}
-		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil,
-			parser.ParseComments|parser.SkipObjectResolution)
-		if err != nil {
-			t.Fatal(err)
-		}
-		files = append(files, f)
 	}
 	exports, err := stdExports()
 	if err != nil {
 		t.Fatal(err)
 	}
-	pkg, info, err := TypeCheck(fset, "fixture/"+name, files, nil, exports)
-	if err != nil {
-		t.Fatalf("type-checking fixture %s: %v", name, err)
+	fset := token.NewFileSet()
+
+	parseDir := func(dir string) []*ast.File {
+		t.Helper()
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var files []*ast.File
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+				continue
+			}
+			f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil,
+				parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				t.Fatal(err)
+			}
+			files = append(files, f)
+		}
+		return files
 	}
-	return &Package{PkgPath: "fixture/" + name, Fset: fset, Files: files, Pkg: pkg, Info: info}
+
+	if len(subs) == 0 {
+		path := "fixture/" + name
+		files := parseDir(root)
+		pkg, info, err := TypeCheck(fset, path, files, nil, exports)
+		if err != nil {
+			t.Fatalf("type-checking fixture %s: %v", name, err)
+		}
+		return []*Package{{PkgPath: path, Fset: fset, Files: files, Pkg: pkg, Info: info}}
+	}
+
+	// Multi-package fixture: topologically order the sub-packages by
+	// their intra-fixture imports, then check each against the already
+	// checked ones.
+	prefix := "fixture/" + name + "/"
+	parsed := make(map[string][]*ast.File, len(subs))
+	deps := make(map[string][]string, len(subs))
+	for _, sub := range subs {
+		files := parseDir(filepath.Join(root, sub))
+		parsed[sub] = files
+		for _, f := range files {
+			for _, imp := range f.Imports {
+				p := strings.Trim(imp.Path.Value, `"`)
+				if strings.HasPrefix(p, prefix) {
+					deps[sub] = append(deps[sub], strings.TrimPrefix(p, prefix))
+				}
+			}
+		}
+	}
+	sort.Strings(subs)
+	imp := ExportImporter(fset, nil, exports)
+	local := make(map[string]*types.Package, len(subs))
+	var out []*Package
+	var visit func(sub string, trail []string)
+	visit = func(sub string, trail []string) {
+		t.Helper()
+		if local[prefix+sub] != nil {
+			return
+		}
+		for _, tr := range trail {
+			if tr == sub {
+				t.Fatalf("fixture %s: import cycle through %s", name, sub)
+			}
+		}
+		for _, d := range deps[sub] {
+			visit(d, append(trail, sub))
+		}
+		path := prefix + sub
+		files := parsed[sub]
+		if files == nil {
+			t.Fatalf("fixture %s: import of unknown sub-package %q", name, sub)
+		}
+		pkg, info, err := TypeCheckWith(imp, fset, path, files, local)
+		if err != nil {
+			t.Fatalf("type-checking fixture %s/%s: %v", name, sub, err)
+		}
+		local[path] = pkg
+		out = append(out, &Package{PkgPath: path, Fset: fset, Files: files, Pkg: pkg, Info: info})
+	}
+	for _, sub := range subs {
+		visit(sub, nil)
+	}
+	return out
 }
 
 var wantRE = regexp.MustCompile(`// want (.*)$`)
 var quotedRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
 
 // wants collects file:line -> expected message substrings.
-func wants(t *testing.T, pkg *Package) map[string][]string {
+func wants(t *testing.T, pkgs []*Package) map[string][]string {
 	t.Helper()
 	out := make(map[string][]string)
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				m := wantRE.FindStringSubmatch(c.Text)
-				if m == nil {
-					continue
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
-				qs := quotedRE.FindAllStringSubmatch(m[1], -1)
-				if len(qs) == 0 {
-					t.Fatalf("%s: malformed want comment %q", key, c.Text)
-				}
-				for _, q := range qs {
-					out[key] = append(out[key], q[1])
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					m := wantRE.FindStringSubmatch(c.Text)
+					if m == nil {
+						continue
+					}
+					pos := pkg.Fset.Position(c.Pos())
+					key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+					qs := quotedRE.FindAllStringSubmatch(m[1], -1)
+					if len(qs) == 0 {
+						t.Fatalf("%s: malformed want comment %q", key, c.Text)
+					}
+					for _, q := range qs {
+						out[key] = append(out[key], q[1])
+					}
 				}
 			}
 		}
@@ -115,12 +196,30 @@ func wants(t *testing.T, pkg *Package) map[string][]string {
 	return out
 }
 
-// runFixture runs one pass over its fixture and matches findings
-// against the want comments.
-func runFixture(t *testing.T, passName string) {
-	pkg := loadFixture(t, passName)
-	expected := wants(t, pkg)
-	findings := Analyze([]*Package{pkg}, []*Analyzer{ByName(passName)})
+// runFixture loads a fixture and matches findings against its want
+// comments. With no explicit pass names the fixture name doubles as
+// the (single) pass to run.
+func runFixture(t *testing.T, fixture string, passNames ...string) {
+	runFixturePkgs(t, loadFixture(t, fixture), fixture, passNames...)
+}
+
+// runFixturePkgs is runFixture over pre-loaded packages (fixtures that
+// need extra preparation, like hotalloc's compile step).
+func runFixturePkgs(t *testing.T, pkgs []*Package, fixture string, passNames ...string) {
+	t.Helper()
+	if len(passNames) == 0 {
+		passNames = []string{fixture}
+	}
+	var passes []*Analyzer
+	for _, name := range passNames {
+		a := ByName(name)
+		if a == nil {
+			t.Fatalf("no pass named %q", name)
+		}
+		passes = append(passes, a)
+	}
+	expected := wants(t, pkgs)
+	findings := Analyze(pkgs, passes)
 
 	unmatched := make(map[string][]string, len(expected))
 	for k, v := range expected {
@@ -204,6 +303,151 @@ func TestHotClockFixture(t *testing.T)   { runFixture(t, "hotclock") }
 func TestRailUpFixture(t *testing.T)     { runFixture(t, "railup") }
 func TestAtomicMixFixture(t *testing.T)  { runFixture(t, "atomicmix") }
 func TestStatsOrderFixture(t *testing.T) { runFixture(t, "statsorder") }
+func TestLockOrderFixture(t *testing.T)  { runFixture(t, "lockorder") }
+
+// TestXPkgFixture is the whole-program showcase: the hot root and the
+// locks live in sub-package a, every violation lives across the import
+// edge in b — the shape the PR 6 single-package suite could not see.
+func TestXPkgFixture(t *testing.T) { runFixture(t, "xpkg", "hotclock", "nolockio") }
+
+// compileFixtureEscapes runs the real escape analysis over a fixture
+// and rebases the compiler's absolute paths onto the parser's relative
+// ones so site attribution lines up.
+func compileFixtureEscapes(t *testing.T, name string) []EscapeSite {
+	t.Helper()
+	exports, err := stdExports()
+	if err != nil {
+		t.Fatal(err)
+	}
+	esc, err := CompileEscapes("fixture/"+name, ".",
+		[]string{filepath.Join("testdata", "src", name, "fixture.go")}, nil, exports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range esc {
+		if rel, err := filepath.Rel(wd, esc[i].File); err == nil {
+			esc[i].File = rel
+		}
+	}
+	return esc
+}
+
+// TestHotAllocFixture compiles the fixture with the real escape
+// analysis (go tool compile -m -m) and checks the pass over its output.
+func TestHotAllocFixture(t *testing.T) {
+	pkgs := loadFixture(t, "hotalloc")
+	esc := compileFixtureEscapes(t, "hotalloc")
+	if len(esc) == 0 {
+		t.Fatal("escape analysis produced no sites — the fixture should escape")
+	}
+	pkgs[0].Escapes = esc
+	runFixturePkgs(t, pkgs, "hotalloc")
+}
+
+// TestHotAllocBaseline: a committed baseline mutes exactly that many
+// sites; one more escape in the same function fails again.
+func TestHotAllocBaseline(t *testing.T) {
+	pkgs := loadFixture(t, "hotalloc")
+	pkgs[0].Escapes = compileFixtureEscapes(t, "hotalloc")
+
+	counts := HotAllocCounts(pkgs)
+	if len(counts) == 0 {
+		t.Fatal("HotAllocCounts found no hot escapes")
+	}
+	findings := AnalyzeOpts(pkgs, []*Analyzer{HotAlloc}, Options{Baseline: counts})
+	for _, f := range findings {
+		t.Errorf("finding despite full baseline: %s", f)
+	}
+
+	// Tighten the unsuppressed function's entry: the masked escape
+	// resurfaces. (hotWarmup's entry would not do — its finding is
+	// swallowed by the fixture's justified //railvet:ignore.)
+	tightened := false
+	for id := range counts {
+		if strings.Contains(id, "hotEscape") {
+			counts[id]--
+			tightened = true
+		}
+	}
+	if !tightened {
+		t.Fatalf("no hotEscape entry in baseline counts: %v", counts)
+	}
+	// Reset cached facts so the re-run recomputes from scratch.
+	for _, p := range pkgs {
+		p.Facts = nil
+	}
+	findings = AnalyzeOpts(pkgs, []*Analyzer{HotAlloc}, Options{Baseline: counts})
+	if len(findings) == 0 {
+		t.Error("no findings after lowering the baseline below the measured count")
+	}
+}
+
+// TestStaleSuppression: -stale turns an ignore whose pass no longer
+// fires into a finding, while a working ignore stays silent.
+func TestStaleSuppression(t *testing.T) {
+	const src = `package s
+
+import "time"
+
+//railvet:hotpath
+func hot() {
+	//railvet:ignore hotclock fixture: epoch stamp, not on the frame path
+	_ = time.Now()
+}
+
+func cold() {
+	//railvet:ignore hotclock fixture: the wall-clock read below was removed in a refactor
+	_ = 1
+}
+`
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "s.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exports, err := stdExports()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, info, err := TypeCheck(fset, "fixture/s", []*ast.File{f}, nil, exports)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs := []*Package{{PkgPath: "fixture/s", Fset: fset, Files: []*ast.File{f}, Pkg: pkg, Info: info}}
+
+	if findings := Analyze(pkgs, All()); len(findings) != 0 {
+		t.Fatalf("without -stale: unexpected findings %v", findings)
+	}
+	pkgs[0].Facts = nil
+	findings := AnalyzeOpts(pkgs, All(), Options{Stale: true})
+	if len(findings) != 1 {
+		t.Fatalf("with -stale: got %d findings, want 1: %v", len(findings), findings)
+	}
+	if !strings.Contains(findings[0].Message, "stale suppression") || findings[0].Pass != "railvet" {
+		t.Fatalf("unexpected stale finding: %v", findings[0])
+	}
+	if line := findings[0].Pos.Line; line != 12 {
+		t.Errorf("stale finding at line %d, want 12 (the cold ignore)", line)
+	}
+}
+
+// TestAllPassNames keeps the literal pass-name set (which breaks the
+// init cycle) in sync with the registry.
+func TestAllPassNames(t *testing.T) {
+	names := allPassNames()
+	if len(names) != len(All()) {
+		t.Fatalf("allPassNames has %d entries, All() has %d", len(names), len(All()))
+	}
+	for _, a := range All() {
+		if !names[a.Name] {
+			t.Errorf("allPassNames is missing %q", a.Name)
+		}
+	}
+}
 
 // TestSuiteOnSelf is the meta-check: the analyzers package itself (and
 // the whole module, in CI via cmd/railvet) stays railvet-clean. Here we

@@ -1,0 +1,220 @@
+package analyzers
+
+import (
+	"bytes"
+	"fmt"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// HotAlloc is the mechanized front of the zero-copy roadmap item: no
+// *new* heap allocations on hot paths. The driver compiles each target
+// package with `go tool compile -m -m` (the real escape analysis — not
+// a reimplementation), maps every "escapes to heap"/"moved to heap"
+// diagnostic into the function that contains it, and reports the ones
+// inside hot functions (//railvet:hotpath roots plus everything the
+// whole-program call graph reaches from them) that the committed
+// baseline does not already account for.
+//
+// The baseline (hotalloc_baseline.json at the module root) maps funcID
+// -> tolerated escape-site count. Pre-existing escapes are baselined so
+// CI fails on regressions only; when zero-copy work removes one, run
+// `railvet -hotalloc-write` to ratchet the baseline down — raising a
+// count by hand is a reviewed diff, exactly like a perf regression.
+//
+// In `go vet -vettool` mode no escape data is collected (the compiler
+// already ran; its -m output is gone) and the pass stays silent.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc:  "no unbaselined heap escapes in //railvet:hotpath functions (go tool compile -m)",
+	Run:  runHotAlloc,
+}
+
+// EscapeSite is one escape-analysis diagnostic from the compiler.
+type EscapeSite struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Msg  string `json:"msg"`
+}
+
+func runHotAlloc(pass *Pass) {
+	if pass.Escapes == nil {
+		return // driver collected no escape data (vettool mode, fixtures without compile)
+	}
+	decls := declaredFuncs(pass.Files, pass.Info)
+	rootOf := pass.hotRootOf()
+
+	// Source ranges of hot declared functions, for site attribution.
+	type hotFn struct {
+		fn     *types.Func
+		file   string
+		lo, hi int // line range
+	}
+	var hots []hotFn
+	for fn, fd := range decls {
+		if _, ok := rootOf[funcID(fn)]; !ok {
+			continue
+		}
+		start := pass.Fset.Position(fd.Pos())
+		end := pass.Fset.Position(fd.End())
+		hots = append(hots, hotFn{fn: fn, file: start.Filename, lo: start.Line, hi: end.Line})
+	}
+
+	// Group escape sites by enclosing hot function.
+	sites := make(map[*types.Func][]EscapeSite)
+	for _, s := range pass.Escapes {
+		for _, h := range hots {
+			if s.File == h.file && h.lo <= s.Line && s.Line <= h.hi {
+				sites[h.fn] = append(sites[h.fn], s)
+				break
+			}
+		}
+	}
+
+	for fn, ss := range sites {
+		allowed := pass.Baseline[funcID(fn)]
+		if len(ss) <= allowed {
+			continue
+		}
+		sort.Slice(ss, func(i, j int) bool {
+			return ss[i].Line < ss[j].Line || (ss[i].Line == ss[j].Line && ss[i].Col < ss[j].Col)
+		})
+		for _, s := range ss {
+			pass.Reportf(posFor(pass.Fset, s),
+				"heap escape on a hot path: %s in %s (root %s; %d site(s), baseline %d) — pool it, stack it, or baseline it via railvet -hotalloc-write",
+				s.Msg, fn.Name(), rootName(rootOf[funcID(fn)]), len(ss), allowed)
+		}
+	}
+}
+
+// posFor converts a compiler file:line:col back into a token.Pos inside
+// the pass's file set (best effort; NoPos keeps the finding, unanchored).
+func posFor(fset *token.FileSet, s EscapeSite) token.Pos {
+	var pos token.Pos = token.NoPos
+	fset.Iterate(func(f *token.File) bool {
+		if f.Name() != s.File {
+			return true
+		}
+		if s.Line >= 1 && s.Line <= f.LineCount() {
+			pos = f.LineStart(s.Line)
+			if s.Col > 1 {
+				pos += token.Pos(s.Col - 1)
+			}
+		}
+		return false
+	})
+	return pos
+}
+
+// CompileEscapes runs the gc compiler's escape analysis over one
+// package's files and returns the heap-escape diagnostics. importMap
+// and exports come from the same `go list -export` run the loader used,
+// so the compile resolves every import offline through export data.
+func CompileEscapes(pkgPath, dir string, goFiles []string, importMap map[string]string, exports map[string]string) ([]EscapeSite, error) {
+	tmp, err := os.MkdirTemp("", "railvet-hotalloc-*")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(tmp)
+
+	var cfg bytes.Buffer
+	fmt.Fprintf(&cfg, "# railvet hotalloc import config\n")
+	for from, to := range importMap {
+		fmt.Fprintf(&cfg, "importmap %s=%s\n", from, to)
+	}
+	for path, file := range exports {
+		fmt.Fprintf(&cfg, "packagefile %s=%s\n", path, file)
+	}
+	cfgPath := filepath.Join(tmp, "importcfg")
+	if err := os.WriteFile(cfgPath, cfg.Bytes(), 0o666); err != nil {
+		return nil, err
+	}
+
+	args := []string{"tool", "compile", "-p", pkgPath, "-importcfg", cfgPath,
+		"-m", "-m", "-o", filepath.Join(tmp, "out.a")}
+	for _, f := range goFiles {
+		if !filepath.IsAbs(f) {
+			f = filepath.Join(dir, f)
+		}
+		args = append(args, f)
+	}
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		return nil, fmt.Errorf("go tool compile -m %s: %v\n%s", pkgPath, err, out)
+	}
+	return ParseEscapes(out), nil
+}
+
+// ParseEscapes extracts heap-escape diagnostics from `-m -m` compiler
+// output. Only the verdict lines count ("escapes to heap", "moved to
+// heap"); the flow-explanation lines -m -m adds, and the "does not
+// escape" all-clears, are skipped. -m -m prints each verdict twice
+// (once introducing the flow explanation, once bare), so sites are
+// deduplicated.
+func ParseEscapes(out []byte) []EscapeSite {
+	var sites []EscapeSite
+	seen := make(map[EscapeSite]bool)
+	for _, line := range strings.Split(string(out), "\n") {
+		file, rest, ok := strings.Cut(line, ".go:")
+		if !ok {
+			continue
+		}
+		parts := strings.SplitN(rest, ":", 3)
+		if len(parts) != 3 {
+			continue
+		}
+		lineNo, err1 := strconv.Atoi(parts[0])
+		col, err2 := strconv.Atoi(parts[1])
+		if err1 != nil || err2 != nil {
+			continue
+		}
+		msg := strings.TrimSpace(parts[2])
+		if strings.HasPrefix(parts[2], "  ") {
+			continue // -m -m flow explanation, indented under the verdict
+		}
+		if !strings.Contains(msg, "escapes to heap") && !strings.HasPrefix(msg, "moved to heap") {
+			continue
+		}
+		msg = strings.TrimSuffix(msg, ":")
+		s := EscapeSite{File: file + ".go", Line: lineNo, Col: col, Msg: msg}
+		if seen[s] {
+			continue
+		}
+		seen[s] = true
+		sites = append(sites, s)
+	}
+	return sites
+}
+
+// CountEscapes tallies hot-function escape sites per funcID — the shape
+// the baseline file stores and `railvet -hotalloc-write` regenerates.
+func CountEscapes(pkg *Package, rootOf map[string]string) map[string]int {
+	if pkg.Escapes == nil {
+		return nil
+	}
+	decls := declaredFuncs(pkg.Files, pkg.Info)
+	counts := make(map[string]int)
+	for fn, fd := range decls {
+		id := funcID(fn)
+		if _, hot := rootOf[id]; !hot {
+			continue
+		}
+		start := pkg.Fset.Position(fd.Pos())
+		end := pkg.Fset.Position(fd.End())
+		for _, s := range pkg.Escapes {
+			if s.File == start.Filename && start.Line <= s.Line && s.Line <= end.Line {
+				counts[id]++
+			}
+		}
+	}
+	return counts
+}

@@ -3,18 +3,23 @@ package analyzers
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // HotClock keeps wall-clock reads out of hot paths. Functions marked
 // //railvet:hotpath — per-frame write loops, delivery paths, telemetry
-// stamps — and everything they reach within their package must not
-// call time.Now, time.Since or time.Until: each such call reads the
-// wall clock *and* the monotonic clock and builds a 24-byte time.Time,
-// twice the cost of the runtime.nanotime read that internal/clock
-// exposes, multiplied by every frame the engine moves. Reachability is
-// computed over the package's static call graph (direct calls and
-// method calls with a concrete receiver); calls that cross package
-// boundaries are trusted to carry their own annotations.
+// stamps — and everything they reach must not call time.Now, time.Since
+// or time.Until: each such call reads the wall clock *and* the
+// monotonic clock and builds a 24-byte time.Time, twice the cost of the
+// runtime.nanotime read that internal/clock exposes, multiplied by
+// every frame the engine moves.
+//
+// Since the facts layer landed, reachability is whole-program: the hot
+// set is computed over the exported cross-package call graph (direct
+// calls, deferred calls, and method-value references — `f := e.now;
+// f()` is an edge), and a call from a hot function into another
+// package's function whose facts say it reaches a wall-clock read is
+// reported at the call site. Only interface dispatch remains invisible.
 var HotClock = &Analyzer{
 	Name: "hotclock",
 	Doc:  "no time.Now/time.Since in //railvet:hotpath functions (use internal/clock)",
@@ -22,82 +27,91 @@ var HotClock = &Analyzer{
 }
 
 func runHotClock(pass *Pass) {
-	// Map declared functions to their bodies.
-	decls := make(map[*types.Func]*ast.FuncDecl)
-	for _, f := range pass.Files {
-		for _, d := range f.Decls {
-			fd, ok := d.(*ast.FuncDecl)
-			if !ok || fd.Body == nil {
-				continue
-			}
-			if fn, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
-				decls[fn] = fd
-			}
-		}
-	}
+	decls := declaredFuncs(pass.Files, pass.Info)
+	rootOf := pass.hotRootOf()
 
-	// Static same-package call edges. Function literals count as part
-	// of the function that contains them: a closure built on a hot path
-	// usually runs on it.
-	calls := make(map[*types.Func][]*types.Func)
 	for fn, fd := range decls {
+		id := funcID(fn)
+		rootID, isHot := rootOf[id]
+		if !isHot {
+			continue
+		}
 		ast.Inspect(fd.Body, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
+			ident, ok := n.(*ast.Ident)
 			if !ok {
 				return true
 			}
-			callee := calleeFunc(pass.Info, call)
-			if callee == nil || callee.Pkg() != pass.Pkg {
+			ref, ok := pass.Info.Uses[ident].(*types.Func)
+			if !ok || ref.Pkg() == nil {
 				return true
 			}
-			if _, declared := decls[callee]; declared {
-				calls[fn] = append(calls[fn], callee)
-			}
-			return true
-		})
-	}
-
-	// Hot set: annotated roots plus same-package closure, remembering
-	// one example root for the message.
-	rootOf := make(map[*types.Func]*types.Func)
-	var queue []*types.Func
-	for fn := range decls {
-		if pass.IsHot(fn) {
-			rootOf[fn] = fn
-			queue = append(queue, fn)
-		}
-	}
-	for len(queue) > 0 {
-		fn := queue[0]
-		queue = queue[1:]
-		for _, callee := range calls[fn] {
-			if _, seen := rootOf[callee]; seen {
-				continue
-			}
-			rootOf[callee] = rootOf[fn]
-			queue = append(queue, callee)
-		}
-	}
-
-	for fn, root := range rootOf {
-		fd := decls[fn]
-		ast.Inspect(fd.Body, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			if name, ok := isTimeCall(pass.Info, call); ok {
-				if root != fn {
-					pass.Reportf(call.Pos(),
-						"%s on a hot path (reachable from %s, marked railvet:hotpath at %s) — use internal/clock",
-						name, root.Name(), describePos(pass.Fset, decls[root].Pos()))
+			// Direct wall-clock read (called, deferred, or referenced as
+			// a method/function value).
+			if ref.Pkg().Path() == "time" && timeCallNames[ref.Name()] {
+				if rootID == id {
+					pass.Reportf(ident.Pos(),
+						"time.%s in %s, marked railvet:hotpath — use internal/clock",
+						ref.Name(), fn.Name())
 				} else {
-					pass.Reportf(call.Pos(),
-						"%s in %s, marked railvet:hotpath — use internal/clock",
-						name, fn.Name())
+					pass.Reportf(ident.Pos(),
+						"time.%s on a hot path (reachable from %s%s, marked railvet:hotpath) — use internal/clock",
+						ref.Name(), rootName(rootID), rootSite(pass, decls, rootID))
+				}
+				return true
+			}
+			// Cross-package edge into a function whose facts reach a
+			// wall-clock read: report here — the callee's package has no
+			// idea it is on our hot path.
+			if ref.Pkg() != pass.Pkg {
+				if f := pass.Facts.Func(ref); f != nil && f.Time != "" {
+					pass.Reportf(ident.Pos(),
+						"call to %s on a hot path (root %s) reaches a wall-clock read: %s — use internal/clock",
+						funcID(ref), rootName(rootID), f.Time)
 				}
 			}
 			return true
 		})
 	}
+}
+
+// hotRootOf returns the driver-computed whole-program hot attribution,
+// or derives it from this package alone (bare fixture runs, the
+// unitchecker fallback when no dependency exported facts).
+func (p *Pass) hotRootOf() map[string]string {
+	if p.HotRoots != nil {
+		return p.HotRoots
+	}
+	fs := make(FactSet, len(p.Facts)+1)
+	for k, v := range p.Facts {
+		fs[k] = v
+	}
+	if fs[p.Pkg.Path()] == nil {
+		fs[p.Pkg.Path()] = ComputeFacts(&Package{
+			PkgPath: p.Pkg.Path(), Fset: p.Fset, Files: p.Files, Pkg: p.Pkg, Info: p.Info,
+		}, fs)
+	}
+	return GlobalHot(fs)
+}
+
+// rootName renders a funcID for messages: the bare function name when
+// unambiguous, the full ID for methods and cross-package roots.
+func rootName(id string) string {
+	if id == "" {
+		return "a railvet:hotpath root"
+	}
+	if i := strings.LastIndexByte(id, '.'); i >= 0 && !strings.Contains(id, ")") {
+		return id[i+1:]
+	}
+	return id
+}
+
+// rootSite appends " at file:line" when the root is declared in this
+// package, anchoring the message for in-package findings.
+func rootSite(p *Pass, decls map[*types.Func]*ast.FuncDecl, rootID string) string {
+	for fn, fd := range decls {
+		if funcID(fn) == rootID {
+			return " at " + describePos(p.Fset, fd.Pos())
+		}
+	}
+	return ""
 }

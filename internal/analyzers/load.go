@@ -2,6 +2,8 @@ package analyzers
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"go/ast"
@@ -14,6 +16,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"runtime"
+	"sort"
 	"strings"
 )
 
@@ -24,6 +27,28 @@ type Package struct {
 	Files   []*ast.File
 	Pkg     *types.Package
 	Info    *types.Info
+
+	// Deps holds exported facts for this package's dependencies (and,
+	// in a whole-module load, every module package). Facts is this
+	// package's own computed summary; AnalyzeOpts fills it when nil.
+	Deps  FactSet
+	Facts *PkgFacts
+	// Escapes is the package's `go tool compile -m -m` output when the
+	// load collected it; nil disables the hotalloc pass.
+	Escapes []EscapeSite
+}
+
+// LoadOpts tunes Load.
+type LoadOpts struct {
+	// Tests adds the in-package and external test variants.
+	Tests bool
+	// FactsCache names a directory for cached per-package facts, keyed
+	// on source content and dependency fact hashes; "" disables. A hit
+	// skips parsing and type-checking dependency-only packages.
+	FactsCache string
+	// Escapes runs the compiler's escape analysis (-m -m) over each
+	// target package so hotalloc has data.
+	Escapes bool
 }
 
 // listPkg is the subset of `go list -json` output the loader needs.
@@ -45,11 +70,14 @@ type listPkg struct {
 
 // Load lists patterns with the go tool (compiling export data for
 // every dependency — works fully offline) and type-checks each matched
-// package from source against that export data. includeTests adds the
-// in-package and external test variants.
-func Load(dir string, patterns []string, includeTests bool) ([]*Package, error) {
+// package from source against that export data. Module-local
+// dependency packages outside the pattern are parsed too, facts-only,
+// so every analysis sees closed cross-package summaries; go list's
+// -deps output is already in dependency order, which AnalyzeOpts
+// relies on.
+func Load(dir string, patterns []string, opts LoadOpts) ([]*Package, error) {
 	args := []string{"list", "-export", "-deps", "-json"}
-	if includeTests {
+	if opts.Tests {
 		args = append(args, "-test")
 	}
 	args = append(args, "--")
@@ -90,32 +118,149 @@ func Load(dir string, patterns []string, includeTests bool) ([]*Package, error) 
 		}
 	}
 	fset := token.NewFileSet()
+	facts := make(FactSet)
+	factsHash := make(map[string]string)
 	var out2 []*Package
 	for _, lp := range pkgs {
-		if lp.DepOnly || lp.Standard {
-			continue
-		}
-		if strings.HasSuffix(lp.ImportPath, ".test") {
-			continue // synthesized test binary main
+		if lp.Standard || strings.HasSuffix(lp.ImportPath, ".test") {
+			continue // std deps carry no railvet facts; .test mains are synthesized
 		}
 		if lp.ForTest == "" && augmented[lp.ImportPath] {
 			continue // the test-augmented variant covers these files
 		}
+		plain := plainPath(lp.ImportPath)
 		if lp.Error != nil {
 			return nil, fmt.Errorf("%s: %s", lp.ImportPath, lp.Error.Err)
 		}
-		p, err := checkPackage(fset, lp, exports)
+		if lp.DepOnly {
+			pf, hash, err := depFacts(fset, lp, plain, exports, facts, factsHash, opts.FactsCache)
+			if err != nil {
+				return nil, err
+			}
+			facts[plain] = pf
+			factsHash[plain] = hash
+			continue
+		}
+		p, err := checkPackage(fset, lp, plain, exports)
 		if err != nil {
 			return nil, err
 		}
+		p.Facts = ComputeFacts(p, facts)
+		facts[plain] = p.Facts
+		enc, err := EncodeFacts(p.Facts)
+		if err != nil {
+			return nil, err
+		}
+		factsHash[plain] = hashBytes(enc)
+		if opts.FactsCache != "" {
+			writeFactsCache(opts.FactsCache, lp, plain, factsHash, enc)
+		}
+		if opts.Escapes && lp.ForTest == "" && len(lp.GoFiles) > 0 {
+			esc, err := CompileEscapes(plain, lp.Dir, lp.GoFiles, lp.ImportMap, exports)
+			if err != nil {
+				return nil, err
+			}
+			p.Escapes = esc
+		}
+		p.Deps = facts
 		out2 = append(out2, p)
 	}
 	return out2, nil
 }
 
+// plainPath strips go list's test-variant suffix:
+// "x [x.test]" -> "x", "x_test [x.test]" -> "x_test".
+func plainPath(importPath string) string {
+	if i := strings.IndexByte(importPath, ' '); i >= 0 {
+		return importPath[:i]
+	}
+	return importPath
+}
+
+// depFacts computes (or loads from cache) the facts of a
+// dependency-only package.
+func depFacts(fset *token.FileSet, lp *listPkg, plain string, exports map[string]string, deps FactSet, factsHash map[string]string, cacheDir string) (*PkgFacts, string, error) {
+	var key string
+	if cacheDir != "" {
+		key = factsCacheKey(lp, plain, factsHash)
+		if key != "" {
+			if data, err := os.ReadFile(filepath.Join(cacheDir, key+".json")); err == nil {
+				if pf, err := DecodeFacts(data); err == nil && pf != nil {
+					return pf, hashBytes(data), nil
+				}
+			}
+		}
+	}
+	p, err := checkPackage(fset, lp, plain, exports)
+	if err != nil {
+		return nil, "", err
+	}
+	pf := ComputeFacts(p, deps)
+	enc, err := EncodeFacts(pf)
+	if err != nil {
+		return nil, "", err
+	}
+	if cacheDir != "" && key != "" {
+		if err := os.MkdirAll(cacheDir, 0o777); err == nil {
+			_ = os.WriteFile(filepath.Join(cacheDir, key+".json"), enc, 0o666)
+		}
+	}
+	return pf, hashBytes(enc), nil
+}
+
+// factsCacheKey keys a package's facts on its source bytes and the fact
+// hashes of its imports, so any change below invalidates everything
+// above. Returns "" when a source file cannot be read.
+func factsCacheKey(lp *listPkg, plain string, factsHash map[string]string) string {
+	h := sha256.New()
+	io.WriteString(h, "railvet-facts-v1\n"+plain+"\n")
+	for _, name := range lp.GoFiles {
+		path := name
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(lp.Dir, name)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return ""
+		}
+		io.WriteString(h, name+"\n")
+		h.Write(data)
+	}
+	imps := append([]string(nil), lp.Imports...)
+	sort.Strings(imps)
+	for _, imp := range imps {
+		mapped := imp
+		if m, ok := lp.ImportMap[imp]; ok {
+			mapped = m
+		}
+		if fh := factsHash[plainPath(mapped)]; fh != "" {
+			io.WriteString(h, plainPath(mapped)+"="+fh+"\n")
+		}
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func writeFactsCache(cacheDir string, lp *listPkg, plain string, factsHash map[string]string, enc []byte) {
+	key := factsCacheKey(lp, plain, factsHash)
+	if key == "" {
+		return
+	}
+	if err := os.MkdirAll(cacheDir, 0o777); err != nil {
+		return
+	}
+	_ = os.WriteFile(filepath.Join(cacheDir, key+".json"), enc, 0o666)
+}
+
+func hashBytes(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
 // checkPackage parses and type-checks one listed package against the
-// export data of its dependencies.
-func checkPackage(fset *token.FileSet, lp *listPkg, exports map[string]string) (*Package, error) {
+// export data of its dependencies. The package is checked under its
+// plain import path (test-variant suffix stripped) so function
+// identities match what dependents observe through export data.
+func checkPackage(fset *token.FileSet, lp *listPkg, plain string, exports map[string]string) (*Package, error) {
 	if len(lp.CgoFiles) > 0 {
 		return nil, fmt.Errorf("%s: cgo packages are not supported by railvet", lp.ImportPath)
 	}
@@ -131,11 +276,11 @@ func checkPackage(fset *token.FileSet, lp *listPkg, exports map[string]string) (
 		}
 		files = append(files, f)
 	}
-	pkg, info, err := TypeCheck(fset, lp.ImportPath, files, lp.ImportMap, exports)
+	pkg, info, err := TypeCheck(fset, plain, files, lp.ImportMap, exports)
 	if err != nil {
 		return nil, fmt.Errorf("%s: %v", lp.ImportPath, err)
 	}
-	return &Package{PkgPath: lp.ImportPath, Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+	return &Package{PkgPath: plain, Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
 }
 
 // TypeCheck type-checks parsed files as package path, resolving
@@ -143,6 +288,22 @@ func checkPackage(fset *token.FileSet, lp *listPkg, exports map[string]string) (
 // import paths to listed package paths; exports maps those to export
 // data produced by `go list -export`).
 func TypeCheck(fset *token.FileSet, path string, files []*ast.File, importMap map[string]string, exports map[string]string) (*types.Package, *types.Info, error) {
+	return TypeCheckDeps(fset, path, files, importMap, exports, nil)
+}
+
+// TypeCheckDeps is TypeCheck with additional in-memory dependency
+// packages (multi-package fixtures, where sub-packages import each
+// other without export data on disk).
+func TypeCheckDeps(fset *token.FileSet, path string, files []*ast.File, importMap map[string]string, exports map[string]string, local map[string]*types.Package) (*types.Package, *types.Info, error) {
+	return TypeCheckWith(ExportImporter(fset, importMap, exports), fset, path, files, local)
+}
+
+// ExportImporter builds an importer over `go list -export` data. The
+// importer caches what it loads, so checking several packages against
+// the SAME importer keeps dependency type identities consistent —
+// multi-package fixtures must share one, or package a's net.Conn is not
+// package b's net.Conn.
+func ExportImporter(fset *token.FileSet, importMap map[string]string, exports map[string]string) types.Importer {
 	lookup := func(p string) (io.ReadCloser, error) {
 		if importMap != nil {
 			if mapped, ok := importMap[p]; ok {
@@ -155,10 +316,15 @@ func TypeCheck(fset *token.FileSet, path string, files []*ast.File, importMap ma
 		}
 		return os.Open(file)
 	}
-	imp := importer.ForCompiler(fset, "gc", lookup)
+	return unsafeAware{importer.ForCompiler(fset, "gc", lookup)}
+}
+
+// TypeCheckWith type-checks files as package path against a shared
+// importer, serving in-memory local packages first.
+func TypeCheckWith(imp types.Importer, fset *token.FileSet, path string, files []*ast.File, local map[string]*types.Package) (*types.Package, *types.Info, error) {
 	info := NewInfo()
 	conf := types.Config{
-		Importer: unsafeAware{imp},
+		Importer: localFirst{imp, local},
 		Sizes:    types.SizesFor("gc", runtime.GOARCH),
 	}
 	pkg, err := conf.Check(path, fset, files, info)
@@ -189,4 +355,18 @@ func (u unsafeAware) Import(path string) (*types.Package, error) {
 		return types.Unsafe, nil
 	}
 	return u.Importer.Import(path)
+}
+
+// localFirst serves in-memory packages before falling back to export
+// data.
+type localFirst struct {
+	types.Importer
+	local map[string]*types.Package
+}
+
+func (l localFirst) Import(path string) (*types.Package, error) {
+	if p, ok := l.local[path]; ok {
+		return p, nil
+	}
+	return l.Importer.Import(path)
 }

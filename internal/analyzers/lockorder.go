@@ -1,0 +1,262 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockOrder mechanizes the shard-lock discipline the PR 3 sharded
+// rewrite of internal/core made necessary. The engine keeps two sharded
+// lock families — flow shards, keyed (peer, tag), and unit shards,
+// keyed (peer, unit id) — and a progress worker may need both while
+// moving one message. Sharded locks deadlock in two ways annotations
+// cannot see:
+//
+//   - Cross-class inversion: if most paths take a flow-shard lock and
+//     then a unit-shard lock, a single path taking them in the opposite
+//     order deadlocks the moment two workers meet. The pass *derives*
+//     the partial order from the package itself (the dominant observed
+//     direction per class pair) and reports the paths that invert it.
+//   - Same-class nesting: two locks of the same shard class held at
+//     once deadlock when two workers take them in opposite shard
+//     index order; there is no safe static order between equals.
+//
+// It also enforces the shard/submitter boundary: a shard lock must
+// never be held across a call into progress.Submitter (the flush
+// machinery) — Put takes the submitter's own queue locks and schedules
+// flush work, which welds the shard classes to the submit plane's lock
+// graph and re-creates the lock-across-I/O shape one level up.
+//
+// A "shard class" is derived, not annotated: a named struct type that
+// both embeds a sync.Mutex/RWMutex and appears in the package as a
+// slice element ([]flowShard, []unitShard — a lock array somebody
+// indexes by hash). The pass runs only in packages named "core".
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc:  "shard locks in core follow the derived partial order, never nest same-class, never cover Submitter calls",
+	Run:  runLockOrder,
+}
+
+// lockEvent is one observed "acquired B while A held" edge.
+type lockEvent struct {
+	held, acq string // class names
+	pos       token.Pos
+	heldPos   token.Pos
+}
+
+func runLockOrder(pass *Pass) {
+	if pass.Pkg.Name() != "core" {
+		return
+	}
+	shards := shardClasses(pass)
+	if len(shards) == 0 {
+		return
+	}
+	var events []lockEvent
+	for _, fb := range funcBodies(pass.Files, true) {
+		events = append(events, scanLockOrder(pass, fb, shards)...)
+	}
+
+	// Derive the partial order: per unordered class pair, the dominant
+	// observed direction is canonical; the minority direction is an
+	// inversion. A tie is reported in both directions — the order is
+	// then genuinely ambiguous and needs a human.
+	count := make(map[[2]string]int)
+	for _, e := range events {
+		count[[2]string{e.held, e.acq}]++
+	}
+	for _, e := range events {
+		fwd := count[[2]string{e.held, e.acq}]
+		rev := count[[2]string{e.acq, e.held}]
+		if rev == 0 {
+			continue // unopposed direction: this *is* the derived order
+		}
+		switch {
+		case fwd < rev:
+			pass.Reportf(e.pos,
+				"lock-order inversion: %s lock acquired while %s lock held (held since %s) — the package's dominant order is %s before %s (%d vs %d sites); two workers meeting across these classes deadlock",
+				e.acq, e.held, describePos(pass.Fset, e.heldPos), e.acq, e.held, rev, fwd)
+		case fwd == rev:
+			pass.Reportf(e.pos,
+				"ambiguous lock order between %s and %s (%d sites each way): pick one direction and fix the others — a partial order that is not a partial order deadlocks",
+				e.held, e.acq, fwd)
+		}
+	}
+}
+
+// scanLockOrder walks one body in source order, tracking held locks
+// with their shard classes.
+func scanLockOrder(pass *Pass, fb funcBody, shards map[*types.Named]bool) []lockEvent {
+	type heldLock struct {
+		class    *types.Named // nil for non-shard locks
+		pos      token.Pos
+		deferred bool
+	}
+	held := make(map[string]heldLock) // key: printed lock expr
+	var events []lockEvent
+
+	shardHeld := func() (string, heldLock, bool) {
+		keys := make([]string, 0, len(held))
+		for k := range held {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if h := held[k]; h.class != nil && shards[h.class] {
+				return k, h, true
+			}
+		}
+		return "", heldLock{}, false
+	}
+
+	walkSkippingFuncLits(fb.body, func(n ast.Node) bool {
+		switch st := n.(type) {
+		case *ast.DeferStmt:
+			if key, op := mutexOp(pass.Info, st.Call); key != "" {
+				if op == "Unlock" || op == "RUnlock" {
+					if h, ok := held[key]; ok {
+						h.deferred = true
+						held[key] = h
+					}
+				}
+			}
+			return false
+		case *ast.CallExpr:
+			if key, op := mutexOp(pass.Info, st); key != "" {
+				switch op {
+				case "Lock", "RLock":
+					class := lockOwnerClass(pass.Info, st)
+					if class != nil && shards[class] {
+						for k, h := range held {
+							if h.class == nil || !shards[h.class] {
+								continue
+							}
+							if h.class == class {
+								pass.Reportf(st.Pos(),
+									"two %s locks held at once (%s and %s, first at %s) — same-class shard locks have no safe order; two workers taking them in opposite shard-index order deadlock",
+									class.Obj().Name(), k, key, describePos(pass.Fset, h.pos))
+							} else {
+								events = append(events, lockEvent{
+									held:    h.class.Obj().Name(),
+									acq:     class.Obj().Name(),
+									pos:     st.Pos(),
+									heldPos: h.pos,
+								})
+							}
+						}
+					}
+					held[key] = heldLock{class: class, pos: st.Pos()}
+				case "Unlock", "RUnlock":
+					if h, ok := held[key]; !ok || !h.deferred {
+						delete(held, key)
+					}
+				}
+				return true
+			}
+			if fn := calleeFunc(pass.Info, st); fn != nil && isSubmitterMethod(fn) {
+				if key, h, ok := shardHeld(); ok {
+					pass.Reportf(st.Pos(),
+						"call into progress.Submitter (%s) with shard lock %s held (%s, acquired at %s) — flushes must be scheduled outside shard locks (%s)",
+						fn.Name(), key, h.class.Obj().Name(), describePos(pass.Fset, h.pos),
+						"the submit plane has its own lock graph")
+				}
+			}
+		}
+		return true
+	})
+	return events
+}
+
+// lockOwnerClass resolves the named type owning the mutex field of a
+// lock call `owner.mu.Lock()`, or nil for bare/package-level mutexes.
+func lockOwnerClass(info *types.Info, call *ast.CallExpr) *types.Named {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	tv, ok := info.Types[inner.X]
+	if !ok {
+		return nil
+	}
+	return namedOf(tv.Type)
+}
+
+// shardClasses derives the package's sharded lock classes: named struct
+// types with a sync mutex field that some other type or variable in the
+// package holds a slice of.
+func shardClasses(pass *Pass) map[*types.Named]bool {
+	scope := pass.Pkg.Scope()
+	hasMutex := func(n *types.Named) bool {
+		st, ok := n.Underlying().(*types.Struct)
+		if !ok {
+			return false
+		}
+		for i := 0; i < st.NumFields(); i++ {
+			fn := namedOf(st.Field(i).Type())
+			if fn != nil && fn.Obj().Pkg() != nil && fn.Obj().Pkg().Path() == "sync" {
+				switch fn.Obj().Name() {
+				case "Mutex", "RWMutex":
+					return true
+				}
+			}
+		}
+		return false
+	}
+	candidates := make(map[*types.Named]bool)
+	for _, name := range scope.Names() {
+		tn, ok := scope.Lookup(name).(*types.TypeName)
+		if !ok {
+			continue
+		}
+		if n, ok := tn.Type().(*types.Named); ok && hasMutex(n) {
+			candidates[n] = true
+		}
+	}
+	if len(candidates) == 0 {
+		return nil
+	}
+	out := make(map[*types.Named]bool)
+	markSlices := func(t types.Type) {
+		sl, ok := t.Underlying().(*types.Slice)
+		if !ok {
+			return
+		}
+		if n := namedOf(sl.Elem()); n != nil && candidates[n] {
+			out[n] = true
+		}
+	}
+	for _, name := range scope.Names() {
+		switch obj := scope.Lookup(name).(type) {
+		case *types.Var:
+			markSlices(obj.Type())
+		case *types.TypeName:
+			if st, ok := obj.Type().Underlying().(*types.Struct); ok {
+				for i := 0; i < st.NumFields(); i++ {
+					markSlices(st.Field(i).Type())
+				}
+			}
+			markSlices(obj.Type())
+		}
+	}
+	return out
+}
+
+// isSubmitterMethod reports whether fn is a method on progress.Submitter
+// (the flush machinery the shard locks must never cover).
+func isSubmitterMethod(fn *types.Func) bool {
+	rt := recvType(fn)
+	if rt == nil {
+		return false
+	}
+	n := namedOf(rt)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	return n.Obj().Pkg().Name() == "progress" && n.Obj().Name() == "Submitter"
+}

@@ -1,6 +1,7 @@
 package analyzers
 
 import (
+	"fmt"
 	"go/ast"
 	"sort"
 	"strings"
@@ -21,6 +22,13 @@ import (
 // literals are analyzed as independent bodies (they run on their own
 // goroutine or after the enclosing frame released its locks); a
 // literal that itself locks across a send is still caught.
+//
+// With the facts layer, "transport call" is transitive: a call into any
+// function — same package or a dependency — whose exported facts say it
+// reaches a fabric send or net.Conn write on its own goroutine is
+// treated exactly like the send itself. The PR 6 pass trusted package
+// boundaries; a lock held in internal/core across a helper in
+// internal/livenet that writes to a socket now fires here.
 var NoLockIO = &Analyzer{
 	Name: "nolockio",
 	Doc:  "no mutex may be held across fabric sends or net.Conn writes",
@@ -67,16 +75,27 @@ func checkLockIO(pass *Pass, fb funcBody) {
 				}
 				return true
 			}
-			if isFabricSend(pass.Info, st) || isNetWrite(pass.Info, st) {
+			direct := isFabricSend(pass.Info, st) || isNetWrite(pass.Info, st)
+			via := ""
+			if !direct {
+				if f := pass.Facts.Func(calleeFunc(pass.Info, st)); f != nil && f.IO != "" {
+					via = f.IO
+				}
+			}
+			if direct || via != "" {
 				if len(held) > 0 {
 					keys := make([]string, 0, len(held))
 					for k := range held {
 						keys = append(keys, k)
 					}
 					sort.Strings(keys)
+					reach := ""
+					if via != "" {
+						reach = fmt.Sprintf(" (reaches %s)", via)
+					}
 					pass.Reportf(st.Pos(),
-						"transport call with %s held — a blocked rail write wedges every flow behind this lock; release before the send (PR 3 submitter invariant)",
-						strings.Join(keys, ", "))
+						"transport call%s with %s held — a blocked rail write wedges every flow behind this lock; release before the send (PR 3 submitter invariant)",
+						reach, strings.Join(keys, ", "))
 				}
 			}
 		}

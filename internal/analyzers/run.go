@@ -17,18 +17,79 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Pass, f.Message)
 }
 
-// Analyze runs the given passes over every package, applying the
-// ignore directives, and returns the surviving findings in positional
-// order. Malformed directives surface as findings under the pass name
-// "railvet" and cannot be suppressed.
+// Options tunes a railvet run beyond pass selection.
+type Options struct {
+	// Stale turns unused //railvet:ignore directives into findings: a
+	// suppression whose pass no longer fires at that line is a lie in
+	// the source — the justification outlived the finding.
+	Stale bool
+	// Baseline is hotalloc's funcID -> tolerated-escape-count map.
+	Baseline map[string]int
+}
+
+// Analyze runs the given passes over every package with default
+// options.
 func Analyze(pkgs []*Package, passes []*Analyzer) []Finding {
+	return AnalyzeOpts(pkgs, passes, Options{})
+}
+
+// prepareFacts assembles the whole-load fact set — driver-provided
+// dependency facts first, then each loaded package's own summary in
+// dependency order — and derives the global hot set from it.
+func prepareFacts(pkgs []*Package) (FactSet, map[string]string) {
+	shared := make(FactSet)
+	for _, pkg := range pkgs {
+		for path, pf := range pkg.Deps {
+			if shared[path] == nil {
+				shared[path] = pf
+			}
+		}
+	}
+	for _, pkg := range pkgs {
+		if pkg.Facts == nil {
+			pkg.Facts = ComputeFacts(pkg, shared)
+		}
+		shared[pkg.PkgPath] = pkg.Facts
+	}
+	return shared, GlobalHot(shared)
+}
+
+// HotAllocCounts tallies hot-function escape sites per funcID across a
+// load — the content of the hotalloc baseline file, which
+// `railvet -hotalloc-write` regenerates.
+func HotAllocCounts(pkgs []*Package) map[string]int {
+	_, hotRoots := prepareFacts(pkgs)
+	counts := make(map[string]int)
+	for _, pkg := range pkgs {
+		for id, n := range CountEscapes(pkg, hotRoots) {
+			counts[id] += n
+		}
+	}
+	return counts
+}
+
+// AnalyzeOpts runs the given passes over every package, applying the
+// ignore directives, and returns the surviving findings in positional
+// order. Packages must arrive in dependency order (dependencies first —
+// Load guarantees it): facts are computed front to back, so each
+// package's analysis sees the closed summaries of everything it
+// imports, and the global hot set spans the whole load. Malformed
+// directives surface as findings under the pass name "railvet" and
+// cannot be suppressed.
+func AnalyzeOpts(pkgs []*Package, passes []*Analyzer, opts Options) []Finding {
 	names := make(map[string]bool, len(passes))
 	for _, a := range passes {
 		names[a.Name] = true
 	}
+
+	shared, hotRoots := prepareFacts(pkgs)
+
 	var out []Finding
 	for _, pkg := range pkgs {
-		dirs := scanDirectives(pkg.Fset, pkg.Files, pkg.Info, names)
+		// Directives are validated against every registered pass, not
+		// just the selected ones: `-run hotalloc` must not flag a valid
+		// railvet:ignore for another pass as unknown.
+		dirs := scanDirectives(pkg.Fset, pkg.Files, pkg.Info, allPassNames())
 		for _, d := range dirs.errors {
 			out = append(out, Finding{Pass: d.Pass, Pos: pkg.Fset.Position(d.Pos), Message: d.Message})
 		}
@@ -39,6 +100,10 @@ func Analyze(pkgs []*Package, passes []*Analyzer) []Finding {
 				Files:    pkg.Files,
 				Pkg:      pkg.Pkg,
 				Info:     pkg.Info,
+				Facts:    shared,
+				HotRoots: hotRoots,
+				Escapes:  pkg.Escapes,
+				Baseline: opts.Baseline,
 				funcs:    dirs.flags,
 			}
 			p.report = func(d Diagnostic) {
@@ -48,6 +113,17 @@ func Analyze(pkgs []*Package, passes []*Analyzer) []Finding {
 				out = append(out, Finding{Pass: d.Pass, Pos: pkg.Fset.Position(d.Pos), Message: d.Message})
 			}
 			a.Run(p)
+		}
+		if opts.Stale {
+			// A pass that could not run has no say on staleness:
+			// hotalloc without escape data fires nothing by design.
+			mute := map[string]bool{}
+			if pkg.Escapes == nil {
+				mute["hotalloc"] = true
+			}
+			for _, d := range dirs.stale(names, mute) {
+				out = append(out, Finding{Pass: d.Pass, Pos: pkg.Fset.Position(d.Pos), Message: d.Message})
+			}
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {

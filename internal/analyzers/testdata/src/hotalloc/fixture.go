@@ -1,0 +1,43 @@
+// Fixture for the hotalloc pass. The test compiles this file with
+// `go tool compile -m -m` and feeds the escape diagnostics to the pass:
+// escapes inside hot functions are findings unless baselined or
+// suppressed; cold escapes and stack-bound values never are.
+package fixture
+
+type frame struct {
+	buf [64]byte
+	n   int
+}
+
+var sink *frame
+
+// hotEscape leaks a frame to the heap on the hot path: the true
+// positive.
+//
+//railvet:hotpath
+func hotEscape() {
+	f := &frame{} // want "heap escape on a hot path"
+	sink = f
+}
+
+// hotStack keeps its frame on the stack: the compiler proves it does
+// not escape, so there is nothing to report.
+//
+//railvet:hotpath
+func hotStack() int {
+	var f frame
+	f.n = 1
+	return f.n
+}
+
+// hotWarmup allocates once per epoch before the steady state: the
+// audited suppression.
+//
+//railvet:hotpath
+func hotWarmup() {
+	//railvet:ignore hotalloc fixture: warm-up frame, allocated once per epoch off the steady-state path
+	sink = &frame{}
+}
+
+// coldAlloc is not on any hot path: escapes here are fine.
+func coldAlloc() *frame { return &frame{} }

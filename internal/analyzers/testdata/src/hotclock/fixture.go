@@ -26,6 +26,58 @@ func hotWithClosure() {
 // cold is not reachable from any hot root: wall-clock reads are fine.
 func cold() time.Time { return time.Now() }
 
+// hotDeferred reads the clock through a deferred call: the call-graph
+// walk treats `defer f()` exactly like `f()`.
+//
+//railvet:hotpath
+func hotDeferred() {
+	var t0 time.Time
+	defer time.Since(t0) // want "time.Since in hotDeferred"
+}
+
+type probe struct{}
+
+func (probe) stamp() time.Time {
+	return time.Now() // want "time.Now on a hot path"
+}
+
+// hotMethodValue never writes `p.stamp()` — it binds the method to a
+// variable and calls that. The reference alone is a call-graph edge.
+//
+//railvet:hotpath
+func hotMethodValue(p probe) {
+	f := p.stamp
+	_ = f()
+}
+
+// hotDeferredMethod defers a method call on a hot path.
+//
+//railvet:hotpath
+func hotDeferredMethod(p probe) {
+	defer p.stamp()
+}
+
+// hotGeneric: the hotpath directive lands on a generic declaration; the
+// instantiation seen at call sites must resolve to the same identity.
+//
+//railvet:hotpath
+func hotGeneric[T any](v T) T {
+	_ = time.Now() // want "time.Now in hotGeneric"
+	return v
+}
+
+// genericHelper is cold by itself, hot through the instantiated call in
+// hotCallsGeneric.
+func genericHelper[T any](v T) T {
+	_ = time.Since(time.Time{}) // want "time.Since on a hot path"
+	return v
+}
+
+//railvet:hotpath
+func hotCallsGeneric() {
+	_ = genericHelper(1)
+}
+
 //railvet:hotpath
 func hotShutdown() {
 	//railvet:ignore hotclock fixture: deadline computation needs an absolute wall-clock time

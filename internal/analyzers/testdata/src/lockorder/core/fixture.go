@@ -1,0 +1,103 @@
+// Fixture for the lockorder pass: the package is named "core" and
+// carries two derived shard classes (flowShard and unitShard — named
+// mutex-bearing structs the engine keeps slices of). The dominant
+// observed order is flow before unit (three sites); the pass must flag
+// the minority direction, same-class nesting, and a Submitter call
+// under a shard lock.
+package core
+
+import (
+	"sync"
+
+	"fixture/lockorder/progress"
+)
+
+type flowShard struct {
+	mu sync.Mutex
+	n  int
+}
+
+type unitShard struct {
+	mu sync.Mutex
+	n  int
+}
+
+type engine struct {
+	flows []flowShard
+	units []unitShard
+	sub   *progress.Submitter
+}
+
+// moveOne, moveTwo and moveThree establish the canonical order:
+// flow-shard lock first, unit-shard lock second.
+func (e *engine) moveOne(f, u int) {
+	e.flows[f].mu.Lock()
+	e.units[u].mu.Lock()
+	e.units[u].n++
+	e.units[u].mu.Unlock()
+	e.flows[f].mu.Unlock()
+}
+
+func (e *engine) moveTwo(f, u int) {
+	e.flows[f].mu.Lock()
+	defer e.flows[f].mu.Unlock()
+	e.units[u].mu.Lock()
+	e.units[u].n--
+	e.units[u].mu.Unlock()
+}
+
+func (e *engine) moveThree(f, u int) {
+	e.flows[f].mu.Lock()
+	defer e.flows[f].mu.Unlock()
+	e.units[u].mu.Lock()
+	defer e.units[u].mu.Unlock()
+	e.flows[f].n++
+}
+
+// inverted acquires the classes against the dominant direction: two
+// workers crossing moveOne and inverted deadlock.
+func (e *engine) inverted(f, u int) {
+	e.units[u].mu.Lock()
+	e.flows[f].mu.Lock() // want "lock-order inversion"
+	e.flows[f].n++
+	e.flows[f].mu.Unlock()
+	e.units[u].mu.Unlock()
+}
+
+// sameClass nests two flow-shard locks: there is no safe static order
+// between equals.
+func (e *engine) sameClass(a, b int) {
+	e.flows[a].mu.Lock()
+	e.flows[b].mu.Lock() // want "two flowShard locks held at once"
+	e.flows[b].n = e.flows[a].n
+	e.flows[b].mu.Unlock()
+	e.flows[a].mu.Unlock()
+}
+
+// flushUnderLock schedules submit-plane work with a shard lock held,
+// welding the shard classes to the submitter's own lock graph.
+func (e *engine) flushUnderLock(f int, v any) {
+	e.flows[f].mu.Lock()
+	e.sub.Put(f, v) // want "call into progress.Submitter"
+	e.flows[f].mu.Unlock()
+}
+
+// sequential holds one class at a time: no finding.
+func (e *engine) sequential(f, u int) {
+	e.flows[f].mu.Lock()
+	e.flows[f].n++
+	e.flows[f].mu.Unlock()
+	e.units[u].mu.Lock()
+	e.units[u].n++
+	e.units[u].mu.Unlock()
+}
+
+// rebalance is the audited exception: it runs under the engine-wide
+// pause, so no worker can hold either class concurrently.
+func (e *engine) rebalance(f, u int) {
+	e.units[u].mu.Lock()
+	e.flows[f].mu.Lock() //railvet:ignore lockorder fixture: rebalance runs under the global pause; no concurrent holder of either class exists
+	e.flows[f].n = e.units[u].n
+	e.flows[f].mu.Unlock()
+	e.units[u].mu.Unlock()
+}

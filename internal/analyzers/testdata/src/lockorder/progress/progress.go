@@ -1,0 +1,19 @@
+// Package progress mimics internal/progress for the lockorder fixture:
+// a Submitter whose methods take their own locks and schedule flush
+// work — the machinery a shard lock must never be held across.
+package progress
+
+import "sync"
+
+// Submitter stands in for progress.Submitter[T].
+type Submitter struct {
+	mu sync.Mutex
+	q  []any
+}
+
+// Put enqueues one item for flushing.
+func (s *Submitter) Put(to int, v any) {
+	s.mu.Lock()
+	s.q = append(s.q, v)
+	s.mu.Unlock()
+}

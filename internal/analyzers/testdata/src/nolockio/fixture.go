@@ -51,6 +51,23 @@ func closureIsIndependent(s *shard, r *Rail) func() {
 	return func() { r.SendEager(0, nil) }
 }
 
+// handlers nests a function literal inside a top-level composite
+// literal: it is a body like any other, and a lock held across a send
+// inside it fires.
+var handlers = []struct {
+	name string
+	fn   func(*shard, *Rail)
+}{
+	{name: "bad", fn: func(s *shard, r *Rail) {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		r.SendEager(0, nil) // want "transport call with s.mu held"
+	}},
+	{name: "good", fn: func(s *shard, r *Rail) {
+		r.SendEager(0, nil)
+	}},
+}
+
 func suppressed(s *shard, r *Rail) {
 	s.mu.Lock()
 	defer s.mu.Unlock()

@@ -1,0 +1,38 @@
+// Package a holds the hot root and the lock; every violation lives on
+// the far side of the import edge, inside package b. This is the seeded
+// whole-program case: the PR 6 single-package passes reported nothing
+// here.
+package a
+
+import (
+	"net"
+	"sync"
+
+	"fixture/xpkg/b"
+)
+
+// Drive is the hot root; b.Stamp transitively reads the wall clock.
+//
+//railvet:hotpath
+func Drive() {
+	_ = b.Stamp() // want "reaches a wall-clock read"
+}
+
+type gate struct {
+	mu sync.Mutex
+}
+
+// Locked holds its mutex across b.Flush, which transitively writes to
+// the socket.
+func (g *gate) Locked(c net.Conn, p []byte) {
+	g.mu.Lock()
+	b.Flush(c, p) // want "with g.mu held"
+	g.mu.Unlock()
+}
+
+// Unlocked releases before the transitive transport call: no finding.
+func (g *gate) Unlocked(c net.Conn, p []byte) {
+	g.mu.Lock()
+	g.mu.Unlock()
+	b.Flush(c, p)
+}

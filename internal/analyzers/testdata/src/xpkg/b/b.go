@@ -1,0 +1,25 @@
+// Package b is the dependency side of the cross-package fixture. None
+// of these functions carries an annotation: their wall-clock reads and
+// socket writes are only visible to a dependent package through
+// exported facts — a single-package analysis of package a sees nothing.
+package b
+
+import (
+	"net"
+	"time"
+)
+
+// Stamp reads the wall clock one call deeper.
+func Stamp() int64 { return mark() }
+
+func mark() int64 {
+	return time.Now().UnixNano() // want "time.Now on a hot path"
+}
+
+// Flush writes to the socket one call deeper.
+func Flush(c net.Conn, p []byte) error { return push(c, p) }
+
+func push(c net.Conn, p []byte) error {
+	_, err := c.Write(p)
+	return err
+}

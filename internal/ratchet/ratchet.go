@@ -1,0 +1,174 @@
+// Package ratchet keeps the allocation budgets in ratchets.json (at the
+// module root) and enforces them from tests.
+//
+// Each entry is a named measurement — typically testing.AllocsPerRun
+// over a hot-path operation — with a hard ceiling. Tests call Check,
+// which logs a machine-readable line:
+//
+//	RATCHET <name> measured=<value> ceiling=<value>
+//
+// and fails when the measurement exceeds the ceiling. `railvet -ratchet`
+// re-runs the registered tests, greps those lines, and lowers any
+// ceiling whose measurement has improved (with a slack margin so noisy
+// runs don't flap) — the ratchet only ever tightens; loosening a ceiling
+// is a hand-written, reviewed diff.
+package ratchet
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// FileName is the ratchet database, committed at the module root.
+const FileName = "ratchets.json"
+
+// DefaultSlackPct is the margin a lowered ceiling keeps above the
+// measurement, in percent.
+const DefaultSlackPct = 8
+
+// Entry is one ratcheted measurement.
+type Entry struct {
+	// Test anchors `railvet -ratchet`: the Go test (run with -run
+	// '^Test$') in Package that logs the RATCHET line for this name.
+	Test    string `json:"test"`
+	Package string `json:"package"`
+	// Ceiling is the hard limit Check enforces.
+	Ceiling float64 `json:"ceiling"`
+	// Measured is the value recorded the last time the ratchet moved —
+	// context for reviewers, not enforced.
+	Measured float64 `json:"measured"`
+	// SlackPct overrides DefaultSlackPct for this entry.
+	SlackPct float64 `json:"slack_pct,omitempty"`
+}
+
+// TB is the subset of testing.TB that Check needs; keeping the package
+// free of a testing import means non-test binaries (railvet) can link
+// it.
+type TB interface {
+	Helper()
+	Logf(format string, args ...any)
+	Fatalf(format string, args ...any)
+}
+
+// Check logs the RATCHET line for name and fails the test when measured
+// exceeds the committed ceiling. The ratchet file is found by walking
+// up from the test's working directory (the package dir) to the module
+// root.
+func Check(t TB, name string, measured float64) {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatalf("ratchet: %v", err)
+		return
+	}
+	path, err := Find(wd)
+	if err != nil {
+		t.Fatalf("ratchet: %v", err)
+		return
+	}
+	entries, err := Load(path)
+	if err != nil {
+		t.Fatalf("ratchet: %v", err)
+		return
+	}
+	e, ok := entries[name]
+	if !ok {
+		t.Fatalf("ratchet: no entry %q in %s — add it with its test anchor before checking against it", name, path)
+		return
+	}
+	t.Logf("RATCHET %s measured=%g ceiling=%g", name, measured, e.Ceiling)
+	if measured > e.Ceiling {
+		t.Fatalf("ratchet %s: measured %g exceeds ceiling %g (last recorded %g) — an allocation regression, not test noise; see %s",
+			name, measured, e.Ceiling, e.Measured, FileName)
+	}
+}
+
+// Find walks from dir toward the filesystem root looking for the
+// ratchet file.
+func Find(dir string) (string, error) {
+	d := dir
+	for {
+		p := filepath.Join(d, FileName)
+		if _, err := os.Stat(p); err == nil {
+			return p, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no %s between %s and the filesystem root", FileName, dir)
+		}
+		d = parent
+	}
+}
+
+// Load reads the ratchet database.
+func Load(path string) (map[string]*Entry, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	entries := make(map[string]*Entry)
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("parsing %s: %v", path, err)
+	}
+	return entries, nil
+}
+
+// Save writes the ratchet database with stable formatting (sorted keys,
+// two-space indent, trailing newline) so -ratchet round-trips without
+// diff noise.
+func Save(path string, entries map[string]*Entry) error {
+	data, err := json.MarshalIndent(entries, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o666)
+}
+
+// Change describes one ceiling movement from Update.
+type Change struct {
+	Name        string
+	From, To    float64
+	Measured    float64
+	Regression  bool // measured exceeds the (unchanged) ceiling
+	NotMeasured bool // entry's test produced no RATCHET line
+}
+
+// Update applies fresh measurements: any ceiling that can drop (with
+// slack) drops, and Measured is recorded alongside. Ceilings never
+// rise. Entries with no measurement or with a regression are reported
+// but left untouched.
+func Update(entries map[string]*Entry, results map[string]float64) []Change {
+	var out []Change
+	names := make([]string, 0, len(entries))
+	for name := range entries {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		e := entries[name]
+		m, ok := results[name]
+		if !ok {
+			out = append(out, Change{Name: name, From: e.Ceiling, To: e.Ceiling, NotMeasured: true})
+			continue
+		}
+		if m > e.Ceiling {
+			out = append(out, Change{Name: name, From: e.Ceiling, To: e.Ceiling, Measured: m, Regression: true})
+			continue
+		}
+		slack := e.SlackPct
+		if slack == 0 {
+			slack = DefaultSlackPct
+		}
+		proposed := math.Ceil(m * (1 + slack/100))
+		if proposed < e.Ceiling {
+			out = append(out, Change{Name: name, From: e.Ceiling, To: proposed, Measured: m})
+			e.Ceiling = proposed
+			e.Measured = m
+		}
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package ratchet
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestUpdateLowersButNeverRaises(t *testing.T) {
+	entries := map[string]*Entry{
+		"a/improved":   {Test: "TestA", Package: "./a", Ceiling: 95, Measured: 90},
+		"b/regressed":  {Test: "TestB", Package: "./b", Ceiling: 10, Measured: 8},
+		"c/steady":     {Test: "TestC", Package: "./c", Ceiling: 80, Measured: 74},
+		"d/unmeasured": {Test: "TestD", Package: "./d", Ceiling: 5, Measured: 5},
+		"e/zero":       {Test: "TestE", Package: "./e", Ceiling: 0, Measured: 0},
+	}
+	changes := Update(entries, map[string]float64{
+		"a/improved":  74, // ceil(74*1.08) = 80 < 95: lowers
+		"b/regressed": 12, // above ceiling: untouched, flagged
+		"c/steady":    74, // ceil(74*1.08) = 80 == ceiling: no movement
+		"e/zero":      0,  // stays 0
+	})
+
+	if e := entries["a/improved"]; e.Ceiling != 80 || e.Measured != 74 {
+		t.Errorf("a/improved = ceiling %g measured %g, want 80/74", e.Ceiling, e.Measured)
+	}
+	if e := entries["b/regressed"]; e.Ceiling != 10 || e.Measured != 8 {
+		t.Errorf("b/regressed mutated to ceiling %g measured %g — a regression must not move the ratchet", e.Ceiling, e.Measured)
+	}
+	if e := entries["c/steady"]; e.Ceiling != 80 {
+		t.Errorf("c/steady ceiling moved to %g", e.Ceiling)
+	}
+	if e := entries["e/zero"]; e.Ceiling != 0 {
+		t.Errorf("e/zero ceiling moved to %g", e.Ceiling)
+	}
+
+	got := map[string]Change{}
+	for _, c := range changes {
+		got[c.Name] = c
+	}
+	if c := got["a/improved"]; c.From != 95 || c.To != 80 {
+		t.Errorf("a/improved change = %+v, want 95 -> 80", c)
+	}
+	if !got["b/regressed"].Regression {
+		t.Error("b/regressed not flagged as regression")
+	}
+	if !got["d/unmeasured"].NotMeasured {
+		t.Error("d/unmeasured not flagged as unmeasured")
+	}
+	if _, ok := got["c/steady"]; ok {
+		t.Error("c/steady reported a change despite an already-tight ceiling")
+	}
+}
+
+// TestRoundTrip is the -ratchet acceptance shape: Save -> Load is
+// identity, and a second Update with the same measurements is a no-op,
+// so running `railvet -ratchet` twice never produces a diff.
+func TestRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, FileName)
+	entries := map[string]*Entry{
+		"core/eager_round_trip": {Test: "TestEagerSendAllocs", Package: "./internal/core", Ceiling: 95, Measured: 95},
+		"shmnet/ring_frame":     {Test: "TestRingFrameAllocs", Package: "./internal/shmnet", Ceiling: 0, Measured: 0},
+	}
+	results := map[string]float64{"core/eager_round_trip": 74, "shmnet/ring_frame": 0}
+
+	if n := len(Update(entries, results)); n != 1 {
+		t.Fatalf("first update: %d changes, want 1", n)
+	}
+	if err := Save(path, entries); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(loaded, entries) {
+		t.Fatalf("Load(Save(x)) != x:\n%v\n%v", loaded, entries)
+	}
+	first, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if n := len(Update(loaded, results)); n != 0 {
+		t.Fatalf("second update with identical measurements: %d changes, want 0", n)
+	}
+	if err := Save(path, loaded); err != nil {
+		t.Fatal(err)
+	}
+	second, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Fatalf("ratchet file not stable across a no-op round trip:\n%s\n%s", first, second)
+	}
+}
+
+// recorder satisfies TB and captures outcomes.
+type recorder struct {
+	logs  []string
+	fatal string
+}
+
+func (r *recorder) Helper() {}
+func (r *recorder) Logf(format string, args ...any) {
+	r.logs = append(r.logs, fmt.Sprintf(format, args...))
+}
+func (r *recorder) Fatalf(format string, args ...any) {
+	r.fatal = fmt.Sprintf(format, args...)
+}
+
+func TestCheck(t *testing.T) {
+	dir := t.TempDir()
+	if err := Save(filepath.Join(dir, FileName), map[string]*Entry{
+		"x/y": {Test: "TestX", Package: "./x", Ceiling: 10, Measured: 8},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sub := filepath.Join(dir, "internal", "x")
+	if err := os.MkdirAll(sub, 0o777); err != nil {
+		t.Fatal(err)
+	}
+	t.Chdir(sub) // Check walks up from the package dir to find the file
+
+	var ok recorder
+	Check(&ok, "x/y", 9)
+	if ok.fatal != "" {
+		t.Fatalf("measurement under ceiling failed: %s", ok.fatal)
+	}
+	if len(ok.logs) != 1 || !strings.Contains(ok.logs[0], "RATCHET x/y measured=9 ceiling=10") {
+		t.Fatalf("machine-readable log line missing or wrong: %q", ok.logs)
+	}
+
+	var over recorder
+	Check(&over, "x/y", 11)
+	if !strings.Contains(over.fatal, "exceeds ceiling") {
+		t.Fatalf("measurement over ceiling did not fail: %q", over.fatal)
+	}
+
+	var missing recorder
+	Check(&missing, "x/nope", 1)
+	if !strings.Contains(missing.fatal, "no entry") {
+		t.Fatalf("unknown name did not fail: %q", missing.fatal)
+	}
+}

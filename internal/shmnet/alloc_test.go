@@ -1,6 +1,10 @@
 package shmnet
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/ratchet"
+)
 
 // TestRingFrameAllocs pins the shm ring frame path at zero allocations
 // per frame: the ring is the PIO lane of the intra-host rail, and an
@@ -22,9 +26,7 @@ func TestRingFrameAllocs(t *testing.T) {
 			t.Fatal("read aborted")
 		}
 	})
-	if allocs != 0 {
-		t.Fatalf("ring frame path allocates %.1f/op, want 0", allocs)
-	}
+	ratchet.Check(t, "shmnet/ring_frame", allocs)
 }
 
 // TestRingWrapAllocs exercises the wrap-around split copy, which must
@@ -41,7 +43,5 @@ func TestRingWrapAllocs(t *testing.T) {
 			t.Fatal("ring aborted")
 		}
 	})
-	if allocs != 0 {
-		t.Fatalf("wrapping ring frame path allocates %.1f/op, want 0", allocs)
-	}
+	ratchet.Check(t, "shmnet/ring_wrap", allocs)
 }
